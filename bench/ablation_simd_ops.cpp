@@ -1,0 +1,177 @@
+// Ablation microbenchmarks for the SIMD layer's design choices (paper
+// section 4.2): aligned vs unaligned loads, strided loads vs gathers,
+// serial vs hardware scatter, masked vs unmasked increments, select-based
+// branching. Uses google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using opv::aligned_vector;
+namespace simd = opv::simd;
+
+constexpr std::size_t kN = 1 << 20;
+
+aligned_vector<double> make_data(std::size_t n) {
+  aligned_vector<double> v(n);
+  opv::Rng rng(7);
+  for (auto& x : v) x = rng.uniform(0.5, 2.0);
+  return v;
+}
+
+aligned_vector<std::int32_t> make_indices(std::size_t n, std::size_t range, bool unique_w8) {
+  aligned_vector<std::int32_t> idx(n);
+  opv::Rng rng(11);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<std::int32_t>(rng.next_below(range));
+  if (unique_w8) {
+    // Make every group of 8 lanes collision-free (permute-coloring promise).
+    for (std::size_t i = 0; i + 8 <= n; i += 8)
+      for (int l = 0; l < 8; ++l) idx[i + l] = static_cast<std::int32_t>((idx[i] + l) % range);
+  }
+  return idx;
+}
+
+template <class V>
+void BM_load_aligned(benchmark::State& state) {
+  auto data = make_data(kN);
+  using S = typename simd::vec_traits<V>::scalar;
+  constexpr int W = simd::vec_traits<V>::lanes;
+  aligned_vector<S> d(kN);
+  for (std::size_t i = 0; i < kN; ++i) d[i] = static_cast<S>(data[i]);
+  for (auto _ : state) {
+    V acc(S(0));
+    for (std::size_t i = 0; i + W <= kN; i += W) acc += V::loada(d.data() + i);
+    benchmark::DoNotOptimize(simd::hsum(acc));
+  }
+  state.SetBytesProcessed(state.iterations() * kN * sizeof(S));
+}
+
+template <class V>
+void BM_load_unaligned(benchmark::State& state) {
+  auto data = make_data(kN + 1);
+  using S = typename simd::vec_traits<V>::scalar;
+  constexpr int W = simd::vec_traits<V>::lanes;
+  aligned_vector<S> d(kN + 1);
+  for (std::size_t i = 0; i <= kN; ++i) d[i] = static_cast<S>(data[i]);
+  for (auto _ : state) {
+    V acc(S(0));
+    for (std::size_t i = 1; i + W <= kN; i += W) acc += V::loadu(d.data() + i);
+    benchmark::DoNotOptimize(simd::hsum(acc));
+  }
+  state.SetBytesProcessed(state.iterations() * kN * sizeof(S));
+}
+
+template <class V>
+void BM_strided_load_dim4(benchmark::State& state) {
+  auto d = make_data(kN * 4);
+  using S = typename simd::vec_traits<V>::scalar;
+  constexpr int W = simd::vec_traits<V>::lanes;
+  aligned_vector<S> v(kN * 4);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<S>(d[i]);
+  for (auto _ : state) {
+    V acc(S(0));
+    for (std::size_t i = 0; i + W <= kN; i += W)
+      for (int c = 0; c < 4; ++c) acc += V::strided(v.data() + i * 4 + c, 4);
+    benchmark::DoNotOptimize(simd::hsum(acc));
+  }
+  state.SetBytesProcessed(state.iterations() * kN * 4 * sizeof(S));
+}
+
+template <class V>
+void BM_gather(benchmark::State& state) {
+  auto d = make_data(kN);
+  auto idx = make_indices(kN, kN, false);
+  using S = typename simd::vec_traits<V>::scalar;
+  using IV = simd::Vec<std::int32_t, simd::vec_traits<V>::lanes>;
+  constexpr int W = simd::vec_traits<V>::lanes;
+  aligned_vector<S> v(kN);
+  for (std::size_t i = 0; i < kN; ++i) v[i] = static_cast<S>(d[i]);
+  for (auto _ : state) {
+    V acc(S(0));
+    for (std::size_t i = 0; i + W <= kN; i += W)
+      acc += V::gather(v.data(), IV::loadu(idx.data() + i));
+    benchmark::DoNotOptimize(simd::hsum(acc));
+  }
+  state.SetBytesProcessed(state.iterations() * kN * sizeof(S));
+}
+
+template <class V>
+void BM_scatter_add_serial(benchmark::State& state) {
+  using S = typename simd::vec_traits<V>::scalar;
+  using IV = simd::Vec<std::int32_t, simd::vec_traits<V>::lanes>;
+  constexpr int W = simd::vec_traits<V>::lanes;
+  auto idx = make_indices(kN, kN, false);
+  aligned_vector<S> out(kN, S(0));
+  const V one(S(1));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i + W <= kN; i += W)
+      simd::scatter_add_serial(out.data(), IV::loadu(idx.data() + i), one);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * kN * sizeof(S));
+}
+
+template <class V>
+void BM_scatter_add_hw(benchmark::State& state) {
+  using S = typename simd::vec_traits<V>::scalar;
+  using IV = simd::Vec<std::int32_t, simd::vec_traits<V>::lanes>;
+  constexpr int W = simd::vec_traits<V>::lanes;
+  auto idx = make_indices(kN, kN, true);  // unique within each vector
+  aligned_vector<S> out(kN, S(0));
+  const V one(S(1));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i + W <= kN; i += W)
+      simd::scatter_add_hw(out.data(), IV::loadu(idx.data() + i), one);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * kN * sizeof(S));
+}
+
+template <class V>
+void BM_select_branch(benchmark::State& state) {
+  auto d = make_data(kN);
+  using S = typename simd::vec_traits<V>::scalar;
+  constexpr int W = simd::vec_traits<V>::lanes;
+  aligned_vector<S> v(kN);
+  for (std::size_t i = 0; i < kN; ++i) v[i] = static_cast<S>(d[i]);
+  for (auto _ : state) {
+    V acc(S(0));
+    for (std::size_t i = 0; i + W <= kN; i += W) {
+      const V x = V::loada(v.data() + i);
+      acc += simd::select(x > V(S(1.0)), simd::sqrt(x), x * x);
+    }
+    benchmark::DoNotOptimize(simd::hsum(acc));
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+
+using F64x4v = simd::Vec<double, 4>;
+using F64x8v = simd::Vec<double, 8>;
+using F32x8v = simd::Vec<float, 8>;
+using F32x16v = simd::Vec<float, 16>;
+
+BENCHMARK(BM_load_aligned<F64x4v>);
+BENCHMARK(BM_load_aligned<F64x8v>);
+BENCHMARK(BM_load_unaligned<F64x4v>);
+BENCHMARK(BM_load_unaligned<F64x8v>);
+BENCHMARK(BM_strided_load_dim4<F64x4v>);
+BENCHMARK(BM_strided_load_dim4<F64x8v>);
+BENCHMARK(BM_gather<F64x4v>);
+BENCHMARK(BM_gather<F64x8v>);
+BENCHMARK(BM_gather<F32x16v>);
+BENCHMARK(BM_scatter_add_serial<F64x4v>);
+BENCHMARK(BM_scatter_add_serial<F64x8v>);
+BENCHMARK(BM_scatter_add_hw<F64x4v>);   // emulated on AVX2 (no scatter ISA)
+BENCHMARK(BM_scatter_add_hw<F64x8v>);   // real _mm512_i32scatter_pd
+BENCHMARK(BM_scatter_add_hw<F32x16v>);
+BENCHMARK(BM_select_branch<F64x4v>);
+BENCHMARK(BM_select_branch<F64x8v>);
+BENCHMARK(BM_select_branch<F32x8v>);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+// Shared infrastructure for the paper-reproduction bench binaries: standard
+// mesh sizes, app runners that return per-kernel records, and formatting.
+//
+// Every bench accepts:
+//   --large        paper-size meshes (Airfoil 2.8M cells, Volna 2.4M)
+//   --small        reduced meshes for quick runs
+//   --iters=N      Airfoil outer iterations / Volna timesteps
+//   --threads=N    thread count (default: all hardware threads)
+// Default sizes are the paper's *small* Airfoil mesh (720k cells) and a
+// 720k-cell Volna ocean so that the full bench suite completes in minutes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/airfoil/airfoil.hpp"
+#include "apps/volna/volna.hpp"
+#include "common/cli.hpp"
+#include "common/cpu.hpp"
+#include "core/context.hpp"
+#include "dist/context.hpp"
+#include "mesh/generators.hpp"
+#include "perf/table.hpp"
+
+namespace opv::bench {
+
+struct Sizes {
+  idx_t airfoil_ni = 1200, airfoil_nj = 600;  // 720k cells (paper's small mesh)
+  idx_t volna_n = 600;                        // 720k tri cells
+  int airfoil_iters = 10;
+  int volna_steps = 10;
+  int threads = 0;
+
+  static Sizes from_cli(const Cli& cli) {
+    Sizes s;
+    if (cli.has("large")) {
+      s.airfoil_ni = 2400;
+      s.airfoil_nj = 1200;  // 2.88M cells (paper's large mesh)
+      s.volna_n = 1100;     // 2.42M cells (paper's Volna mesh)
+    } else if (cli.has("small")) {
+      s.airfoil_ni = 480;
+      s.airfoil_nj = 240;  // 115k cells
+      s.volna_n = 240;
+    }
+    s.airfoil_iters = static_cast<int>(cli.get_int("iters", s.airfoil_iters));
+    s.volna_steps = static_cast<int>(cli.get_int("iters", s.volna_steps));
+    s.threads = static_cast<int>(cli.get_int("threads", 0));
+    return s;
+  }
+};
+
+/// One per-kernel result row.
+struct KernelRow {
+  std::string name;
+  double seconds = 0;
+  double gbs = 0;
+  double gflops = 0;
+};
+
+inline void clear_stats() { StatsRegistry::instance().clear(); }
+
+/// Collect rows for the given kernels from the stats registry, converting
+/// to useful GB/s and GFLOP/s at the given precision.
+inline std::vector<KernelRow> collect_rows(const std::vector<std::string>& kernels,
+                                           std::size_t value_bytes) {
+  std::vector<KernelRow> rows;
+  for (const auto& k : kernels) {
+    const LoopRecord rec = StatsRegistry::instance().get(k);
+    const KernelInfo& info = KernelRegistry::instance().get(k);
+    rows.push_back(
+        {k, rec.seconds, perf::useful_gbs(info, value_bytes, rec), perf::useful_gflops(info, rec)});
+  }
+  return rows;
+}
+
+inline double total_seconds(const std::vector<KernelRow>& rows) {
+  double s = 0;
+  for (const auto& r : rows) s += r.seconds;
+  return s;
+}
+
+inline const std::vector<std::string>& airfoil_kernels() {
+  static const std::vector<std::string> k = {"save_soln", "adt_calc", "res_calc", "bres_calc",
+                                             "update"};
+  return k;
+}
+inline const std::vector<std::string>& volna_kernels() {
+  static const std::vector<std::string> k = {"sim_1",        "compute_flux", "numerical_flux",
+                                             "space_disc",   "RK_1",         "RK_2"};
+  return k;
+}
+
+/// Run Airfoil under a local-context config; returns per-kernel rows.
+/// A one-iteration warmup (plan construction, first-touch, halo build)
+/// precedes the measured window, as the paper's long runs amortize it.
+template <class Real>
+std::vector<KernelRow> run_airfoil(const mesh::UnstructuredMesh& m, ExecConfig cfg, int iters) {
+  LocalCtx ctx(cfg);
+  airfoil::Airfoil<Real, LocalCtx> app(ctx, m);
+  app.run(1, 0);  // warmup
+  clear_stats();
+  app.run(iters, 0);
+  return collect_rows(airfoil_kernels(), sizeof(Real));
+}
+
+/// Run Airfoil under the distributed-rank ("MPI") model.
+template <class Real>
+std::vector<KernelRow> run_airfoil_dist(const mesh::UnstructuredMesh& m, int nranks,
+                                        ExecConfig rank_cfg, int iters) {
+  dist::DistCtx ctx(nranks, rank_cfg);
+  airfoil::Airfoil<Real, dist::DistCtx> app(ctx, m);
+  app.run(1, 0);  // warmup
+  clear_stats();
+  app.run(iters, 0);
+  return collect_rows(airfoil_kernels(), sizeof(Real));
+}
+
+template <class Real>
+std::vector<KernelRow> run_volna(const mesh::UnstructuredMesh& m, ExecConfig cfg, int steps) {
+  LocalCtx ctx(cfg);
+  volna::Volna<Real, LocalCtx> app(ctx, m);
+  app.run(1);  // warmup
+  clear_stats();
+  app.run(steps);
+  return collect_rows(volna_kernels(), sizeof(Real));
+}
+
+template <class Real>
+std::vector<KernelRow> run_volna_dist(const mesh::UnstructuredMesh& m, int nranks,
+                                      ExecConfig rank_cfg, int steps) {
+  dist::DistCtx ctx(nranks, rank_cfg);
+  volna::Volna<Real, dist::DistCtx> app(ctx, m);
+  app.run(1);  // warmup
+  clear_stats();
+  app.run(steps);
+  return collect_rows(volna_kernels(), sizeof(Real));
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("host: %s\n", cpu_summary().c_str());
+  std::printf("==============================================================\n\n");
+}
+
+/// The "Phi model" configuration: widest vectors + thread oversubscription
+/// (stands in for the Xeon Phi's 512-bit IMCI and 4-way SMT; see DESIGN.md).
+inline ExecConfig phi_model(Backend b, int base_threads = 0) {
+  ExecConfig cfg;
+  cfg.backend = b;
+  cfg.simd_width = 0;  // widest compiled (8 DP / 16 SP with AVX-512)
+  cfg.nthreads = (base_threads > 0 ? base_threads : hardware_threads()) * 2;
+  return cfg;
+}
+
+}  // namespace opv::bench

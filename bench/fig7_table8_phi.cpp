@@ -1,0 +1,77 @@
+// Figure 7 + Table VIII reproduction: the Xeon Phi model.
+//
+// Paper: on the Phi, scalar vs compiler-auto-vectorized vs intrinsics
+// versions of Airfoil (2.8M) and Volna, pure MPI vs MPI+OpenMP. Our Phi
+// model uses the widest compiled vectors (AVX-512: 8 DP / 16 SP lanes, with
+// native gather/scatter like IMCI) and 2x thread oversubscription.
+// Auto-vectorized = the AutoVec backend (scalar kernels on permuted
+// lane-independent loops with #pragma omp simd — whether the compiler
+// vectorizes them is exactly the experiment).
+
+#include "bench_common.hpp"
+
+using namespace opv;
+using namespace opv::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Sizes sz = Sizes::from_cli(cli);
+  print_header("Figure 7 + Table VIII: scalar vs auto-vectorized vs intrinsics (Phi model)",
+               "Reguly et al., Fig. 7 and Table VIII");
+
+  auto am = mesh::make_airfoil_omesh(sz.airfoil_ni, sz.airfoil_nj);
+  auto vm = mesh::make_tri_periodic(sz.volna_n, sz.volna_n, 10.0, 10.0);
+  const int phi_threads = (sz.threads > 0 ? sz.threads : hardware_threads()) * 2;
+
+  const ExecConfig scalar{.backend = Backend::OpenMP, .nthreads = phi_threads};
+  const ExecConfig autovec{.backend = Backend::AutoVec, .nthreads = phi_threads};
+  const ExecConfig intr{.backend = Backend::Simd, .simd_width = 0, .nthreads = phi_threads};
+
+  std::printf("airfoil %d cells x %d iters, volna %d cells x %d steps, %d threads "
+              "(oversubscribed)\n\n",
+              am.ncells, sz.airfoil_iters, vm.ncells, sz.volna_steps, phi_threads);
+
+  auto t = [](const std::vector<KernelRow>& r) { return perf::Table::num(total_seconds(r), 3); };
+
+  // ---- Figure 7 --------------------------------------------------------------
+  perf::Table fig({"application", "scalar", "auto-vectorized", "intrinsics"});
+  const auto a_sp_s = run_airfoil<float>(am, scalar, sz.airfoil_iters);
+  const auto a_sp_a = run_airfoil<float>(am, autovec, sz.airfoil_iters);
+  const auto a_sp_i = run_airfoil<float>(am, intr, sz.airfoil_iters);
+  fig.add_row({"Airfoil SP", t(a_sp_s), t(a_sp_a), t(a_sp_i)});
+
+  const auto a_dp_s = run_airfoil<double>(am, scalar, sz.airfoil_iters);
+  const auto a_dp_a = run_airfoil<double>(am, autovec, sz.airfoil_iters);
+  const auto a_dp_i = run_airfoil<double>(am, intr, sz.airfoil_iters);
+  fig.add_row({"Airfoil DP", t(a_dp_s), t(a_dp_a), t(a_dp_i)});
+
+  const auto v_s = run_volna<float>(vm, scalar, sz.volna_steps);
+  const auto v_a = run_volna<float>(vm, autovec, sz.volna_steps);
+  const auto v_i = run_volna<float>(vm, intr, sz.volna_steps);
+  fig.add_row({"Volna SP", t(v_s), t(v_a), t(v_i)});
+  fig.print();
+
+  std::printf("\nintrinsics speedup over scalar: Airfoil SP %.2fx, DP %.2fx, Volna %.2fx\n"
+              "(paper Phi: 2.0-2.2x SP, 1.7-1.8x DP)\n\n",
+              total_seconds(a_sp_s) / total_seconds(a_sp_i),
+              total_seconds(a_dp_s) / total_seconds(a_dp_i),
+              total_seconds(v_s) / total_seconds(v_i));
+
+  // ---- Table VIII --------------------------------------------------------------
+  std::printf("Table VIII analog: per-kernel breakdown, double(single)\n\n");
+  perf::Table t8({"kernel", "scalar time/BW", "auto-vec time/BW", "intrinsics time/BW"});
+  auto cell = [](const KernelRow& r) {
+    return perf::Table::num(r.seconds, 3) + " / " + perf::Table::num(r.gbs, 1);
+  };
+  for (std::size_t i = 0; i < a_dp_s.size(); ++i)
+    t8.add_row({a_dp_s[i].name, cell(a_dp_s[i]), cell(a_dp_a[i]), cell(a_dp_i[i])});
+  for (std::size_t i = 0; i < v_s.size(); ++i)
+    t8.add_row({v_s[i].name, cell(v_s[i]), cell(v_a[i]), cell(v_i[i])});
+  t8.print();
+
+  std::printf("\nShape checks vs paper Table VIII: auto-vectorization fails to beat\n"
+              "scalar on gather/scatter loops even with lane independence, while\n"
+              "intrinsics speed up every indirect kernel 2-4x; adt_calc loses its\n"
+              "sqrt bottleneck and becomes bandwidth-bound.\n");
+  return 0;
+}

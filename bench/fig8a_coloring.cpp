@@ -1,0 +1,74 @@
+// Figure 8a reproduction: choice of coloring approach.
+//
+// Paper: Airfoil (2.8M) runtime under the original two-level coloring vs
+// "full permute" vs "block permute", on the K40 and the Xeon Phi (the two
+// machines with hardware scatter). Our wide-vector Phi model (AVX-512 with
+// native scatter) and the SIMT emulator at warp-like width stand in. The
+// paper's finding to reproduce: the original scheme wins despite serialized
+// scatters, because the permute schemes destroy data reuse and formerly-
+// direct accesses become gathers.
+
+#include "bench_common.hpp"
+
+using namespace opv;
+using namespace opv::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Sizes sz = Sizes::from_cli(cli);
+  print_header("Figure 8a: coloring approaches (Original / FullPermute / BlockPermute)",
+               "Reguly et al., Fig. 8a");
+
+  auto am = mesh::make_airfoil_omesh(sz.airfoil_ni, sz.airfoil_nj);
+  const int nthreads = sz.threads > 0 ? sz.threads : hardware_threads();
+  std::printf("airfoil %d cells x %d iters, %d threads\n\n", am.ncells, sz.airfoil_iters,
+              nthreads);
+
+  perf::Table fig({"config", "Original (TwoLevel)", "Full Permute", "Block Permute"});
+
+  auto run_with = [&](auto real_tag, ColoringStrategy strat) {
+    using Real = decltype(real_tag);
+    const ExecConfig cfg{.backend = Backend::Simd,
+                         .coloring = strat,
+                         .simd_width = 0,
+                         .nthreads = nthreads};
+    return total_seconds(run_airfoil<Real>(am, cfg, sz.airfoil_iters));
+  };
+
+  auto row = [&](const char* name, auto real_tag) {
+    using Real = decltype(real_tag);
+    const double orig = run_with(Real{}, ColoringStrategy::TwoLevel);
+    const double full = run_with(Real{}, ColoringStrategy::FullPermute);
+    const double block = run_with(Real{}, ColoringStrategy::BlockPermute);
+    fig.add_row({name, perf::Table::num(orig, 3) + " s", perf::Table::num(full, 3) + " s",
+                 perf::Table::num(block, 3) + " s"});
+  };
+  row("Phi-model Single (W=16)", float{});
+  row("Phi-model Double (W=8)", double{});
+  fig.print();
+
+  // res_calc is the kernel the coloring choice actually affects.
+  std::printf("\nres_calc only (the indirect-increment kernel, DP):\n");
+  perf::Table t({"strategy", "res_calc time (s)", "useful BW (GB/s)"});
+  for (auto strat : {ColoringStrategy::TwoLevel, ColoringStrategy::FullPermute,
+                     ColoringStrategy::BlockPermute}) {
+    const ExecConfig cfg{.backend = Backend::Simd,
+                         .coloring = strat,
+                         .simd_width = 0,
+                         .nthreads = nthreads};
+    const auto rows = run_airfoil<double>(am, cfg, sz.airfoil_iters);
+    for (const auto& r : rows)
+      if (r.name == "res_calc")
+        t.add_row({coloring_name(strat), perf::Table::num(r.seconds, 3),
+                   perf::Table::num(r.gbs, 1)});
+  }
+  t.print();
+
+  std::printf("\nReading vs paper Fig. 8a: the paper's Phi/K40 kept the original\n"
+              "two-level scheme ahead because the permutes' locality loss outweighed\n"
+              "removing the serialized scatter. The balance is hardware-dependent:\n"
+              "on a host with real AVX-512 scatters and a large last-level cache the\n"
+              "permutes can win on res_calc — the same tradeoff, different constants\n"
+              "(see EXPERIMENTS.md).\n");
+  return 0;
+}

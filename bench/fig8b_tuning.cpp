@@ -1,0 +1,63 @@
+// Figure 8b reproduction: tuning the MPI x OpenMP combination and the
+// mini-partition (block) size.
+//
+// Paper: Airfoil DP on the Phi across {1x240, 6x40, 10x24, 12x20, 20x12,
+// 30x8, 60x4} rank-x-thread combinations and block sizes 256..2048; larger
+// rank counts prefer larger blocks until load imbalance dominates. We sweep
+// rank x thread products equal to the host thread budget and block sizes
+// 256..2048 on the vectorized backend.
+
+#include "bench_common.hpp"
+
+using namespace opv;
+using namespace opv::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  Sizes sz = Sizes::from_cli(cli);
+  if (!cli.has("iters")) sz.airfoil_iters = 6;  // many configurations
+  print_header("Figure 8b: MPI x OpenMP combination and block-size tuning",
+               "Reguly et al., Fig. 8b");
+
+  auto am = mesh::make_airfoil_omesh(sz.airfoil_ni, sz.airfoil_nj);
+  const int budget = sz.threads > 0 ? sz.threads : hardware_threads();
+  std::printf("airfoil %d cells x %d iters, thread budget %d\n\n", am.ncells, sz.airfoil_iters,
+              budget);
+
+  // ranks x threads combinations with ranks*threads == budget.
+  std::vector<std::pair<int, int>> combos;
+  for (int ranks = 1; ranks <= budget; ++ranks)
+    if (budget % ranks == 0) combos.emplace_back(ranks, budget / ranks);
+
+  std::vector<int> blocks = {256, 512, 1024, 2048};
+
+  std::vector<std::string> header = {"ranks x threads"};
+  for (int b : blocks) header.push_back("B=" + std::to_string(b));
+  perf::Table fig(header);
+
+  double best = 1e300;
+  std::string best_cfg;
+  for (auto [ranks, threads] : combos) {
+    std::vector<std::string> row = {std::to_string(ranks) + " x " + std::to_string(threads)};
+    for (int b : blocks) {
+      const ExecConfig rank_cfg{.backend = Backend::Simd,
+                                .simd_width = 0,
+                                .block_size = b,
+                                .nthreads = threads};
+      const double secs =
+          total_seconds(run_airfoil_dist<double>(am, ranks, rank_cfg, sz.airfoil_iters));
+      row.push_back(perf::Table::num(secs, 3));
+      if (secs < best) {
+        best = secs;
+        best_cfg = row[0] + ", B=" + std::to_string(b);
+      }
+    }
+    fig.add_row(row);
+  }
+  fig.print();
+  std::printf("\nbest: %s (%.3f s)\n", best_cfg.c_str(), best);
+  std::printf("\nShape check vs paper Fig. 8b: performance varies across the\n"
+              "rank/thread grid; more ranks shrink per-rank working sets (favoring\n"
+              "larger blocks) until halo redundancy and imbalance dominate.\n");
+  return 0;
+}

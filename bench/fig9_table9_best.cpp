@@ -1,0 +1,84 @@
+// Figure 9 + Table IX reproduction: best achieved performance per machine
+// model and relative per-kernel speedups.
+//
+// Paper: best execution times of Airfoil (SP/DP, 2.8M) and Volna (SP) on
+// CPU 1, CPU 2, the Phi and the K40; Table IX normalizes per-kernel
+// performance to CPU 1. Our machine models on one host:
+//   "CPU model"  best of {MPI, MPI+OpenMP} x Simd at AVX2 widths (4 DP/8 SP)
+//   "scalar"     the same without vectorization (the CPU-1-like baseline)
+//   "Phi model"  widest vectors + thread oversubscription
+//   "SIMT wide"  the SIMT emulator at the widest lane count (GPU-style
+//                execution model; NOT a GPU performance claim)
+
+#include "bench_common.hpp"
+
+using namespace opv;
+using namespace opv::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Sizes sz = Sizes::from_cli(cli);
+  print_header("Figure 9 + Table IX: best performance and per-kernel relatives",
+               "Reguly et al., Fig. 9 and Table IX");
+
+  auto am = mesh::make_airfoil_omesh(sz.airfoil_ni, sz.airfoil_nj);
+  auto vm = mesh::make_tri_periodic(sz.volna_n, sz.volna_n, 10.0, 10.0);
+  const int nthreads = sz.threads > 0 ? sz.threads : hardware_threads();
+  std::printf("airfoil %d cells x %d iters, volna %d cells x %d steps\n\n", am.ncells,
+              sz.airfoil_iters, vm.ncells, sz.volna_steps);
+
+  const ExecConfig scalar_cfg{.backend = Backend::OpenMP, .nthreads = nthreads};
+  const ExecConfig cpu_dp{.backend = Backend::Simd, .simd_width = 4, .nthreads = nthreads};
+  const ExecConfig cpu_sp{.backend = Backend::Simd, .simd_width = 8, .nthreads = nthreads};
+  const ExecConfig phi = phi_model(Backend::Simd);
+  ExecConfig simt_wide{.backend = Backend::Simt, .simd_width = 0, .nthreads = nthreads};
+
+  // ---- Figure 9: totals -------------------------------------------------------
+  perf::Table fig({"application", "scalar baseline", "CPU model (AVX2 W)", "Phi model",
+                   "SIMT wide"});
+  auto t = [](const std::vector<KernelRow>& r) {
+    return perf::Table::num(total_seconds(r), 3) + " s";
+  };
+
+  const auto a_sp_base = run_airfoil<float>(am, scalar_cfg, sz.airfoil_iters);
+  const auto a_sp_cpu = run_airfoil<float>(am, cpu_sp, sz.airfoil_iters);
+  const auto a_sp_phi = run_airfoil<float>(am, phi, sz.airfoil_iters);
+  const auto a_sp_simt = run_airfoil<float>(am, simt_wide, sz.airfoil_iters);
+  fig.add_row({"Airfoil SP", t(a_sp_base), t(a_sp_cpu), t(a_sp_phi), t(a_sp_simt)});
+
+  const auto a_dp_base = run_airfoil<double>(am, scalar_cfg, sz.airfoil_iters);
+  const auto a_dp_cpu = run_airfoil<double>(am, cpu_dp, sz.airfoil_iters);
+  const auto a_dp_phi = run_airfoil<double>(am, phi, sz.airfoil_iters);
+  const auto a_dp_simt = run_airfoil<double>(am, simt_wide, sz.airfoil_iters);
+  fig.add_row({"Airfoil DP", t(a_dp_base), t(a_dp_cpu), t(a_dp_phi), t(a_dp_simt)});
+
+  const auto v_base = run_volna<float>(vm, scalar_cfg, sz.volna_steps);
+  const auto v_cpu = run_volna<float>(vm, cpu_sp, sz.volna_steps);
+  const auto v_phi = run_volna<float>(vm, phi, sz.volna_steps);
+  const auto v_simt = run_volna<float>(vm, simt_wide, sz.volna_steps);
+  fig.add_row({"Volna SP", t(v_base), t(v_cpu), t(v_phi), t(v_simt)});
+  fig.print();
+
+  // ---- Table IX: per-kernel relative improvement over the scalar baseline ----
+  std::printf("\nTable IX analog: per-kernel speedup relative to the scalar baseline\n"
+              "(paper normalizes to CPU 1), Airfoil DP + Volna SP\n\n");
+  perf::Table t9({"kernel", "scalar", "CPU model", "Phi model", "SIMT wide"});
+  auto rel = [](const KernelRow& base, const KernelRow& other) {
+    return perf::Table::num(other.seconds > 0 ? base.seconds / other.seconds : 0.0, 2);
+  };
+  for (std::size_t i = 0; i < a_dp_base.size(); ++i)
+    t9.add_row({a_dp_base[i].name, "1.0", rel(a_dp_base[i], a_dp_cpu[i]),
+                rel(a_dp_base[i], a_dp_phi[i]), rel(a_dp_base[i], a_dp_simt[i])});
+  for (std::size_t i = 0; i < v_base.size(); ++i)
+    t9.add_row({v_base[i].name, "1.0", rel(v_base[i], v_cpu[i]), rel(v_base[i], v_phi[i]),
+                rel(v_base[i], v_simt[i])});
+  t9.print();
+
+  std::printf("\nShape checks vs paper Table IX:\n"
+              " * direct kernels improve least (bandwidth-bound everywhere),\n"
+              " * compute-bound kernels (adt_calc, compute_flux) improve most,\n"
+              " * indirect-increment kernels improve least among vector gains\n"
+              "   (serialized scatters), and the wider the lanes the larger the\n"
+              "   penalty for irregular kernels.\n");
+  return 0;
+}

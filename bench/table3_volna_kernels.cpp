@@ -1,0 +1,26 @@
+// Table III reproduction: properties of the Volna kernels (single
+// precision), mirroring table2_airfoil_kernels.
+
+#include "bench_common.hpp"
+
+int main(int, char**) {
+  opv::volna::register_kernel_info();
+  opv::bench::print_header("Table III: properties of Volna kernels",
+                           "Reguly et al., Table III");
+
+  opv::perf::Table t({"kernel", "direct read", "direct write", "indirect read", "indirect write",
+                      "FLOP", "FLOP/byte SP", "description"});
+  for (const auto& name : opv::bench::volna_kernels()) {
+    const auto& k = opv::KernelRegistry::instance().get(name);
+    t.add_row({k.name, opv::perf::Table::num(k.direct_read, 0),
+               opv::perf::Table::num(k.direct_write, 0),
+               opv::perf::Table::num(k.indirect_read, 0),
+               opv::perf::Table::num(k.indirect_write, 0), opv::perf::Table::num(k.flops, 0),
+               opv::perf::Table::num(k.flop_per_byte(4), 2), k.description});
+  }
+  t.print();
+
+  std::printf("\npaper values (Table III): RK_1 0.6, RK_2 0.8, sim_1 0, compute_flux 8.5,\n"
+              "numerical_flux 0.81, space_disc 0.88 FLOP/byte.\n");
+  return 0;
+}

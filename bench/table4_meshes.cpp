@@ -1,0 +1,65 @@
+// Table IV reproduction: test mesh sizes and memory footprint. Generates
+// the three synthetic stand-ins (Airfoil small/large O-mesh, Volna ocean)
+// and reports cells/nodes/edges plus the double(single) precision state
+// footprint, comparing against the paper's meshes.
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+/// State footprint of the Airfoil app: x(2/node) + q,qold,res(4/cell) +
+/// adt(1/cell), in bytes at the given precision.
+std::uint64_t airfoil_state_bytes(const opv::mesh::UnstructuredMesh& m, std::size_t vb) {
+  return (static_cast<std::uint64_t>(m.nnodes) * 2 +
+          static_cast<std::uint64_t>(m.ncells) * (4 + 4 + 4 + 1)) *
+         vb;
+}
+
+/// Volna state: U,Uold,Utmp,res(4/cell) + cdt(1) + cgeom(2) + egeom(4/edge)
+/// + flux(5/edge).
+std::uint64_t volna_state_bytes(const opv::mesh::UnstructuredMesh& m, std::size_t vb) {
+  return (static_cast<std::uint64_t>(m.ncells) * (4 * 4 + 1 + 2) +
+          static_cast<std::uint64_t>(m.nedges) * (4 + 5)) *
+         vb;
+}
+
+}  // namespace
+
+int main(int, char**) {
+  opv::bench::print_header("Table IV: test mesh sizes and memory footprint",
+                           "Reguly et al., Table IV");
+
+  opv::perf::Table t({"mesh", "cells", "nodes", "edges", "state DP(SP)", "paper"});
+
+  auto small = opv::mesh::make_airfoil_omesh(1200, 600);
+  t.add_row({"Airfoil small", opv::format_count(small.ncells), opv::format_count(small.nnodes),
+             opv::format_count(small.nedges),
+             opv::format_bytes(airfoil_state_bytes(small, 8)) + "(" +
+                 opv::format_bytes(airfoil_state_bytes(small, 4)) + ")",
+             "720,000 / 721,801 / 1,438,600; 94(47) MB"});
+
+  auto large = opv::mesh::make_airfoil_omesh(2400, 1200);
+  t.add_row({"Airfoil large", opv::format_count(large.ncells), opv::format_count(large.nnodes),
+             opv::format_count(large.nedges),
+             opv::format_bytes(airfoil_state_bytes(large, 8)) + "(" +
+                 opv::format_bytes(airfoil_state_bytes(large, 4)) + ")",
+             "2,880,000 / 2,883,601 / 5,757,200; 373(186) MB"});
+
+  auto volna = opv::mesh::make_tri_periodic(1100, 1100, 10.0, 10.0);
+  t.add_row({"Volna", opv::format_count(volna.ncells), opv::format_count(volna.nnodes),
+             opv::format_count(volna.nedges),
+             "n/a(" + opv::format_bytes(volna_state_bytes(volna, 4)) + ")",
+             "2,392,352 / 1,197,384 / 3,589,735; n/a(355) MB"});
+  t.print();
+
+  for (auto* m : {&small, &large, &volna}) {
+    m->validate();
+    const auto s = opv::mesh::compute_stats(*m);
+    std::printf("\n%s: max edges/cell %d, avg %.2f, raw mesh arrays %s", m->name.c_str(),
+                s.max_edges_per_cell, s.avg_edges_per_cell,
+                opv::format_bytes(m->footprint_bytes()).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

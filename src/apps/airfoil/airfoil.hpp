@@ -1,0 +1,134 @@
+// Airfoil application driver, templated over execution context (LocalCtx or
+// dist::DistCtx) and precision. This is the code a user writes against the
+// opvec API — equivalent to OP2's airfoil.cpp main program.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/airfoil/airfoil_kernels.hpp"
+#include "core/op2.hpp"
+#include "mesh/mesh.hpp"
+
+namespace opv::airfoil {
+
+/// Register the Table II KernelInfo entries (idempotent).
+void register_kernel_info();
+
+/// Convert mesh double-precision node coordinates to the app precision.
+template <class Real>
+aligned_vector<Real> to_real_vec(const aligned_vector<double>& in) {
+  aligned_vector<Real> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = static_cast<Real>(in[i]);
+  return out;
+}
+
+/// Cell centroids (used as the partitioner's coordinates).
+aligned_vector<double> cell_centroids(const mesh::UnstructuredMesh& m);
+
+/// The Airfoil application: declares the mesh sets/maps/dats through the
+/// context and runs the OP2 reference time loop
+///   iter { save_soln; 2x { adt_calc; res_calc; bres_calc; update } }.
+template <class Real, class Ctx>
+class Airfoil {
+ public:
+  Airfoil(Ctx& ctx, const mesh::UnstructuredMesh& m) : ctx_(ctx), ncells_(m.ncells) {
+    register_kernel_info();
+    consts_ = Consts<Real>::standard();
+    centroids_ = cell_centroids(m);
+
+    nodes_ = ctx_.decl_set("nodes", m.nnodes);
+    cells_ = ctx_.decl_set("cells", m.ncells);
+    edges_ = ctx_.decl_set("edges", m.nedges);
+    bedges_ = ctx_.decl_set("bedges", m.nbedges);
+    ctx_.set_partition_coords(cells_, centroids_.data());
+
+    pedge_ = ctx_.decl_map("pedge", edges_, nodes_, 2, m.edge_nodes);
+    pecell_ = ctx_.decl_map("pecell", edges_, cells_, 2, m.edge_cells);
+    pcell_ = ctx_.decl_map("pcell", cells_, nodes_, 4, m.cell_nodes);
+    pbedge_ = ctx_.decl_map("pbedge", bedges_, nodes_, 2, m.bedge_nodes);
+    pbecell_ = ctx_.decl_map("pbecell", bedges_, cells_, 1, m.bedge_cell);
+
+    x_ = ctx_.template decl_dat<Real>("x", nodes_, 2, to_real_vec<Real>(m.node_xy));
+    aligned_vector<Real> q0(static_cast<std::size_t>(m.ncells) * 4);
+    for (idx_t c = 0; c < m.ncells; ++c)
+      for (int n = 0; n < 4; ++n) q0[static_cast<std::size_t>(c) * 4 + n] = consts_.qinf[n];
+    q_ = ctx_.template decl_dat<Real>("q", cells_, 4, q0);
+    qold_ = ctx_.template decl_dat<Real>("qold", cells_, 4);
+    adt_ = ctx_.template decl_dat<Real>("adt", cells_, 1);
+    res_ = ctx_.template decl_dat<Real>("res", cells_, 4);
+    bound_ = ctx_.template decl_dat<std::int32_t>("bound", bedges_, 1, m.bedge_bound);
+    ctx_.finalize();
+  }
+
+  /// Run niter outer iterations; records sqrt(rms/ncells) every rms_every.
+  void run(int niter, int rms_every = 100) {
+    using A = Access;
+    for (int iter = 1; iter <= niter; ++iter) {
+      ctx_.loop(SaveSoln<Real>{}, "save_soln", cells_, ctx_.arg(q_, A::READ),
+                ctx_.arg(qold_, A::WRITE));
+
+      Real rms = Real(0);
+      for (int k = 0; k < 2; ++k) {
+        ctx_.loop(AdtCalc<Real>{consts_}, "adt_calc", cells_,
+                  ctx_.arg(x_, 0, pcell_, A::READ), ctx_.arg(x_, 1, pcell_, A::READ),
+                  ctx_.arg(x_, 2, pcell_, A::READ), ctx_.arg(x_, 3, pcell_, A::READ),
+                  ctx_.arg(q_, A::READ), ctx_.arg(adt_, A::WRITE));
+
+        ctx_.loop(ResCalc<Real>{consts_}, "res_calc", edges_,
+                  ctx_.arg(x_, 0, pedge_, A::READ), ctx_.arg(x_, 1, pedge_, A::READ),
+                  ctx_.arg(q_, 0, pecell_, A::READ), ctx_.arg(q_, 1, pecell_, A::READ),
+                  ctx_.arg(adt_, 0, pecell_, A::READ), ctx_.arg(adt_, 1, pecell_, A::READ),
+                  ctx_.arg(res_, 0, pecell_, A::INC), ctx_.arg(res_, 1, pecell_, A::INC));
+
+        ctx_.loop(BresCalc<Real>{consts_}, "bres_calc", bedges_,
+                  ctx_.arg(x_, 0, pbedge_, A::READ), ctx_.arg(x_, 1, pbedge_, A::READ),
+                  ctx_.arg(q_, 0, pbecell_, A::READ), ctx_.arg(adt_, 0, pbecell_, A::READ),
+                  ctx_.arg(res_, 0, pbecell_, A::INC), ctx_.arg(bound_, A::READ));
+
+        rms = Real(0);
+        ctx_.loop(Update<Real>{}, "update", cells_, ctx_.arg(qold_, A::READ),
+                  ctx_.arg(q_, A::WRITE), ctx_.arg(res_, A::RW), ctx_.arg(adt_, A::READ),
+                  ctx_.arg_gbl(&rms, 1, A::INC));
+      }
+      last_rms_ = std::sqrt(static_cast<double>(rms) / ncells_);
+      if (rms_every > 0 && iter % rms_every == 0) rms_history_.push_back(last_rms_);
+    }
+  }
+
+  /// Residual after the most recent iteration: sqrt(rms/ncells).
+  [[nodiscard]] double last_rms() const { return last_rms_; }
+
+  /// Residual history (one entry per rms_every iterations).
+  [[nodiscard]] const std::vector<double>& rms_history() const { return rms_history_; }
+
+  /// Fetch the state vector in global cell order (for verification).
+  aligned_vector<Real> fetch_q() {
+    aligned_vector<Real> out;
+    ctx_.fetch(q_, out);
+    return out;
+  }
+  aligned_vector<Real> fetch_res() {
+    aligned_vector<Real> out;
+    ctx_.fetch(res_, out);
+    return out;
+  }
+
+  [[nodiscard]] idx_t ncells() const { return ncells_; }
+  [[nodiscard]] const Consts<Real>& consts() const { return consts_; }
+
+ private:
+  Ctx& ctx_;
+  idx_t ncells_;
+  Consts<Real> consts_;
+  aligned_vector<double> centroids_;
+  std::vector<double> rms_history_;
+  double last_rms_ = 0.0;
+
+  typename Ctx::SetHandle nodes_{}, cells_{}, edges_{}, bedges_{};
+  typename Ctx::MapHandle pedge_{}, pecell_{}, pcell_{}, pbedge_{}, pbecell_{};
+  typename Ctx::template DatHandle<Real> x_{}, q_{}, qold_{}, adt_{}, res_{};
+  typename Ctx::template DatHandle<std::int32_t> bound_{};
+};
+
+}  // namespace opv::airfoil

@@ -1,0 +1,187 @@
+// The five Airfoil kernels (paper Table II), written once as width-generic
+// functors: instantiated with T = Real they are the scalar kernels OP2
+// generates for MPI/OpenMP; with T = simd::Vec<Real,W> they are the
+// vectorized kernels of Fig. 3b. Branches use select() — the restriction
+// the paper describes for the intrinsics backend.
+//
+// The numerics follow the OP2 Airfoil reference: a 2D inviscid
+// finite-volume scheme with Lax-Friedrichs-style artificial dissipation,
+// local timestepping (adt), far-field and slip-wall boundaries.
+#pragma once
+
+#include <cmath>
+
+#include "simd/simd.hpp"
+
+namespace opv::airfoil {
+
+/// Flow constants (OP2 airfoil.cpp). qinf is the free-stream state.
+template <class Real>
+struct Consts {
+  Real gam, gm1, cfl, eps, mach, alpha;
+  Real qinf[4];
+
+  static Consts standard() {
+    Consts c;
+    c.gam = Real(1.4);
+    c.gm1 = Real(0.4);
+    c.cfl = Real(0.9);
+    c.eps = Real(0.05);
+    c.mach = Real(0.4);
+    c.alpha = Real(3.0 * std::atan(1.0) / 45.0);
+    const Real p = Real(1.0), r = Real(1.0);
+    const Real u = Real(std::sqrt(double(c.gam) * double(p) / double(r)) * double(c.mach));
+    const Real e = p / (r * c.gm1) + Real(0.5) * u * u;
+    c.qinf[0] = r;
+    c.qinf[1] = r * u;
+    c.qinf[2] = Real(0.0);
+    c.qinf[3] = r * e;
+    return c;
+  }
+};
+
+/// save_soln: direct copy of the state vector (Table II: 4R/4W, 4 FLOP).
+template <class Real>
+struct SaveSoln {
+  template <class T>
+  void operator()(const T* q, T* qold) const {
+    for (int n = 0; n < 4; ++n) qold[n] = q[n];
+  }
+};
+
+/// adt_calc: local timestep from cell geometry and acoustic speed
+/// (Table II: gather 8, direct 4R/1W, 64 FLOP incl. sqrt).
+template <class Real>
+struct AdtCalc {
+  Consts<Real> c;
+
+  template <class T>
+  void operator()(const T* x1, const T* x2, const T* x3, const T* x4, const T* q, T* adt) const {
+    OPV_SIMD_MATH_USING;
+    const T ri = T(Real(1.0)) / q[0];
+    const T u = ri * q[1];
+    const T v = ri * q[2];
+    const T cs = sqrt(T(c.gam) * T(c.gm1) * (ri * q[3] - T(Real(0.5)) * (u * u + v * v)));
+
+    T dx = x2[0] - x1[0];
+    T dy = x2[1] - x1[1];
+    T a = abs(u * dy - v * dx) + cs * sqrt(dx * dx + dy * dy);
+
+    dx = x3[0] - x2[0];
+    dy = x3[1] - x2[1];
+    a = a + abs(u * dy - v * dx) + cs * sqrt(dx * dx + dy * dy);
+
+    dx = x4[0] - x3[0];
+    dy = x4[1] - x3[1];
+    a = a + abs(u * dy - v * dx) + cs * sqrt(dx * dx + dy * dy);
+
+    dx = x1[0] - x4[0];
+    dy = x1[1] - x4[1];
+    a = a + abs(u * dy - v * dx) + cs * sqrt(dx * dx + dy * dy);
+
+    adt[0] = a / T(c.cfl);
+  }
+};
+
+/// res_calc: edge flux with artificial dissipation, incrementing both
+/// adjacent cells (Table II: gather 22, colored scatter 8, 73 FLOP).
+template <class Real>
+struct ResCalc {
+  Consts<Real> c;
+
+  template <class T>
+  void operator()(const T* x1, const T* x2, const T* q1, const T* q2, const T* adt1,
+                  const T* adt2, T* res1, T* res2) const {
+    OPV_SIMD_MATH_USING;
+    const T dx = x1[0] - x2[0];
+    const T dy = x1[1] - x2[1];
+
+    T ri = T(Real(1.0)) / q1[0];
+    const T p1 = T(c.gm1) * (q1[3] - T(Real(0.5)) * ri * (q1[1] * q1[1] + q1[2] * q1[2]));
+    const T vol1 = ri * (q1[1] * dy - q1[2] * dx);
+
+    ri = T(Real(1.0)) / q2[0];
+    const T p2 = T(c.gm1) * (q2[3] - T(Real(0.5)) * ri * (q2[1] * q2[1] + q2[2] * q2[2]));
+    const T vol2 = ri * (q2[1] * dy - q2[2] * dx);
+
+    const T mu = T(Real(0.5)) * (adt1[0] + adt2[0]) * T(c.eps);
+
+    T f = T(Real(0.5)) * (vol1 * q1[0] + vol2 * q2[0]) + mu * (q1[0] - q2[0]);
+    res1[0] += f;
+    res2[0] -= f;
+    f = T(Real(0.5)) * (vol1 * q1[1] + p1 * dy + vol2 * q2[1] + p2 * dy) + mu * (q1[1] - q2[1]);
+    res1[1] += f;
+    res2[1] -= f;
+    f = T(Real(0.5)) * (vol1 * q1[2] - p1 * dx + vol2 * q2[2] - p2 * dx) + mu * (q1[2] - q2[2]);
+    res1[2] += f;
+    res2[2] -= f;
+    f = T(Real(0.5)) * (vol1 * (q1[3] + p1) + vol2 * (q2[3] + p2)) + mu * (q1[3] - q2[3]);
+    res1[3] += f;
+    res2[3] -= f;
+  }
+};
+
+/// bres_calc: boundary flux. The wall applies only the pressure term; the
+/// far field exchanges a flux with the free stream. The branch is written
+/// as select()s on the (lane-converted) boundary id — the transformation
+/// the paper requires of conditional code in vectorized kernels.
+template <class Real>
+struct BresCalc {
+  Consts<Real> c;
+  static constexpr std::int32_t kWall = 2;  // mesh::kBoundWall
+
+  template <class T, class TI>
+  void operator()(const T* x1, const T* x2, const T* q1, const T* adt1, T* res1,
+                  const TI* bound) const {
+    OPV_SIMD_MATH_USING;
+    const T dx = x1[0] - x2[0];
+    const T dy = x1[1] - x2[1];
+
+    const T ri1 = T(Real(1.0)) / q1[0];
+    const T p1 = T(c.gm1) * (q1[3] - T(Real(0.5)) * ri1 * (q1[1] * q1[1] + q1[2] * q1[2]));
+
+    // Far-field branch: flux against the free stream.
+    const T vol1 = ri1 * (q1[1] * dy - q1[2] * dx);
+    const T ri2 = T(Real(1.0)) / T(c.qinf[0]);
+    const T p2 =
+        T(c.gm1) * (T(c.qinf[3]) - T(Real(0.5)) * ri2 *
+                                       (T(c.qinf[1]) * T(c.qinf[1]) + T(c.qinf[2]) * T(c.qinf[2])));
+    const T vol2 = ri2 * (T(c.qinf[1]) * dy - T(c.qinf[2]) * dx);
+    const T mu = adt1[0] * T(c.eps);
+
+    const T f0 = T(Real(0.5)) * (vol1 * q1[0] + vol2 * T(c.qinf[0])) + mu * (q1[0] - T(c.qinf[0]));
+    const T f1 = T(Real(0.5)) * (vol1 * q1[1] + p1 * dy + vol2 * T(c.qinf[1]) + p2 * dy) +
+                 mu * (q1[1] - T(c.qinf[1]));
+    const T f2 = T(Real(0.5)) * (vol1 * q1[2] - p1 * dx + vol2 * T(c.qinf[2]) - p2 * dx) +
+                 mu * (q1[2] - T(c.qinf[2]));
+    const T f3 = T(Real(0.5)) * (vol1 * (q1[3] + p1) + vol2 * (T(c.qinf[3]) + p2)) +
+                 mu * (q1[3] - T(c.qinf[3]));
+
+    // Wall branch: pressure force only.
+    const T w = to_real<T>(bound[0]);
+    const auto is_wall = (w == T(Real(kWall)));
+    res1[0] += select(is_wall, T(Real(0.0)), f0);
+    res1[1] += select(is_wall, p1 * dy, f1);
+    res1[2] += select(is_wall, -(p1 * dx), f2);
+    res1[3] += select(is_wall, T(Real(0.0)), f3);
+  }
+};
+
+/// update: explicit time update, residual RMS reduction
+/// (Table II: direct 9R/8W + global INC, 17 FLOP).
+template <class Real>
+struct Update {
+  template <class T>
+  void operator()(const T* qold, T* q, T* res, const T* adt, T* rms) const {
+    OPV_SIMD_MATH_USING;
+    const T adti = T(Real(1.0)) / adt[0];
+    for (int n = 0; n < 4; ++n) {
+      const T del = adti * res[n];
+      q[n] = qold[n] - del;
+      res[n] = T(Real(0.0));
+      rms[0] += del * del;
+    }
+  }
+};
+
+}  // namespace opv::airfoil

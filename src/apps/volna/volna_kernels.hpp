@@ -1,0 +1,162 @@
+// The six Volna kernels (paper Table III), width-generic like the Airfoil
+// set. Volna is a cell-centered finite-volume shallow-water solver; our
+// reproduction implements an HLL flux with desingularized velocities and a
+// Heun (RK2) time integrator on a triangular mesh, preserving the paper's
+// kernel structure:
+//   sim_1           direct copy of the state (save for the RK step)
+//   compute_flux    edge loop: gather both cells, HLL flux, direct write
+//   numerical_flux  cell loop: gather edge wave speeds, dt MIN reduction
+//   space_disc      edge loop: read flux, scatter increments to both cells
+//   RK_1 / RK_2     direct Runge-Kutta stage updates
+//
+// State vector per cell: U = {h, hu, hv, zb}; zb (bathymetry) is carried to
+// match the paper's data volumes but the scheme is flat-bottom (see
+// DESIGN.md substitutions).
+#pragma once
+
+#include "simd/simd.hpp"
+
+namespace opv::volna {
+
+template <class Real>
+struct Params {
+  Real g = Real(9.81);
+  Real cfl = Real(0.4);
+  Real hmin = Real(1e-6);  ///< desingularization depth
+};
+
+/// sim_1: save the state (Table III: direct copy).
+template <class Real>
+struct Sim1 {
+  template <class T>
+  void operator()(const T* u, T* uold) const {
+    for (int n = 0; n < 4; ++n) uold[n] = u[n];
+  }
+};
+
+/// compute_flux: HLL flux across an edge in the rotated (normal,tangent)
+/// frame. Gathers the two adjacent cell states, reads the edge geometry
+/// {nx, ny, len, pad} directly, writes {f_h, f_hu, f_hv, smax, pad}.
+template <class Real>
+struct ComputeFlux {
+  Params<Real> p;
+
+  template <class T>
+  void operator()(const T* ul, const T* ur, const T* geom, T* flux) const {
+    OPV_SIMD_MATH_USING;
+    const T nx = geom[0], ny = geom[1];
+
+    const T hl = max(ul[0], T(Real(0.0)));
+    const T hr = max(ur[0], T(Real(0.0)));
+    // Desingularized velocities: u = h*hu / (h^2 + hmin^2).
+    const T dl = T(Real(1.0)) / (hl * hl + T(p.hmin) * T(p.hmin));
+    const T dr = T(Real(1.0)) / (hr * hr + T(p.hmin) * T(p.hmin));
+    const T uxl = ul[1] * hl * dl, uyl = ul[2] * hl * dl;
+    const T uxr = ur[1] * hr * dr, uyr = ur[2] * hr * dr;
+
+    // Rotate into the edge-normal frame.
+    const T unl = uxl * nx + uyl * ny, utl = -uxl * ny + uyl * nx;
+    const T unr = uxr * nx + uyr * ny, utr = -uxr * ny + uyr * nx;
+
+    const T cl = sqrt(T(p.g) * hl), cr = sqrt(T(p.g) * hr);
+    const T sl = min(unl - cl, unr - cr);
+    const T sr = max(unl + cl, unr + cr);
+
+    // Physical fluxes in the rotated frame: F = (h*un, h*un^2 + g h^2/2,
+    // h*un*ut).
+    const T half_g = T(Real(0.5)) * T(p.g);
+    const T fl0 = hl * unl, fr0 = hr * unr;
+    const T fl1 = hl * unl * unl + half_g * hl * hl;
+    const T fr1 = hr * unr * unr + half_g * hr * hr;
+    const T fl2 = hl * unl * utl, fr2 = hr * unr * utr;
+
+    // HLL middle state (guard the denominator).
+    const T denom = max(sr - sl, T(p.hmin));
+    const T inv = T(Real(1.0)) / denom;
+    const T q0l = hl, q0r = hr;
+    const T q1l = hl * unl, q1r = hr * unr;
+    const T q2l = hl * utl, q2r = hr * utr;
+    const T fm0 = (sr * fl0 - sl * fr0 + sl * sr * (q0r - q0l)) * inv;
+    const T fm1 = (sr * fl1 - sl * fr1 + sl * sr * (q1r - q1l)) * inv;
+    const T fm2 = (sr * fl2 - sl * fr2 + sl * sr * (q2r - q2l)) * inv;
+
+    const T zero = T(Real(0.0));
+    const auto left = (sl >= zero);
+    const auto right = (sr <= zero);
+    const T f0 = select(left, fl0, select(right, fr0, fm0));
+    const T f1 = select(left, fl1, select(right, fr1, fm1));
+    const T f2 = select(left, fl2, select(right, fr2, fm2));
+
+    // Rotate momentum flux back to x/y.
+    flux[0] = f0;
+    flux[1] = f1 * nx - f2 * ny;
+    flux[2] = f1 * ny + f2 * nx;
+    flux[3] = max(abs(sl), abs(sr));  // max wave speed for the dt reduction
+    flux[4] = zero;
+  }
+};
+
+/// numerical_flux: per-cell stable timestep from the incident edges' wave
+/// speeds; global MIN reduction (Table III: gather, reduction).
+template <class Real>
+struct NumericalFlux {
+  Params<Real> p;
+
+  template <class T>
+  void operator()(const T* f1, const T* f2, const T* f3, const T* cgeom, T* cdt, T* dtmin) const {
+    OPV_SIMD_MATH_USING;
+    const T smax = max(f1[3], max(f2[3], f3[3]));
+    // dt_c = cfl * sqrt(area) / max(smax, eps)
+    const T dt = T(p.cfl) * sqrt(cgeom[0]) / max(smax, T(p.hmin));
+    cdt[0] = dt;
+    dtmin[0] = min(dtmin[0], dt);
+  }
+};
+
+/// space_disc: accumulate edge fluxes into the two adjacent cells' residuals
+/// (Table III: gather, scatter). Residual units: dU/dt.
+template <class Real>
+struct SpaceDisc {
+  template <class T>
+  void operator()(const T* flux, const T* geom, const T* cgl, const T* cgr, T* resl,
+                  T* resr) const {
+    const T len = geom[2];
+    const T wl = len * cgl[1];  // cgeom[1] = 1/area
+    const T wr = len * cgr[1];
+    for (int n = 0; n < 3; ++n) {
+      resl[n] -= flux[n] * wl;
+      resr[n] += flux[n] * wr;
+    }
+  }
+};
+
+/// RK_1: first Heun stage, Utmp = U + dt*res; clears res for stage two.
+template <class Real>
+struct RK1 {
+  template <class T>
+  void operator()(const T* u, T* res, T* utmp, const T* dt) const {
+    for (int n = 0; n < 3; ++n) {
+      utmp[n] = u[n] + dt[0] * res[n];
+      res[n] = T(Real(0.0));
+    }
+    utmp[3] = u[3];  // bathymetry rides along
+    res[3] = T(Real(0.0));
+  }
+};
+
+/// RK_2: second Heun stage, U = (U + Utmp + dt*res)/2; clears res.
+template <class Real>
+struct RK2 {
+  template <class T>
+  void operator()(const T* uold, const T* utmp, T* res, T* u, const T* dt) const {
+    const T half = T(Real(0.5));
+    for (int n = 0; n < 3; ++n) {
+      u[n] = half * (uold[n] + utmp[n] + dt[0] * res[n]);
+      res[n] = T(Real(0.0));
+    }
+    u[3] = uold[3];
+    res[3] = T(Real(0.0));
+  }
+};
+
+}  // namespace opv::volna

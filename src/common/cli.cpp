@@ -1,0 +1,57 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace opv {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    OPV_REQUIRE(a.rfind("--", 0) == 0, "option '" << a << "' must start with --");
+    a.erase(0, 2);
+    const auto eq = a.find('=');
+    if (eq == std::string::npos) {
+      opts_[a] = "";
+    } else {
+      opts_[a.substr(0, eq)] = a.substr(eq + 1);
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return opts_.count(name) != 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const auto it = opts_.find(name);
+  return it == opts_.end() ? fallback : it->second;
+}
+
+long Cli::get_int(const std::string& name, long fallback) const {
+  const auto it = opts_.find(name);
+  if (it == opts_.end()) return fallback;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = opts_.find(name);
+  if (it == opts_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::vector<std::string> Cli::unknown(const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : opts_) {
+    bool found = false;
+    for (const auto& k2 : known)
+      if (k == k2) {
+        found = true;
+        break;
+      }
+    if (!found) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace opv

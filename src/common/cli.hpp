@@ -1,0 +1,35 @@
+// Minimal command-line option parser for the bench and example binaries.
+// Supports "--name=value" and "--flag" forms; unknown options are reported.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opv {
+
+/// Parses "--key=value" / "--flag" style argument lists.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// True if --name was given (with or without value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of --name=value, or fallback if absent.
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// Options that were parsed but never queried (typo detection for benches).
+  [[nodiscard]] std::vector<std::string> unknown(const std::vector<std::string>& known) const;
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> opts_;
+};
+
+}  // namespace opv

@@ -1,0 +1,39 @@
+#include "common/cpu.hpp"
+
+#include <sstream>
+#include <thread>
+
+namespace opv {
+
+CpuFeatures detect_cpu_features() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.sse42 = __builtin_cpu_supports("sse4.2");
+  f.avx = __builtin_cpu_supports("avx");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return f;
+}
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+std::string cpu_summary() {
+  const CpuFeatures f = detect_cpu_features();
+  std::ostringstream os;
+  os << hardware_threads() << " hardware threads; ISA:";
+  if (f.sse42) os << " SSE4.2";
+  if (f.avx) os << " AVX";
+  if (f.avx2) os << " AVX2";
+  if (f.fma) os << " FMA";
+  if (f.avx512f) os << " AVX-512F";
+  os << "; DP lanes " << f.max_double_lanes() << ", SP lanes " << f.max_float_lanes();
+  return os.str();
+}
+
+}  // namespace opv

@@ -1,0 +1,32 @@
+// Runtime CPU feature detection and a machine description used by the
+// Table I reproduction and by the SIMD dispatch diagnostics.
+#pragma once
+
+#include <string>
+
+namespace opv {
+
+/// Instruction-set features detected at runtime (via __builtin_cpu_supports).
+struct CpuFeatures {
+  bool sse42 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+
+  /// Widest double-precision vector width usable on this machine (lanes).
+  [[nodiscard]] int max_double_lanes() const { return avx512f ? 8 : (avx ? 4 : 2); }
+  /// Widest single-precision vector width usable on this machine (lanes).
+  [[nodiscard]] int max_float_lanes() const { return avx512f ? 16 : (avx ? 8 : 4); }
+};
+
+/// Detect the features of the executing CPU.
+CpuFeatures detect_cpu_features();
+
+/// Hardware threads available to this process.
+int hardware_threads();
+
+/// One-line human-readable summary ("24 threads, AVX2+FMA+AVX-512F").
+std::string cpu_summary();
+
+}  // namespace opv

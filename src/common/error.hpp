@@ -1,0 +1,43 @@
+// Error handling helpers: checked preconditions that throw with location info
+// (used on API boundaries) and debug-only assertions (used on hot paths).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace opv {
+
+/// Exception type thrown by all opvec precondition failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "opvec error: " << msg << " [" << cond << " failed at " << file << ":" << line << "]";
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace opv
+
+/// Always-on precondition check; throws opv::Error on failure.
+#define OPV_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream opv_os_;                                           \
+      opv_os_ << msg;                                                       \
+      ::opv::detail::throw_error(#cond, __FILE__, __LINE__, opv_os_.str()); \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only invariant check on hot paths; compiled out in release builds.
+#ifndef NDEBUG
+#define OPV_ASSERT(cond, msg) OPV_REQUIRE(cond, msg)
+#else
+#define OPV_ASSERT(cond, msg) ((void)0)
+#endif

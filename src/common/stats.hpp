@@ -1,0 +1,52 @@
+// Summary statistics and human-readable formatting helpers shared by the
+// performance accounting layer, benches and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace opv {
+
+/// Running min/max/mean/stddev over a stream of samples (Welford).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Format a byte count as a human-readable string ("373.2 MB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Format seconds with sensible precision ("12.34 s", "1.2 ms").
+std::string format_seconds(double s);
+
+/// Format a count with thousands separators ("2,880,000").
+std::string format_count(std::uint64_t n);
+
+}  // namespace opv

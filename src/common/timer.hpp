@@ -1,0 +1,43 @@
+// Wall-clock timing utilities used by the per-loop performance accounting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace opv {
+
+/// Monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time and invocation counts for one named region.
+struct TimeAccum {
+  double seconds = 0.0;
+  std::int64_t calls = 0;
+
+  void add(double s) {
+    seconds += s;
+    ++calls;
+  }
+  void merge(const TimeAccum& o) {
+    seconds += o.seconds;
+    calls += o.calls;
+  }
+  void clear() { *this = TimeAccum{}; }
+};
+
+}  // namespace opv

@@ -1,0 +1,30 @@
+// Access descriptors for op_par_loop arguments (paper Figure 2a).
+#pragma once
+
+namespace opv {
+
+/// How a parallel-loop argument is accessed by the elementary kernel.
+/// READ/WRITE/RW/INC apply to datasets; INC/MIN/MAX also to globals.
+enum class Access {
+  READ,   ///< read-only
+  WRITE,  ///< kernel fully overwrites the element's values
+  RW,     ///< read-modify-write
+  INC,    ///< kernel adds contributions (commutative/associative)
+  MIN,    ///< global reduction: minimum
+  MAX,    ///< global reduction: maximum
+};
+
+/// Human-readable access name ("OP_INC" style, for diagnostics).
+constexpr const char* access_name(Access a) {
+  switch (a) {
+    case Access::READ: return "READ";
+    case Access::WRITE: return "WRITE";
+    case Access::RW: return "RW";
+    case Access::INC: return "INC";
+    case Access::MIN: return "MIN";
+    case Access::MAX: return "MAX";
+  }
+  return "?";
+}
+
+}  // namespace opv

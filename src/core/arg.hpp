@@ -1,0 +1,64 @@
+// op_arg: argument descriptors for op_par_loop (paper Figure 2a).
+//
+//   arg(dat, idx, map, access)  — dataset accessed through map index idx
+//   arg(dat, access)            — dataset on the iteration set itself
+//   arg_gbl(ptr, dim, access)   — global scalar/array (constants, reductions)
+#pragma once
+
+#include "core/access.hpp"
+#include "core/dat.hpp"
+#include "core/map.hpp"
+
+namespace opv {
+
+/// Dataset argument. map == nullptr means direct access (OP_ID).
+template <class S>
+struct ArgDat {
+  Dat<S>* dat = nullptr;
+  const Map* map = nullptr;  ///< nullptr = direct
+  int map_idx = -1;          ///< which of the map's dim targets
+  Access acc = Access::READ;
+};
+
+/// Global argument: READ broadcast or INC/MIN/MAX reduction into ptr[0..dim).
+template <class S>
+struct ArgGbl {
+  S* ptr = nullptr;
+  int dim = 1;
+  Access acc = Access::READ;
+};
+
+/// Indirect dataset argument through map index `idx`.
+template <class S>
+inline ArgDat<S> arg(Dat<S>& dat, int idx, const Map& map, Access acc) {
+  OPV_REQUIRE(idx >= 0 && idx < map.dim(),
+              "arg: map index " << idx << " out of range for map '" << map.name() << "' (dim "
+                                << map.dim() << ")");
+  OPV_REQUIRE(&map.to() == &dat.set(), "arg: map '" << map.name() << "' targets set '"
+                                                    << map.to().name() << "' but dat '"
+                                                    << dat.name() << "' lives on '"
+                                                    << dat.set().name() << "'");
+  OPV_REQUIRE(acc != Access::MIN && acc != Access::MAX,
+              "arg: MIN/MAX reductions are only valid for globals");
+  return {&dat, &map, idx, acc};
+}
+
+/// Direct dataset argument (defined on the iteration set).
+template <class S>
+inline ArgDat<S> arg(Dat<S>& dat, Access acc) {
+  OPV_REQUIRE(acc != Access::MIN && acc != Access::MAX,
+              "arg: MIN/MAX reductions are only valid for globals");
+  return {&dat, nullptr, -1, acc};
+}
+
+/// Global argument.
+template <class S>
+inline ArgGbl<S> arg_gbl(S* ptr, int dim, Access acc) {
+  OPV_REQUIRE(dim >= 1 && dim <= 8, "arg_gbl: dim must be in [1,8]");
+  OPV_REQUIRE(acc == Access::READ || acc == Access::INC || acc == Access::MIN ||
+                  acc == Access::MAX,
+              "arg_gbl: access must be READ/INC/MIN/MAX");
+  return {ptr, dim, acc};
+}
+
+}  // namespace opv

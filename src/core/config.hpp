@@ -1,0 +1,67 @@
+// Execution configuration: which backend runs a parallel loop and how.
+#pragma once
+
+#include <string>
+
+namespace opv {
+
+/// Parallelization backend for op_par_loop (paper sections 4-5).
+enum class Backend {
+  Seq,     ///< reference serial execution
+  OpenMP,  ///< threads over colored blocks, scalar kernels (baseline)
+  AutoVec, ///< OpenMP + #pragma omp simd on lane-independent inner loops
+  Simd,    ///< explicit vector intrinsics: gather / vector kernel / scatter
+  Simt,    ///< OpenCL-model emulation: work-groups from a dynamic queue,
+           ///< lock-step W-wide bundles, colored masked increments
+};
+
+/// Race-handling scheme for loops with indirect increments (paper section 4).
+enum class ColoringStrategy {
+  TwoLevel,     ///< blocks colored vs races; increments serialized per lane
+  FullPermute,  ///< one global coloring; execute color-by-color; hw scatter
+  BlockPermute, ///< per-block color permutation; cache-friendly; hw scatter
+};
+
+constexpr const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::Seq: return "Seq";
+    case Backend::OpenMP: return "OpenMP";
+    case Backend::AutoVec: return "AutoVec";
+    case Backend::Simd: return "Simd";
+    case Backend::Simt: return "Simt";
+  }
+  return "?";
+}
+
+constexpr const char* coloring_name(ColoringStrategy c) {
+  switch (c) {
+    case ColoringStrategy::TwoLevel: return "TwoLevel";
+    case ColoringStrategy::FullPermute: return "FullPermute";
+    case ColoringStrategy::BlockPermute: return "BlockPermute";
+  }
+  return "?";
+}
+
+/// Per-loop (or per-application) execution configuration.
+struct ExecConfig {
+  Backend backend = Backend::OpenMP;
+  ColoringStrategy coloring = ColoringStrategy::TwoLevel;
+  int simd_width = 0;   ///< lanes; 0 = widest compiled for the data type
+  int block_size = 512; ///< mini-partition size (elements); multiple of 16
+  int nthreads = 0;     ///< 0 = OpenMP default
+  bool collect_stats = true;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = backend_name(backend);
+    s += "/";
+    s += coloring_name(coloring);
+    s += " W=" + std::to_string(simd_width) + " B=" + std::to_string(block_size) +
+         " T=" + std::to_string(nthreads);
+    return s;
+  }
+};
+
+/// Process-wide default configuration used by the two-argument par_loop.
+ExecConfig& default_config();
+
+}  // namespace opv

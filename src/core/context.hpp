@@ -1,0 +1,90 @@
+// LocalCtx: the single-process execution context.
+//
+// Application drivers are written once against the Context concept
+// (decl_set / decl_map / decl_dat / arg / loop / fetch — the op_decl_* API),
+// and instantiated with either LocalCtx (this file) or dist::DistCtx (the
+// rank simulator). This mirrors how a single OP2 application source runs on
+// every backend.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "core/op2.hpp"
+
+namespace opv {
+
+class LocalCtx {
+ public:
+  using SetHandle = Set*;
+  using MapHandle = Map*;
+  template <class T>
+  using DatHandle = Dat<T>*;
+
+  explicit LocalCtx(ExecConfig cfg = {}) : cfg_(cfg) {}
+
+  ExecConfig& config() { return cfg_; }
+  const ExecConfig& config() const { return cfg_; }
+
+  SetHandle decl_set(const std::string& name, idx_t size) {
+    sets_.push_back(std::make_unique<Set>(name, size));
+    return sets_.back().get();
+  }
+
+  /// Partition hint; meaningful only for the distributed context.
+  void set_partition_coords(SetHandle, const double*) {}
+
+  MapHandle decl_map(const std::string& name, SetHandle from, SetHandle to, int dim,
+                     aligned_vector<idx_t> data) {
+    maps_.push_back(std::make_unique<Map>(name, *from, *to, dim, std::move(data)));
+    return maps_.back().get();
+  }
+
+  template <class T>
+  DatHandle<T> decl_dat(const std::string& name, SetHandle set, int dim,
+                        const aligned_vector<T>& init) {
+    dats_.push_back(std::make_unique<Dat<T>>(name, *set, dim, init));
+    return static_cast<Dat<T>*>(dats_.back().get());
+  }
+  template <class T>
+  DatHandle<T> decl_dat(const std::string& name, SetHandle set, int dim) {
+    dats_.push_back(std::make_unique<Dat<T>>(name, *set, dim));
+    return static_cast<Dat<T>*>(dats_.back().get());
+  }
+
+  /// No-op locally; the distributed context partitions here.
+  void finalize() {}
+
+  template <class T>
+  ArgDat<T> arg(DatHandle<T> d, int idx, MapHandle m, Access a) {
+    return opv::arg(*d, idx, *m, a);
+  }
+  template <class T>
+  ArgDat<T> arg(DatHandle<T> d, Access a) {
+    return opv::arg(*d, a);
+  }
+  template <class T>
+  ArgGbl<T> arg_gbl(T* p, int dim, Access a) {
+    return opv::arg_gbl(p, dim, a);
+  }
+
+  template <class Kernel, class... Args>
+  void loop(Kernel k, const char* name, SetHandle set, Args... args) {
+    par_loop(std::move(k), name, *set, cfg_, args...);
+  }
+
+  /// Copy a dataset's owned values into a global-order array.
+  template <class T>
+  void fetch(DatHandle<T> d, aligned_vector<T>& out) const {
+    out.assign(d->data(), d->data() + static_cast<std::size_t>(d->set().size()) * d->dim());
+  }
+
+ private:
+  ExecConfig cfg_;
+  std::deque<std::unique_ptr<Set>> sets_;
+  std::deque<std::unique_ptr<Map>> maps_;
+  std::deque<std::unique_ptr<DatBase>> dats_;
+};
+
+}  // namespace opv

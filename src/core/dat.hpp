@@ -1,0 +1,76 @@
+// op_dat: data attached to every element of a set, with fixed arity (dim).
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <typeinfo>
+#include <utility>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "core/set.hpp"
+
+namespace opv {
+
+/// Type-erased base so plan/halo machinery can handle datasets generically.
+class DatBase {
+ public:
+  DatBase(std::string name, const Set& set, int dim)
+      : name_(std::move(name)), set_(&set), dim_(dim) {
+    OPV_REQUIRE(dim_ >= 1 && dim_ <= 8, "dat '" << name_ << "': dim must be in [1,8]");
+  }
+  virtual ~DatBase() = default;
+  DatBase(const DatBase&) = delete;
+  DatBase& operator=(const DatBase&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Set& set() const { return *set_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] virtual std::size_t elem_bytes() const = 0;
+  [[nodiscard]] virtual void* raw() = 0;
+  [[nodiscard]] virtual const void* raw() const = 0;
+
+ private:
+  std::string name_;
+  const Set* set_ = nullptr;
+  int dim_ = 0;
+};
+
+/// Typed dataset: total_size()*dim values of T in 64-byte-aligned storage.
+template <class T>
+class Dat final : public DatBase {
+ public:
+  Dat(std::string name, const Set& set, int dim)
+      : DatBase(std::move(name), set, dim),
+        data_(static_cast<std::size_t>(set.total_size()) * dim, T{}) {}
+
+  Dat(std::string name, const Set& set, int dim, aligned_vector<T> init)
+      : DatBase(std::move(name), set, dim), data_(std::move(init)) {
+    OPV_REQUIRE(data_.size() == static_cast<std::size_t>(set.total_size()) * dim,
+                "dat '" << this->name() << "': init size mismatch");
+  }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::span<T> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  /// Value c of element e.
+  [[nodiscard]] T& at(idx_t e, int c = 0) { return data_[static_cast<std::size_t>(e) * dim() + c]; }
+  [[nodiscard]] const T& at(idx_t e, int c = 0) const {
+    return data_[static_cast<std::size_t>(e) * dim() + c];
+  }
+
+  [[nodiscard]] std::size_t elem_bytes() const override { return sizeof(T) * dim(); }
+  [[nodiscard]] void* raw() override { return data_.data(); }
+  [[nodiscard]] const void* raw() const override { return data_.data(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  aligned_vector<T> data_;
+};
+
+}  // namespace opv

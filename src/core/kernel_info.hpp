@@ -1,0 +1,52 @@
+// Static per-kernel cost metadata: the data the paper reports in Tables II
+// and III (useful values moved and floating-point work per element), used by
+// the performance accounting to convert loop runtimes into GB/s / GFLOP/s.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace opv {
+
+/// Per-set-element transfer/compute counts. "Values" are counts of payload
+/// numbers (the paper's convention: mapping tables and indexing arithmetic
+/// are not counted; indirect values are counted once, i.e. perfect
+/// intra-loop caching is assumed).
+struct KernelInfo {
+  std::string name;
+  double direct_read = 0;    ///< values read from direct datasets
+  double direct_write = 0;   ///< values written to direct datasets
+  double indirect_read = 0;  ///< values read through mappings
+  double indirect_write = 0; ///< values written/incremented through mappings
+  double flops = 0;          ///< floating-point ops (transcendentals count 1)
+  std::string description;
+
+  [[nodiscard]] double values_moved() const {
+    return direct_read + direct_write + indirect_read + indirect_write;
+  }
+  /// Useful bytes per element for a given precision.
+  [[nodiscard]] double bytes_per_elem(std::size_t value_bytes) const {
+    return values_moved() * static_cast<double>(value_bytes);
+  }
+  /// FLOP per byte at a given precision (the paper's Table II/III column).
+  [[nodiscard]] double flop_per_byte(std::size_t value_bytes) const {
+    const double b = bytes_per_elem(value_bytes);
+    return b > 0 ? flops / b : 0.0;
+  }
+};
+
+/// Process-wide registry mapping loop names to their KernelInfo.
+class KernelRegistry {
+ public:
+  static KernelRegistry& instance();
+
+  void add(const KernelInfo& info);
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const KernelInfo& get(const std::string& name) const;
+
+ private:
+  std::map<std::string, KernelInfo> infos_;
+};
+
+}  // namespace opv

@@ -1,0 +1,35 @@
+// Per-loop timing registry: accumulates wall time and element counts for
+// every named op_par_loop so benches can report the paper's per-kernel
+// time / bandwidth / GFLOP-s breakdowns (Tables V-VIII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace opv {
+
+struct LoopRecord {
+  double seconds = 0.0;
+  std::int64_t calls = 0;
+  std::int64_t elements = 0;  ///< total elements processed across calls
+};
+
+class StatsRegistry {
+ public:
+  static StatsRegistry& instance();
+
+  void record(const std::string& loop, double seconds, std::int64_t elements);
+  [[nodiscard]] LoopRecord get(const std::string& loop) const;
+  [[nodiscard]] std::vector<std::pair<std::string, LoopRecord>> all() const;
+  void clear();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  StatsRegistry();
+};
+
+}  // namespace opv

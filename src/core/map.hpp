@@ -1,0 +1,51 @@
+// op_map: connectivity from one set to another with fixed arity.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "core/set.hpp"
+
+namespace opv {
+
+/// Mapping from each element of `from` to `dim` elements of `to`,
+/// stored element-major: data[e*dim + k].
+class Map {
+ public:
+  Map() = default;
+  Map(std::string name, const Set& from, const Set& to, int dim, aligned_vector<idx_t> data)
+      : name_(std::move(name)), from_(&from), to_(&to), dim_(dim), data_(std::move(data)) {
+    OPV_REQUIRE(dim_ >= 1, "map '" << name_ << "': arity must be >= 1");
+    OPV_REQUIRE(data_.size() == static_cast<std::size_t>(from.total_size()) * dim_,
+                "map '" << name_ << "': data size " << data_.size() << " != from.total_size*dim ("
+                        << from.total_size() << "*" << dim_ << ")");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      OPV_REQUIRE(data_[i] >= 0 && data_[i] < to.total_size(),
+                  "map '" << name_ << "' entry " << i << " = " << data_[i]
+                          << " outside target set '" << to.name() << "' (total "
+                          << to.total_size() << ")");
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Set& from() const { return *from_; }
+  [[nodiscard]] const Set& to() const { return *to_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] const idx_t* data() const { return data_.data(); }
+
+  /// k-th target of element e.
+  [[nodiscard]] idx_t operator()(idx_t e, int k) const {
+    return data_[static_cast<std::size_t>(e) * dim_ + k];
+  }
+
+ private:
+  std::string name_;
+  const Set* from_ = nullptr;
+  const Set* to_ = nullptr;
+  int dim_ = 0;
+  aligned_vector<idx_t> data_;
+};
+
+}  // namespace opv

@@ -1,0 +1,19 @@
+// Umbrella header for the opvec core: the complete OP2-style public API.
+//
+//   opv::Set / opv::Map / opv::Dat<T>        mesh abstraction
+//   opv::arg / opv::arg_gbl / opv::Access    argument descriptors
+//   opv::par_loop                            parallel loop execution
+//   opv::ExecConfig / opv::Backend           backend selection
+//   opv::Plan / opv::PlanCache               coloring plans (advanced use)
+#pragma once
+
+#include "core/access.hpp"
+#include "core/arg.hpp"
+#include "core/config.hpp"
+#include "core/dat.hpp"
+#include "core/kernel_info.hpp"
+#include "core/loop_stats.hpp"
+#include "core/map.hpp"
+#include "core/par_loop.hpp"
+#include "core/plan.hpp"
+#include "core/set.hpp"

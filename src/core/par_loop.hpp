@@ -1,0 +1,954 @@
+// op_par_loop: the execution engine.
+//
+// OP2 uses source-to-source code generation to produce one specialized stub
+// per parallel loop (paper Fig. 2b for MPI, Fig. 3a for OpenCL, Fig. 3b for
+// AVX). This engine obtains the same specializations by template
+// instantiation: par_loop is a variadic template over typed argument
+// descriptors, and the user kernel is a functor templated over its value
+// type. Instantiating the kernel with T = double produces the scalar loops;
+// instantiating with T = simd::Vec<double,W> produces exactly the gather /
+// vector-kernel / colored-scatter structure of Fig. 3b, including the scalar
+// pre/post sweeps. Backends:
+//
+//   Seq      reference scalar execution
+//   OpenMP   threads over colored blocks, scalar kernel (the baseline)
+//   AutoVec  scalar kernel on lane-independent (permuted) inner loops
+//            annotated with #pragma omp simd - the compiler may or may not
+//            vectorize them (the paper's auto-vectorization experiments)
+//   Simd     explicit vector classes: gathers, vector kernel, serialized or
+//            hardware scatters depending on the coloring strategy
+//   Simt     OpenCL-on-CPU model: work-groups pulled from a dynamic queue,
+//            W-wide lock-step bundles, per-color masked increments (Fig. 3a)
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <limits>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/arg.hpp"
+#include "core/config.hpp"
+#include "core/loop_stats.hpp"
+#include "core/plan.hpp"
+#include "simd/simd.hpp"
+
+namespace opv {
+
+namespace detail {
+
+inline constexpr int kMaxDim = 8;
+
+inline int resolve_threads(int requested) {
+  return requested > 0 ? requested : omp_get_max_threads();
+}
+
+// ===== bound scalar arguments ==============================================
+
+template <class S>
+struct BoundDat {
+  S* data = nullptr;
+  const idx_t* map = nullptr;
+  int map_dim = 0;
+  int map_idx = 0;
+  int dim = 0;
+  Access acc = Access::READ;
+};
+
+template <class S>
+struct BoundGbl {
+  S* target = nullptr;
+  int dim = 0;
+  Access acc = Access::READ;
+  S scratch[kMaxDim] = {};
+  bool use_scratch = false;
+};
+
+template <class S>
+inline BoundDat<S> bind(const ArgDat<S>& a) {
+  return {a.dat->data(), a.map ? a.map->data() : nullptr, a.map ? a.map->dim() : 0,
+          a.map ? a.map_idx : 0, a.dat->dim(), a.acc};
+}
+template <class S>
+inline BoundGbl<S> bind(const ArgGbl<S>& a) {
+  return {a.ptr, a.dim, a.acc, {}, false};
+}
+
+template <class S>
+inline void thread_init(BoundDat<S>&) {}
+template <class S>
+inline void thread_init(BoundGbl<S>& g) {
+  if (g.acc == Access::READ) {
+    g.use_scratch = false;
+    return;
+  }
+  g.use_scratch = true;
+  for (int c = 0; c < g.dim; ++c) {
+    if (g.acc == Access::INC) g.scratch[c] = S(0);
+    else if (g.acc == Access::MIN) g.scratch[c] = std::numeric_limits<S>::max();
+    else g.scratch[c] = std::numeric_limits<S>::lowest();
+  }
+}
+
+template <class S>
+inline void thread_merge(BoundDat<S>&) {}
+template <class S>
+inline void thread_merge(BoundGbl<S>& g) {
+  if (!g.use_scratch) return;
+  for (int c = 0; c < g.dim; ++c) {
+    if (g.acc == Access::INC) g.target[c] += g.scratch[c];
+    else if (g.acc == Access::MIN) g.target[c] = g.target[c] < g.scratch[c] ? g.target[c] : g.scratch[c];
+    else g.target[c] = g.target[c] > g.scratch[c] ? g.target[c] : g.scratch[c];
+  }
+}
+
+/// Redirect reductions of the redundantly-executed halo range to a dummy
+/// buffer (their contributions belong to the owning rank).
+template <class S>
+inline void mute_reductions(BoundDat<S>&) {}
+template <class S>
+inline void mute_reductions(BoundGbl<S>& g) {
+  if (g.acc != Access::READ) thread_init(g);  // reset scratch; merge skipped by caller
+}
+
+template <class Tuple, std::size_t... Is>
+inline void thread_init_all(Tuple& t, std::index_sequence<Is...>) {
+  (thread_init(std::get<Is>(t)), ...);
+}
+template <class Tuple, std::size_t... Is>
+inline void thread_merge_all(Tuple& t, std::index_sequence<Is...>) {
+  (thread_merge(std::get<Is>(t)), ...);
+}
+
+/// Pointer handed to the scalar kernel for element e.
+template <class S>
+inline S* kptr(BoundDat<S>& b, idx_t e) {
+  const idx_t tgt = b.map ? b.map[static_cast<std::size_t>(e) * b.map_dim + b.map_idx] : e;
+  return b.data + static_cast<std::size_t>(tgt) * b.dim;
+}
+template <class S>
+inline S* kptr(BoundGbl<S>& g, idx_t) {
+  return g.use_scratch ? g.scratch : g.target;
+}
+
+// ---- scalar loop bodies ----------------------------------------------------
+
+// The Seq/OpenMP backends are the paper's NON-vectorized baselines. Modern
+// GCC auto-vectorizes simple kernels at -O3 -march=native, which would
+// silently turn the baseline into a vector backend — so the plain scalar
+// loop bodies explicitly opt out. The AutoVec backend uses the *_simd_hint
+// variants below, which leave the vectorizer on (that is the experiment).
+#if defined(__GNUC__) && !defined(__clang__)
+#define OPV_SCALAR_BASELINE \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define OPV_SCALAR_BASELINE
+#endif
+
+template <class Kernel, class Tuple, std::size_t... Is>
+OPV_SCALAR_BASELINE inline void run_range(Kernel& k, Tuple& t, idx_t begin, idx_t end,
+                                          std::index_sequence<Is...>) {
+  for (idx_t e = begin; e < end; ++e) k(kptr(std::get<Is>(t), e)...);
+}
+
+template <class Kernel, class Tuple, std::size_t... Is>
+inline void run_range_simd_hint(Kernel& k, Tuple& t, idx_t begin, idx_t end,
+                                std::index_sequence<Is...>) {
+  // The paper's auto-vectorization experiment: assert independence and let
+  // the compiler try. Gathers through kptr typically defeat it on CPUs.
+#pragma omp simd
+  for (idx_t e = begin; e < end; ++e) k(kptr(std::get<Is>(t), e)...);
+}
+
+template <class Kernel, class Tuple, std::size_t... Is>
+OPV_SCALAR_BASELINE inline void run_perm(Kernel& k, Tuple& t, const idx_t* perm, idx_t begin,
+                                         idx_t end, std::index_sequence<Is...>) {
+  for (idx_t j = begin; j < end; ++j) {
+    const idx_t e = perm[j];
+    k(kptr(std::get<Is>(t), e)...);
+  }
+}
+
+template <class Kernel, class Tuple, std::size_t... Is>
+inline void run_perm_simd_hint(Kernel& k, Tuple& t, const idx_t* perm, idx_t begin, idx_t end,
+                               std::index_sequence<Is...>) {
+#pragma omp simd
+  for (idx_t j = begin; j < end; ++j) {
+    const idx_t e = perm[j];
+    k(kptr(std::get<Is>(t), e)...);
+  }
+}
+
+// ===== vector-path argument state ==========================================
+
+template <class S, int W>
+struct VDat {
+  using V = simd::Vec<S, W>;
+  using IV = simd::Vec<std::int32_t, W>;
+  S* data = nullptr;
+  const idx_t* map = nullptr;
+  int map_dim = 0;
+  int map_idx = 0;
+  int dim = 0;
+  Access acc = Access::READ;
+  V buf[kMaxDim];
+  IV sidx;  ///< scaled target index (target*dim), kept for scatters
+};
+
+template <class S, int W>
+struct VGbl {
+  using V = simd::Vec<S, W>;
+  S* target = nullptr;
+  int dim = 0;
+  Access acc = Access::READ;
+  V buf[kMaxDim];
+};
+
+template <int W, class S>
+inline VDat<S, W> vbind(const ArgDat<S>& a) {
+  VDat<S, W> v;
+  v.data = a.dat->data();
+  v.map = a.map ? a.map->data() : nullptr;
+  v.map_dim = a.map ? a.map->dim() : 0;
+  v.map_idx = a.map ? a.map_idx : 0;
+  v.dim = a.dat->dim();
+  v.acc = a.acc;
+  return v;
+}
+template <int W, class S>
+inline VGbl<S, W> vbind(const ArgGbl<S>& a) {
+  VGbl<S, W> v;
+  v.target = a.ptr;
+  v.dim = a.dim;
+  v.acc = a.acc;
+  return v;
+}
+
+template <class S, int W>
+inline void vthread_init(VDat<S, W>&) {}
+template <class S, int W>
+inline void vthread_init(VGbl<S, W>& g) {
+  using V = simd::Vec<S, W>;
+  for (int c = 0; c < g.dim; ++c) {
+    if (g.acc == Access::READ) g.buf[c] = V(g.target[c]);
+    else if (g.acc == Access::INC) g.buf[c] = V(S(0));
+    else if (g.acc == Access::MIN) g.buf[c] = V(std::numeric_limits<S>::max());
+    else g.buf[c] = V(std::numeric_limits<S>::lowest());
+  }
+}
+
+template <class S, int W>
+inline void vthread_merge(VDat<S, W>&) {}
+template <class S, int W>
+inline void vthread_merge(VGbl<S, W>& g) {
+  for (int c = 0; c < g.dim; ++c) {
+    if (g.acc == Access::READ) continue;
+    if (g.acc == Access::INC) g.target[c] += simd::hsum(g.buf[c]);
+    else if (g.acc == Access::MIN) {
+      const S m = simd::hmin(g.buf[c]);
+      g.target[c] = g.target[c] < m ? g.target[c] : m;
+    } else {
+      const S m = simd::hmax(g.buf[c]);
+      g.target[c] = g.target[c] > m ? g.target[c] : m;
+    }
+  }
+}
+
+template <class Tuple, std::size_t... Is>
+inline void vthread_init_all(Tuple& t, std::index_sequence<Is...>) {
+  (vthread_init(std::get<Is>(t)), ...);
+}
+template <class Tuple, std::size_t... Is>
+inline void vthread_merge_all(Tuple& t, std::index_sequence<Is...>) {
+  (vthread_merge(std::get<Is>(t)), ...);
+}
+
+/// Pointer handed to the vector kernel instantiation.
+template <class S, int W>
+inline simd::Vec<S, W>* vkptr(VDat<S, W>& a) {
+  return a.buf;
+}
+template <class S, int W>
+inline simd::Vec<S, W>* vkptr(VGbl<S, W>& a) {
+  return a.buf;
+}
+
+// ---- gather phase (Fig. 3b "gather data to registers") ---------------------
+
+/// Dispatch a runtime dim (1..kMaxDim) to a compile-time constant so the
+/// per-component gather/scatter loops fully unroll — the engine's analog of
+/// OP2's code generator "substituting literal constants" (paper section 5).
+template <class F>
+inline void for_dim(int dim, F&& f) {
+  switch (dim) {
+    case 1: f(std::integral_constant<int, 1>{}); break;
+    case 2: f(std::integral_constant<int, 2>{}); break;
+    case 3: f(std::integral_constant<int, 3>{}); break;
+    case 4: f(std::integral_constant<int, 4>{}); break;
+    case 5: f(std::integral_constant<int, 5>{}); break;
+    case 6: f(std::integral_constant<int, 6>{}); break;
+    case 7: f(std::integral_constant<int, 7>{}); break;
+    default: f(std::integral_constant<int, 8>{}); break;
+  }
+}
+
+/// Load a contiguous chunk of W elements starting at n.
+template <class S, int W>
+inline void vload(VDat<S, W>& a, idx_t n) {
+  using V = simd::Vec<S, W>;
+  using IV = simd::Vec<std::int32_t, W>;
+  if (a.map) {
+    const IV tgt = IV::strided(a.map + static_cast<std::size_t>(n) * a.map_dim + a.map_idx,
+                               a.map_dim);
+    a.sidx = tgt * IV(a.dim);
+    if (a.acc == Access::READ || a.acc == Access::RW) {
+      for_dim(a.dim, [&](auto D) {
+        for (int c = 0; c < D(); ++c) a.buf[c] = V::gather(a.data + c, a.sidx);
+      });
+    } else {  // INC (indirect WRITE is also accumulated then scattered)
+      for_dim(a.dim, [&](auto D) {
+        for (int c = 0; c < D(); ++c) a.buf[c] = V(S(0));
+      });
+    }
+  } else {
+    if (a.acc == Access::INC) {
+      for_dim(a.dim, [&](auto D) {
+        for (int c = 0; c < D(); ++c) a.buf[c] = V(S(0));
+      });
+    } else if (a.acc != Access::WRITE) {
+      if (a.dim == 1) {
+        a.buf[0] = V::loadu(a.data + n);
+      } else {
+        for_dim(a.dim, [&](auto D) {
+          for (int c = 0; c < D(); ++c)
+            a.buf[c] = V::strided(a.data + static_cast<std::size_t>(n) * D() + c, D());
+        });
+      }
+    }
+  }
+}
+template <class S, int W>
+inline void vload(VGbl<S, W>&, idx_t) {}
+
+/// Load a chunk of W permuted elements whose ids are in eidx.
+template <class S, int W>
+inline void vload_perm(VDat<S, W>& a, simd::Vec<std::int32_t, W> eidx) {
+  using V = simd::Vec<S, W>;
+  using IV = simd::Vec<std::int32_t, W>;
+  if (a.map) {
+    const IV tgt = IV::gather(a.map + a.map_idx, eidx * IV(a.map_dim));
+    a.sidx = tgt * IV(a.dim);
+    if (a.acc == Access::READ || a.acc == Access::RW) {
+      for (int c = 0; c < a.dim; ++c) a.buf[c] = V::gather(a.data + c, a.sidx);
+    } else {
+      for (int c = 0; c < a.dim; ++c) a.buf[c] = V(S(0));
+    }
+  } else {
+    a.sidx = eidx * IV(a.dim);
+    if (a.acc == Access::INC) {
+      for (int c = 0; c < a.dim; ++c) a.buf[c] = V(S(0));
+    } else if (a.acc != Access::WRITE) {
+      // Formerly-direct data must now be gathered (paper section 4: the
+      // cost the permute colorings add).
+      for (int c = 0; c < a.dim; ++c) a.buf[c] = V::gather(a.data + c, a.sidx);
+    }
+  }
+}
+template <class S, int W>
+inline void vload_perm(VGbl<S, W>&, simd::Vec<std::int32_t, W>) {}
+
+// ---- scatter phase ----------------------------------------------------------
+
+/// Flush a contiguous chunk. `hw_scatter` selects the hardware scatter
+/// (legal only when lane targets are independent, i.e. permute colorings).
+template <class S, int W>
+inline void vflush(VDat<S, W>& a, idx_t n, bool hw_scatter) {
+  using V = simd::Vec<S, W>;
+  if (a.map) {
+    if (a.acc == Access::INC) {
+      for_dim(a.dim, [&](auto D) {
+        for (int c = 0; c < D(); ++c) {
+          if (hw_scatter) simd::scatter_add_hw(a.data + c, a.sidx, a.buf[c]);
+          else simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
+        }
+      });
+    } else if (a.acc == Access::WRITE || a.acc == Access::RW) {
+      for_dim(a.dim, [&](auto D) {
+        for (int c = 0; c < D(); ++c) simd::scatter_serial(a.data + c, a.sidx, a.buf[c]);
+      });
+    }
+  } else {
+    if (a.acc == Access::WRITE || a.acc == Access::RW) {
+      if (a.dim == 1) {
+        simd::storeu(a.data + n, a.buf[0]);
+      } else {
+        for_dim(a.dim, [&](auto D) {
+          for (int c = 0; c < D(); ++c)
+            simd::store_strided(a.data + static_cast<std::size_t>(n) * D() + c, D(), a.buf[c]);
+        });
+      }
+    } else if (a.acc == Access::INC) {
+      if (a.dim == 1) {
+        const V cur = V::loadu(a.data + n);
+        simd::storeu(a.data + n, cur + a.buf[0]);
+      } else {
+        for_dim(a.dim, [&](auto D) {
+          for (int c = 0; c < D(); ++c) {
+            S* p = a.data + static_cast<std::size_t>(n) * D() + c;
+            const V cur = V::strided(p, D());
+            simd::store_strided(p, D(), cur + a.buf[c]);
+          }
+        });
+      }
+    }
+  }
+}
+template <class S, int W>
+inline void vflush(VGbl<S, W>&, idx_t, bool) {}
+
+/// Flush a permuted chunk. Element ids are distinct, so direct writes may
+/// scatter; indirect increments use the hardware scatter iff requested.
+template <class S, int W>
+inline void vflush_perm(VDat<S, W>& a, bool hw_scatter) {
+  if (a.map) {
+    if (a.acc == Access::INC) {
+      for (int c = 0; c < a.dim; ++c) {
+        if (hw_scatter) simd::scatter_add_hw(a.data + c, a.sidx, a.buf[c]);
+        else simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
+      }
+    } else if (a.acc == Access::WRITE || a.acc == Access::RW) {
+      for (int c = 0; c < a.dim; ++c) simd::scatter_serial(a.data + c, a.sidx, a.buf[c]);
+    }
+  } else {
+    if (a.acc == Access::WRITE || a.acc == Access::RW) {
+      for (int c = 0; c < a.dim; ++c) simd::scatter_serial(a.data + c, a.sidx, a.buf[c]);
+    } else if (a.acc == Access::INC) {
+      for (int c = 0; c < a.dim; ++c) simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
+    }
+  }
+}
+template <class S, int W>
+inline void vflush_perm(VGbl<S, W>&, bool) {}
+
+/// SIMT colored increment (Fig. 3a): indirect increments are applied
+/// color-by-color with a lane mask, serializing conflicting work-items
+/// exactly like the generated OpenCL kernel does.
+template <class S, int W>
+inline void vflush_simt(VDat<S, W>& a, idx_t n, const std::int32_t* elem_color, int ncolors) {
+  using V = simd::Vec<S, W>;
+  using IV = simd::Vec<std::int32_t, W>;
+  if (a.map && a.acc == Access::INC) {
+    const IV cv = IV::loadu(elem_color + n);
+    for (int col = 0; col < ncolors; ++col) {
+      const auto imask = (cv == IV(col));
+      const auto vmask = simd::MaskConvert<V>::from(imask);
+      if (!simd::any(imask)) continue;
+      for (int c = 0; c < a.dim; ++c)
+        simd::scatter_add_serial_masked(a.data + c, a.sidx, a.buf[c], vmask);
+    }
+  } else {
+    vflush(a, n, /*hw_scatter=*/false);
+  }
+}
+template <class S, int W>
+inline void vflush_simt(VGbl<S, W>&, idx_t, const std::int32_t*, int) {}
+
+template <class Tuple, std::size_t... Is>
+inline void vload_all(Tuple& t, idx_t n, std::index_sequence<Is...>) {
+  (vload(std::get<Is>(t), n), ...);
+}
+template <class Tuple, class IV, std::size_t... Is>
+inline void vload_perm_all(Tuple& t, IV eidx, std::index_sequence<Is...>) {
+  (vload_perm(std::get<Is>(t), eidx), ...);
+}
+template <class Tuple, std::size_t... Is>
+inline void vflush_all(Tuple& t, idx_t n, bool hw, std::index_sequence<Is...>) {
+  (vflush(std::get<Is>(t), n, hw), ...);
+}
+template <class Tuple, std::size_t... Is>
+inline void vflush_perm_all(Tuple& t, bool hw, std::index_sequence<Is...>) {
+  (vflush_perm(std::get<Is>(t), hw), ...);
+}
+template <class Tuple, std::size_t... Is>
+inline void vflush_simt_all(Tuple& t, idx_t n, const std::int32_t* ec, int ncolors,
+                            std::index_sequence<Is...>) {
+  (vflush_simt(std::get<Is>(t), n, ec, ncolors), ...);
+}
+
+template <class Kernel, class Tuple, std::size_t... Is>
+inline void vcall(Kernel& k, Tuple& t, std::index_sequence<Is...>) {
+  k(vkptr(std::get<Is>(t))...);
+}
+
+// ===== conflict collection ====================================================
+
+inline void collect(std::vector<IncRef>& out, bool&, const Map* map, int idx, Access acc) {
+  if (map && (acc == Access::INC || acc == Access::RW || acc == Access::WRITE))
+    out.push_back({map, idx});
+}
+template <class S>
+inline void collect_arg(const ArgDat<S>& a, std::vector<IncRef>& out, bool& gbl_red) {
+  collect(out, gbl_red, a.map, a.map_idx, a.acc);
+}
+template <class S>
+inline void collect_arg(const ArgGbl<S>& a, std::vector<IncRef>&, bool& gbl_red) {
+  if (a.acc != Access::READ) gbl_red = true;
+}
+
+/// Scalar element type of an argument descriptor.
+template <class A>
+struct arg_scalar;
+template <class S>
+struct arg_scalar<ArgDat<S>> {
+  using type = S;
+};
+template <class S>
+struct arg_scalar<ArgGbl<S>> {
+  using type = S;
+};
+
+/// True if the kernel has a vector instantiation for these arguments (i.e.
+/// a templated operator() that accepts Vec pointers). Type-erased kernels
+/// (e.g. std::function wrappers) are scalar-only; requesting a vector
+/// backend for them is a runtime error instead of a compile error.
+template <class Kernel, class... Args>
+inline constexpr bool vector_callable =
+    std::is_invocable_v<Kernel&, simd::Vec<typename arg_scalar<Args>::type, 4>*...>;
+
+/// Scalar type of the first floating-point dataset argument (the loop's
+/// computational precision); double if there is none.
+template <class... Args>
+struct first_real {
+  using type = double;
+};
+template <class S, class... Rest>
+struct first_real<ArgDat<S>, Rest...> {
+  using type = std::conditional_t<std::is_floating_point_v<S>, S,
+                                  typename first_real<Rest...>::type>;
+};
+template <class S, class... Rest>
+struct first_real<ArgGbl<S>, Rest...> {
+  using type = typename first_real<Rest...>::type;
+};
+
+}  // namespace detail
+
+// ===== the engine =============================================================
+
+namespace detail {
+
+/// Scalar executors --------------------------------------------------------
+
+template <class Kernel, class Tuple>
+void exec_seq(Kernel& k, Tuple t, idx_t n) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<Tuple>>{};
+  thread_init_all(t, seq);
+  run_range(k, t, 0, n, seq);
+  thread_merge_all(t, seq);
+}
+
+template <class Kernel, class Tuple>
+void exec_omp_direct(Kernel& k, const Tuple& proto, idx_t n, int nthreads, bool simd_hint) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<Tuple>>{};
+#pragma omp parallel num_threads(nthreads)
+  {
+    Tuple t = proto;
+    thread_init_all(t, seq);
+    const int tid = omp_get_thread_num();
+    const int nth = omp_get_num_threads();
+    const idx_t chunk = (n + nth - 1) / nth;
+    const idx_t lo = std::min<idx_t>(n, tid * chunk);
+    const idx_t hi = std::min<idx_t>(n, lo + chunk);
+    if (simd_hint) run_range_simd_hint(k, t, lo, hi, seq);
+    else run_range(k, t, lo, hi, seq);
+#pragma omp critical(opv_reduction)
+    thread_merge_all(t, seq);
+  }
+}
+
+template <class Kernel, class Tuple>
+void exec_omp_colored(Kernel& k, const Tuple& proto, const Plan& plan, int nthreads) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<Tuple>>{};
+#pragma omp parallel num_threads(nthreads)
+  {
+    Tuple t = proto;
+    thread_init_all(t, seq);
+    for (int col = 0; col < plan.nblock_colors; ++col) {
+      const auto& blocks = plan.color_blocks[col];
+      const idx_t nb = static_cast<idx_t>(blocks.size());
+#pragma omp for schedule(static)
+      for (idx_t bi = 0; bi < nb; ++bi) {
+        const idx_t b = blocks[bi];
+        run_range(k, t, plan.block_begin(b), plan.block_end(b), seq);
+      }  // implicit barrier between colors
+    }
+#pragma omp critical(opv_reduction)
+    thread_merge_all(t, seq);
+  }
+}
+
+/// AutoVec with increments: iterate independent (same-color) elements via
+/// the permutation and ask the compiler to vectorize.
+template <class Kernel, class Tuple>
+void exec_autovec_fullperm(Kernel& k, const Tuple& proto, const Plan& plan, int nthreads) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<Tuple>>{};
+#pragma omp parallel num_threads(nthreads)
+  {
+    Tuple t = proto;
+    thread_init_all(t, seq);
+    const int tid = omp_get_thread_num();
+    const int nth = omp_get_num_threads();
+    for (int col = 0; col < plan.nglobal_colors; ++col) {
+      const idx_t lo = plan.color_offsets[col], hi = plan.color_offsets[col + 1];
+      const idx_t span = hi - lo;
+      const idx_t chunk = (span + nth - 1) / nth;
+      const idx_t b = std::min<idx_t>(hi, lo + tid * chunk);
+      const idx_t e = std::min<idx_t>(hi, b + chunk);
+      run_perm_simd_hint(k, t, plan.permute.data(), b, e, seq);
+#pragma omp barrier
+    }
+#pragma omp critical(opv_reduction)
+    thread_merge_all(t, seq);
+  }
+}
+
+template <class Kernel, class Tuple>
+void exec_autovec_blockperm(Kernel& k, const Tuple& proto, const Plan& plan, int nthreads) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<Tuple>>{};
+#pragma omp parallel num_threads(nthreads)
+  {
+    Tuple t = proto;
+    thread_init_all(t, seq);
+    for (int col = 0; col < plan.nblock_colors; ++col) {
+      const auto& blocks = plan.color_blocks[col];
+      const idx_t nb = static_cast<idx_t>(blocks.size());
+#pragma omp for schedule(static)
+      for (idx_t bi = 0; bi < nb; ++bi) {
+        const idx_t b = blocks[bi];
+        const idx_t* off = plan.bcol_off.data() + plan.bcol_base[b];
+        for (int c = 0; c < plan.block_nelem_colors[b]; ++c)
+          run_perm_simd_hint(k, t, plan.block_permute.data(), off[c], off[c + 1], seq);
+      }
+    }
+#pragma omp critical(opv_reduction)
+    thread_merge_all(t, seq);
+  }
+}
+
+/// Vector executors ---------------------------------------------------------
+
+/// Direct (race-free) loops: each thread sweeps a W-aligned chunk with the
+/// vector kernel and finishes the remainder with the scalar kernel
+/// (the pre/main/post structure of paper section 4.2).
+template <int W, class Kernel, class STuple, class VTuple>
+void exec_simd_direct(Kernel& k, const STuple& sproto, const VTuple& vproto, idx_t n,
+                      int nthreads) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<STuple>>{};
+#pragma omp parallel num_threads(nthreads)
+  {
+    STuple st = sproto;
+    VTuple vt = vproto;
+    thread_init_all(st, seq);
+    vthread_init_all(vt, seq);
+    const int tid = omp_get_thread_num();
+    const int nth = omp_get_num_threads();
+    const idx_t nvec = n / W;
+    const idx_t per = (nvec + nth - 1) / nth;
+    const idx_t lo = std::min<idx_t>(nvec, tid * per) * W;
+    const idx_t hi = std::min<idx_t>(nvec, (tid * per) + per) * W;
+    for (idx_t i = lo; i < hi; i += W) {
+      vload_all(vt, i, seq);
+      vcall(k, vt, seq);
+      vflush_all(vt, i, /*hw=*/false, seq);
+    }
+    if (tid == nth - 1) run_range(k, st, nvec * W, n, seq);  // post-sweep
+#pragma omp critical(opv_reduction)
+    {
+      vthread_merge_all(vt, seq);
+      thread_merge_all(st, seq);
+    }
+  }
+}
+
+/// TwoLevel coloring: blocks by color across threads; inside a block, the
+/// main vector sweep scatters increments serially per lane (always legal),
+/// the ragged tail runs scalar.
+template <int W, class Kernel, class STuple, class VTuple>
+void exec_simd_colored(Kernel& k, const STuple& sproto, const VTuple& vproto, const Plan& plan,
+                       int nthreads) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<STuple>>{};
+#pragma omp parallel num_threads(nthreads)
+  {
+    STuple st = sproto;
+    VTuple vt = vproto;
+    thread_init_all(st, seq);
+    vthread_init_all(vt, seq);
+    for (int col = 0; col < plan.nblock_colors; ++col) {
+      const auto& blocks = plan.color_blocks[col];
+      const idx_t nb = static_cast<idx_t>(blocks.size());
+#pragma omp for schedule(static)
+      for (idx_t bi = 0; bi < nb; ++bi) {
+        const idx_t b = blocks[bi];
+        const idx_t bb = plan.block_begin(b), be = plan.block_end(b);
+        idx_t i = bb;
+        for (; i + W <= be; i += W) {
+          vload_all(vt, i, seq);
+          vcall(k, vt, seq);
+          vflush_all(vt, i, /*hw=*/false, seq);
+        }
+        run_range(k, st, i, be, seq);
+      }
+    }
+#pragma omp critical(opv_reduction)
+    {
+      vthread_merge_all(vt, seq);
+      thread_merge_all(st, seq);
+    }
+  }
+}
+
+/// FullPermute: execute color-by-color over the global permutation; all
+/// lanes of a vector are independent, so the hardware scatter is legal.
+template <int W, class Kernel, class STuple, class VTuple>
+void exec_simd_fullperm(Kernel& k, const STuple& sproto, const VTuple& vproto, const Plan& plan,
+                        int nthreads) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<STuple>>{};
+  using IV = simd::Vec<std::int32_t, W>;
+#pragma omp parallel num_threads(nthreads)
+  {
+    STuple st = sproto;
+    VTuple vt = vproto;
+    thread_init_all(st, seq);
+    vthread_init_all(vt, seq);
+    const int tid = omp_get_thread_num();
+    const int nth = omp_get_num_threads();
+    for (int col = 0; col < plan.nglobal_colors; ++col) {
+      const idx_t lo = plan.color_offsets[col], hi = plan.color_offsets[col + 1];
+      const idx_t nvec = (hi - lo) / W;
+      const idx_t per = (nvec + nth - 1) / nth;
+      const idx_t b = lo + std::min<idx_t>(nvec, tid * per) * W;
+      const idx_t e = lo + std::min<idx_t>(nvec, tid * per + per) * W;
+      for (idx_t j = b; j < e; j += W) {
+        const IV eidx = IV::loadu(plan.permute.data() + j);
+        vload_perm_all(vt, eidx, seq);
+        vcall(k, vt, seq);
+        vflush_perm_all(vt, /*hw=*/true, seq);
+      }
+      if (tid == nth - 1) run_perm(k, st, plan.permute.data(), lo + nvec * W, hi, seq);
+#pragma omp barrier
+    }
+#pragma omp critical(opv_reduction)
+    {
+      vthread_merge_all(vt, seq);
+      thread_merge_all(st, seq);
+    }
+  }
+}
+
+/// BlockPermute: blocks by color across threads; inside a block, iterate
+/// its element-color runs with vector chunks + hardware scatter.
+template <int W, class Kernel, class STuple, class VTuple>
+void exec_simd_blockperm(Kernel& k, const STuple& sproto, const VTuple& vproto, const Plan& plan,
+                         int nthreads) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<STuple>>{};
+  using IV = simd::Vec<std::int32_t, W>;
+#pragma omp parallel num_threads(nthreads)
+  {
+    STuple st = sproto;
+    VTuple vt = vproto;
+    thread_init_all(st, seq);
+    vthread_init_all(vt, seq);
+    for (int col = 0; col < plan.nblock_colors; ++col) {
+      const auto& blocks = plan.color_blocks[col];
+      const idx_t nb = static_cast<idx_t>(blocks.size());
+#pragma omp for schedule(static)
+      for (idx_t bi = 0; bi < nb; ++bi) {
+        const idx_t b = blocks[bi];
+        const idx_t* off = plan.bcol_off.data() + plan.bcol_base[b];
+        for (int c = 0; c < plan.block_nelem_colors[b]; ++c) {
+          idx_t j = off[c];
+          for (; j + W <= off[c + 1]; j += W) {
+            const IV eidx = IV::loadu(plan.block_permute.data() + j);
+            vload_perm_all(vt, eidx, seq);
+            vcall(k, vt, seq);
+            vflush_perm_all(vt, /*hw=*/true, seq);
+          }
+          run_perm(k, st, plan.block_permute.data(), j, off[c + 1], seq);
+        }
+      }
+    }
+#pragma omp critical(opv_reduction)
+    {
+      vthread_merge_all(vt, seq);
+      thread_merge_all(st, seq);
+    }
+  }
+}
+
+/// SIMT (OpenCL model): work-groups = blocks pulled from a per-color atomic
+/// queue (dynamic scheduling overhead); work-items execute in W-wide
+/// lock-step bundles; indirect increments are applied per element color with
+/// lane masks (Fig. 3a); the ragged tail runs as scalar work-items.
+template <int W, class Kernel, class STuple, class VTuple>
+void exec_simt(Kernel& k, const STuple& sproto, const VTuple& vproto, const Plan& plan,
+               int nthreads) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<STuple>>{};
+  std::vector<std::atomic<idx_t>> counters(std::max(plan.nblock_colors, 1));
+  for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+#pragma omp parallel num_threads(nthreads)
+  {
+    STuple st = sproto;
+    VTuple vt = vproto;
+    thread_init_all(st, seq);
+    vthread_init_all(vt, seq);
+    for (int col = 0; col < plan.nblock_colors; ++col) {
+      const auto& blocks = plan.color_blocks[col];
+      const idx_t nb = static_cast<idx_t>(blocks.size());
+      std::atomic<idx_t>& ctr = counters[col];
+      for (;;) {
+        const idx_t bi = ctr.fetch_add(1, std::memory_order_relaxed);
+        if (bi >= nb) break;
+        const idx_t b = blocks[bi];
+        const idx_t bb = plan.block_begin(b), be = plan.block_end(b);
+        const int ncolors = plan.block_nelem_colors.empty() ? 1 : plan.block_nelem_colors[b];
+        idx_t i = bb;
+        for (; i + W <= be; i += W) {
+          vload_all(vt, i, seq);
+          vcall(k, vt, seq);
+          vflush_simt_all(vt, i, plan.elem_color.data(), ncolors, seq);
+        }
+        run_range(k, st, i, be, seq);
+      }
+#pragma omp barrier
+    }
+#pragma omp critical(opv_reduction)
+    {
+      vthread_merge_all(vt, seq);
+      thread_merge_all(st, seq);
+    }
+  }
+}
+
+/// Vector-width dispatch: instantiate the engine for the requested W.
+template <class Real, class Kernel, class... Args>
+void run_vectorized(Kernel& k, const Set& set, const ExecConfig& cfg, idx_t n, bool has_inc,
+                    const std::vector<IncRef>& conflicts, Args... args) {
+  const int nth = resolve_threads(cfg.nthreads);
+  auto dispatch = [&]<int W>() {
+    auto sproto = std::make_tuple(bind(args)...);
+    auto vproto = std::make_tuple(vbind<W>(args)...);
+    if (cfg.backend == Backend::Simt) {
+      auto plan = PlanCache::instance().get(set, conflicts, cfg.block_size,
+                                            ColoringStrategy::TwoLevel);
+      exec_simt<W>(k, sproto, vproto, *plan, nth);
+      return;
+    }
+    if (!has_inc) {
+      exec_simd_direct<W>(k, sproto, vproto, n, nth);
+      return;
+    }
+    auto plan = PlanCache::instance().get(set, conflicts, cfg.block_size, cfg.coloring);
+    switch (cfg.coloring) {
+      case ColoringStrategy::TwoLevel:
+        exec_simd_colored<W>(k, sproto, vproto, *plan, nth);
+        break;
+      case ColoringStrategy::FullPermute:
+        exec_simd_fullperm<W>(k, sproto, vproto, *plan, nth);
+        break;
+      case ColoringStrategy::BlockPermute:
+        exec_simd_blockperm<W>(k, sproto, vproto, *plan, nth);
+        break;
+    }
+  };
+  const int w = cfg.simd_width > 0 ? cfg.simd_width : simd::max_lanes<Real>;
+  switch (w) {
+    case 4: dispatch.template operator()<4>(); break;
+    case 8: dispatch.template operator()<8>(); break;
+    case 16: dispatch.template operator()<16>(); break;
+    default:
+      OPV_REQUIRE(false, "unsupported simd width " << w << " (use 4, 8 or 16)");
+  }
+}
+
+}  // namespace detail
+
+/// Execute `kernel` for every element of `set`, with the given typed
+/// argument descriptors, under the given execution configuration.
+///
+/// Mirrors op_par_loop(kernel, "name", set, op_arg_dat(...), ...).
+template <class Kernel, class... Args>
+void par_loop(Kernel kernel, const char* name, const Set& set, const ExecConfig& cfg,
+              Args... args) {
+  std::vector<IncRef> conflicts;
+  bool has_gbl_red = false;
+  (detail::collect_arg(args, conflicts, has_gbl_red), ...);
+  const bool has_inc = !conflicts.empty();
+
+  // Loops with indirect increments redundantly execute the import halo so
+  // owned data receives all contributions (OP2's owner-compute scheme).
+  const idx_t n = has_inc ? set.exec_size() : set.size();
+  OPV_REQUIRE(!(has_inc && has_gbl_red && set.exec_size() != set.size()),
+              "loop '" << name
+                       << "': global reductions combined with indirect increments are not "
+                          "supported under halo execution");
+  if (n == 0) return;
+
+  WallTimer timer;
+  switch (cfg.backend) {
+    case Backend::Seq: {
+      auto t = std::make_tuple(detail::bind(args)...);
+      detail::exec_seq(kernel, t, n);
+      break;
+    }
+    case Backend::OpenMP:
+    case Backend::AutoVec: {
+      const bool hint = cfg.backend == Backend::AutoVec;
+      auto proto = std::make_tuple(detail::bind(args)...);
+      const int nth = detail::resolve_threads(cfg.nthreads);
+      if (!has_inc) {
+        detail::exec_omp_direct(kernel, proto, n, nth, hint);
+      } else if (!hint) {
+        auto plan = PlanCache::instance().get(set, conflicts, cfg.block_size,
+                                              ColoringStrategy::TwoLevel);
+        detail::exec_omp_colored(kernel, proto, *plan, nth);
+      } else {
+        // AutoVec requires lane independence: TwoLevel cannot provide it,
+        // so fall back to BlockPermute (the paper's scheme for enabling
+        // compiler vectorization of gather-scatter loops).
+        const ColoringStrategy strat = cfg.coloring == ColoringStrategy::TwoLevel
+                                           ? ColoringStrategy::BlockPermute
+                                           : cfg.coloring;
+        auto plan = PlanCache::instance().get(set, conflicts, cfg.block_size, strat);
+        if (strat == ColoringStrategy::FullPermute)
+          detail::exec_autovec_fullperm(kernel, proto, *plan, nth);
+        else
+          detail::exec_autovec_blockperm(kernel, proto, *plan, nth);
+      }
+      break;
+    }
+    case Backend::Simd:
+    case Backend::Simt: {
+      if constexpr (detail::vector_callable<Kernel, Args...>) {
+        using Real = typename detail::first_real<Args...>::type;
+        detail::run_vectorized<Real>(kernel, set, cfg, n, has_inc, conflicts, args...);
+      } else {
+        OPV_REQUIRE(false, "loop '" << name
+                                    << "': kernel has no vector instantiation (scalar-only "
+                                       "callable); use Seq/OpenMP/AutoVec");
+      }
+      break;
+    }
+  }
+  if (cfg.collect_stats) StatsRegistry::instance().record(name, timer.seconds(), n);
+}
+
+/// par_loop using the process-wide default configuration.
+template <class Kernel, class... Args>
+void par_loop(Kernel kernel, const char* name, const Set& set, Args... args) {
+  par_loop(std::move(kernel), name, set, default_config(), args...);
+}
+
+}  // namespace opv

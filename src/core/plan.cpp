@@ -1,0 +1,263 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace opv {
+
+namespace {
+
+/// Flattens the target elements of all conflict maps into one slot space
+/// (distinct target sets get disjoint offset ranges).
+class SlotSpace {
+ public:
+  explicit SlotSpace(const std::vector<IncRef>& conflicts) {
+    for (const IncRef& c : conflicts) {
+      const Set* to = &c.map->to();
+      if (std::find(sets_.begin(), sets_.end(), to) == sets_.end()) {
+        sets_.push_back(to);
+        offsets_.push_back(total_);
+        total_ += to->total_size();
+      }
+    }
+  }
+
+  [[nodiscard]] idx_t total() const { return total_; }
+
+  /// Global slot of conflict c's target for element e.
+  [[nodiscard]] idx_t slot(const IncRef& c, idx_t e) const {
+    const Set* to = &c.map->to();
+    for (std::size_t i = 0; i < sets_.size(); ++i)
+      if (sets_[i] == to) return offsets_[i] + (*c.map)(e, c.idx);
+    return -1;  // unreachable: every conflict's set was registered
+  }
+
+ private:
+  std::vector<const Set*> sets_;
+  std::vector<idx_t> offsets_;
+  idx_t total_ = 0;
+};
+
+/// Greedy multi-round coloring of `items` (each item owns a list of target
+/// slots). Within a round, 32 colors are packed into a bitmask per slot;
+/// items that cannot be colored roll over to the next round (OP2's scheme).
+/// `slots_of(item, out)` appends the item's slots to out.
+template <class SlotsOf>
+int greedy_color(idx_t nitems, idx_t nslots, SlotsOf&& slots_of, std::vector<int>& color) {
+  color.assign(static_cast<std::size_t>(nitems), -1);
+  if (nitems == 0) return 0;
+  std::vector<std::uint32_t> work(static_cast<std::size_t>(nslots), 0);
+  std::vector<idx_t> slots;
+  int base = 0;
+  idx_t remaining = nitems;
+  int ncolors = 0;
+  while (remaining > 0) {
+    std::fill(work.begin(), work.end(), 0u);
+    for (idx_t it = 0; it < nitems; ++it) {
+      if (color[it] >= 0) continue;
+      slots.clear();
+      slots_of(it, slots);
+      std::uint32_t mask = 0;
+      for (idx_t s : slots) mask |= work[s];
+      const std::uint32_t avail = ~mask;
+      if (avail == 0) continue;  // next round
+      const int bit = std::countr_zero(avail);
+      color[it] = base + bit;
+      ncolors = std::max(ncolors, color[it] + 1);
+      const std::uint32_t flag = 1u << bit;
+      for (idx_t s : slots) work[s] |= flag;
+      --remaining;
+    }
+    base += 32;
+    OPV_REQUIRE(base < (1 << 20), "coloring failed to converge (degenerate conflicts?)");
+  }
+  return ncolors;
+}
+
+/// Per-block element coloring with an epoch-tagged work array (avoids
+/// clearing the whole slot space for every block).
+struct BlockColorer {
+  std::vector<std::uint32_t> work;
+  std::vector<idx_t> epoch;
+  idx_t cur_epoch = 0;
+
+  explicit BlockColorer(idx_t nslots)
+      : work(static_cast<std::size_t>(nslots), 0), epoch(static_cast<std::size_t>(nslots), -1) {}
+
+  /// Colors elements [begin,end); writes into elem_color; returns #colors.
+  int color_block(idx_t begin, idx_t end, const std::vector<IncRef>& conflicts,
+                  const SlotSpace& space, aligned_vector<std::int32_t>& elem_color) {
+    int ncolors = 0;
+    int base = 0;
+    idx_t remaining = end - begin;
+    for (idx_t e = begin; e < end; ++e) elem_color[e] = -1;
+    while (remaining > 0) {
+      ++cur_epoch;
+      for (idx_t e = begin; e < end; ++e) {
+        if (elem_color[e] >= 0) continue;
+        std::uint32_t mask = 0;
+        for (const IncRef& c : conflicts) {
+          const idx_t s = space.slot(c, e);
+          if (epoch[s] == cur_epoch) mask |= work[s];
+        }
+        const std::uint32_t avail = ~mask;
+        if (avail == 0) continue;
+        const int bit = std::countr_zero(avail);
+        elem_color[e] = base + bit;
+        ncolors = std::max(ncolors, elem_color[e] + 1);
+        for (const IncRef& c : conflicts) {
+          const idx_t s = space.slot(c, e);
+          if (epoch[s] != cur_epoch) {
+            epoch[s] = cur_epoch;
+            work[s] = 0;
+          }
+          work[s] |= 1u << bit;
+        }
+        --remaining;
+      }
+      base += 32;
+      OPV_REQUIRE(base < (1 << 20), "element coloring failed to converge");
+    }
+    return ncolors;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& conflicts,
+                                       int block_size, ColoringStrategy strategy) {
+  OPV_REQUIRE(block_size >= 16 && block_size % 16 == 0,
+              "block size must be a positive multiple of 16, got " << block_size);
+  auto plan = std::make_shared<Plan>();
+  Plan& p = *plan;
+  p.nelems = nelems;
+  p.block_size = block_size;
+  p.strategy = strategy;
+  p.nblocks = (nelems + block_size - 1) / block_size;
+
+  const SlotSpace space(conflicts);
+
+  // ---- block coloring (TwoLevel & BlockPermute; trivial without conflicts)
+  if (conflicts.empty() || strategy == ColoringStrategy::FullPermute) {
+    p.block_color.assign(static_cast<std::size_t>(p.nblocks), 0);
+    p.nblock_colors = p.nblocks > 0 ? 1 : 0;
+  } else {
+    auto block_slots = [&](idx_t b, std::vector<idx_t>& out) {
+      for (idx_t e = p.block_begin(b); e < p.block_end(b); ++e)
+        for (const IncRef& c : conflicts) out.push_back(space.slot(c, e));
+    };
+    p.nblock_colors = greedy_color(p.nblocks, space.total(), block_slots, p.block_color);
+  }
+  p.color_blocks.assign(static_cast<std::size_t>(std::max(p.nblock_colors, 1)), {});
+  for (idx_t b = 0; b < p.nblocks; ++b) p.color_blocks[p.block_color[b]].push_back(b);
+
+  // ---- element colors within blocks (TwoLevel & BlockPermute) -------------
+  if (strategy != ColoringStrategy::FullPermute) {
+    p.elem_color.assign(static_cast<std::size_t>(nelems), 0);
+    p.block_nelem_colors.assign(static_cast<std::size_t>(p.nblocks), nelems > 0 ? 1 : 0);
+    if (!conflicts.empty()) {
+      BlockColorer bc(space.total());
+      for (idx_t b = 0; b < p.nblocks; ++b) {
+        const int nc =
+            bc.color_block(p.block_begin(b), p.block_end(b), conflicts, space, p.elem_color);
+        p.block_nelem_colors[b] = nc;
+        p.max_elem_colors = std::max(p.max_elem_colors, nc);
+      }
+    } else {
+      p.max_elem_colors = nelems > 0 ? 1 : 0;
+    }
+  }
+
+  // ---- FullPermute: one global coloring, permutation sorted by color ------
+  if (strategy == ColoringStrategy::FullPermute) {
+    std::vector<int> gcolor;
+    if (conflicts.empty()) {
+      gcolor.assign(static_cast<std::size_t>(nelems), 0);
+      p.nglobal_colors = nelems > 0 ? 1 : 0;
+    } else {
+      auto elem_slots = [&](idx_t e, std::vector<idx_t>& out) {
+        for (const IncRef& c : conflicts) out.push_back(space.slot(c, e));
+      };
+      p.nglobal_colors = greedy_color(nelems, space.total(), elem_slots, gcolor);
+    }
+    // Stable counting sort by color.
+    p.color_offsets.assign(static_cast<std::size_t>(p.nglobal_colors) + 1, 0);
+    for (idx_t e = 0; e < nelems; ++e) ++p.color_offsets[gcolor[e] + 1];
+    for (int c = 0; c < p.nglobal_colors; ++c) p.color_offsets[c + 1] += p.color_offsets[c];
+    p.permute.assign(static_cast<std::size_t>(nelems), 0);
+    std::vector<idx_t> cursor(p.color_offsets.begin(), p.color_offsets.end() - 1);
+    for (idx_t e = 0; e < nelems; ++e) p.permute[cursor[gcolor[e]]++] = e;
+  }
+
+  // ---- BlockPermute: per-block stable sort by element color ---------------
+  if (strategy == ColoringStrategy::BlockPermute) {
+    p.block_permute.assign(static_cast<std::size_t>(nelems), 0);
+    p.bcol_base.assign(static_cast<std::size_t>(p.nblocks) + 1, 0);
+    for (idx_t b = 0; b < p.nblocks; ++b)
+      p.bcol_base[b + 1] = p.bcol_base[b] + p.block_nelem_colors[b] + 1;
+    p.bcol_off.assign(static_cast<std::size_t>(p.bcol_base[p.nblocks]), 0);
+    for (idx_t b = 0; b < p.nblocks; ++b) {
+      const idx_t begin = p.block_begin(b), end = p.block_end(b);
+      const int nc = p.block_nelem_colors[b];
+      idx_t* off = p.bcol_off.data() + p.bcol_base[b];
+      for (int c = 0; c <= nc; ++c) off[c] = 0;
+      for (idx_t e = begin; e < end; ++e) ++off[p.elem_color[e] + 1];
+      off[0] = begin;
+      for (int c = 0; c < nc; ++c) off[c + 1] += off[c];
+      std::vector<idx_t> cursor(off, off + nc);
+      for (idx_t e = begin; e < end; ++e) p.block_permute[cursor[p.elem_color[e]]++] = e;
+    }
+  }
+
+  return plan;
+}
+
+// ---- PlanCache ---------------------------------------------------------------
+
+struct PlanCache::Impl {
+  using Key = std::tuple<const Set*, idx_t, std::vector<IncRef>, int, ColoringStrategy>;
+  std::map<Key, std::shared_ptr<const Plan>> cache;
+  mutable std::mutex mu;
+};
+
+PlanCache::PlanCache() : impl_(std::make_shared<Impl>()) {}
+
+PlanCache& PlanCache::instance() {
+  static PlanCache pc;
+  return pc;
+}
+
+std::shared_ptr<const Plan> PlanCache::get(const Set& set, const std::vector<IncRef>& conflicts,
+                                           int block_size, ColoringStrategy strategy) {
+  std::vector<IncRef> sorted = conflicts;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  const idx_t nelems = conflicts.empty() ? set.size() : set.exec_size();
+  Impl::Key key{&set, nelems, sorted, block_size, strategy};
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->cache.find(key);
+    if (it != impl_->cache.end()) return it->second;
+  }
+  auto plan = build_plan(nelems, sorted, block_size, strategy);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto [it, inserted] = impl_->cache.emplace(std::move(key), std::move(plan));
+  return it->second;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->cache.clear();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->cache.size();
+}
+
+}  // namespace opv

@@ -1,0 +1,71 @@
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "core/config.hpp"
+#include "core/kernel_info.hpp"
+#include "core/loop_stats.hpp"
+
+namespace opv {
+
+ExecConfig& default_config() {
+  static ExecConfig cfg;
+  return cfg;
+}
+
+// ---- KernelRegistry ---------------------------------------------------------
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry r;
+  return r;
+}
+
+void KernelRegistry::add(const KernelInfo& info) { infos_[info.name] = info; }
+
+bool KernelRegistry::has(const std::string& name) const { return infos_.count(name) != 0; }
+
+const KernelInfo& KernelRegistry::get(const std::string& name) const {
+  const auto it = infos_.find(name);
+  OPV_REQUIRE(it != infos_.end(), "no KernelInfo registered for loop '" << name << "'");
+  return it->second;
+}
+
+// ---- StatsRegistry ----------------------------------------------------------
+
+struct StatsRegistry::Impl {
+  std::map<std::string, LoopRecord> records;
+  mutable std::mutex mu;
+};
+
+StatsRegistry::StatsRegistry() : impl_(new Impl) {}
+
+StatsRegistry& StatsRegistry::instance() {
+  static StatsRegistry r;
+  return r;
+}
+
+void StatsRegistry::record(const std::string& loop, double seconds, std::int64_t elements) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  LoopRecord& r = impl_->records[loop];
+  r.seconds += seconds;
+  r.calls += 1;
+  r.elements += elements;
+}
+
+LoopRecord StatsRegistry::get(const std::string& loop) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->records.find(loop);
+  return it == impl_->records.end() ? LoopRecord{} : it->second;
+}
+
+std::vector<std::pair<std::string, LoopRecord>> StatsRegistry::all() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return {impl_->records.begin(), impl_->records.end()};
+}
+
+void StatsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->records.clear();
+}
+
+}  // namespace opv

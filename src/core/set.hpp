@@ -1,0 +1,46 @@
+// op_set: a named collection of mesh elements (nodes, edges, cells...).
+//
+// Three sizes support the distributed-rank execution model (OP2's MPI
+// design, reproduced by opv::dist):
+//   size()       owned elements (every loop executes at least these),
+//   exec_size()  owned + imported "execute halo" elements — loops with
+//                indirect increments redundantly execute these so that
+//                increments into owned data are complete locally,
+//   total_size() exec + imported "non-exec halo" — elements whose data may
+//                be read through mappings but never executed.
+// In single-process use all three are equal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace opv {
+
+using idx_t = std::int32_t;
+
+class Set {
+ public:
+  Set() = default;
+  Set(std::string name, idx_t size) : Set(std::move(name), size, size, size) {}
+  Set(std::string name, idx_t size, idx_t exec_size, idx_t total_size)
+      : name_(std::move(name)), size_(size), exec_size_(exec_size), total_size_(total_size) {
+    OPV_REQUIRE(size >= 0 && exec_size >= size && total_size >= exec_size,
+                "set '" << name_ << "': invalid sizes " << size << "/" << exec_size << "/"
+                        << total_size);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] idx_t size() const { return size_; }
+  [[nodiscard]] idx_t exec_size() const { return exec_size_; }
+  [[nodiscard]] idx_t total_size() const { return total_size_; }
+
+ private:
+  std::string name_;
+  idx_t size_ = 0;
+  idx_t exec_size_ = 0;
+  idx_t total_size_ = 0;
+};
+
+}  // namespace opv

@@ -1,0 +1,417 @@
+#include "mesh/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace opv::mesh {
+
+namespace {
+
+/// Append one interior edge.
+void push_edge(UnstructuredMesh& m, idx_t n0, idx_t n1, idx_t cl, idx_t cr) {
+  m.edge_nodes.push_back(n0);
+  m.edge_nodes.push_back(n1);
+  m.edge_cells.push_back(cl);
+  m.edge_cells.push_back(cr);
+  ++m.nedges;
+}
+
+/// Append one boundary edge.
+void push_bedge(UnstructuredMesh& m, idx_t n0, idx_t n1, idx_t c, idx_t bound) {
+  m.bedge_nodes.push_back(n0);
+  m.bedge_nodes.push_back(n1);
+  m.bedge_cell.push_back(c);
+  m.bedge_bound.push_back(bound);
+  ++m.nbedges;
+}
+
+}  // namespace
+
+UnstructuredMesh make_airfoil_omesh(idx_t ni, idx_t nj) {
+  OPV_REQUIRE(ni >= 3 && nj >= 2, "O-mesh requires ni >= 3, nj >= 2 (got " << ni << "x" << nj
+                                                                           << ")");
+  UnstructuredMesh m;
+  m.name = "airfoil-omesh-" + std::to_string(ni) + "x" + std::to_string(nj);
+  m.nodes_per_cell = 4;
+  m.nnodes = ni * (nj + 1);
+  m.ncells = ni * nj;
+
+  // Joukowski transform of concentric circles: zeta = s + rc*f*exp(i*theta),
+  // z = zeta + 1/zeta. s offsets the circle so its image is a cambered
+  // airfoil; f grows geometrically from 1 (surface) to kFar (far field).
+  // Both singular points of the map (zeta = +-1, where dz/dzeta = 0) must
+  // lie strictly INSIDE the surface circle, otherwise the trailing edge is
+  // a cusp and the first cell ring degenerates — hence the 1.05 margin
+  // (a blunt Joukowski-like profile with smooth body-fitted cells).
+  constexpr double kSx = -0.08, kSy = 0.08;
+  constexpr double kFar = 40.0;
+  const double rc =
+      1.05 * std::max(std::hypot(1.0 - kSx, kSy), std::hypot(-1.0 - kSx, kSy));
+
+  m.node_xy.resize(static_cast<std::size_t>(m.nnodes) * 2);
+  for (idx_t j = 0; j <= nj; ++j) {
+    const double f = std::exp(std::log(kFar) * static_cast<double>(j) / static_cast<double>(nj));
+    for (idx_t i = 0; i < ni; ++i) {
+      const double th = 2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(ni);
+      const double zx = kSx + rc * f * std::cos(th);
+      const double zy = kSy + rc * f * std::sin(th);
+      const double d = zx * zx + zy * zy;
+      const std::size_t n = static_cast<std::size_t>(j) * ni + i;
+      m.node_xy[2 * n] = zx + zx / d;
+      m.node_xy[2 * n + 1] = zy - zy / d;
+    }
+  }
+
+  auto node = [ni](idx_t i, idx_t j) { return j * ni + ((i % ni + ni) % ni); };
+  auto cell = [ni](idx_t i, idx_t j) { return j * ni + ((i % ni + ni) % ni); };
+
+  m.cell_nodes.resize(static_cast<std::size_t>(m.ncells) * 4);
+  for (idx_t j = 0; j < nj; ++j) {
+    for (idx_t i = 0; i < ni; ++i) {
+      const std::size_t c = static_cast<std::size_t>(cell(i, j));
+      m.cell_nodes[4 * c + 0] = node(i, j);
+      m.cell_nodes[4 * c + 1] = node(i + 1, j);
+      m.cell_nodes[4 * c + 2] = node(i + 1, j + 1);
+      m.cell_nodes[4 * c + 3] = node(i, j + 1);
+    }
+  }
+
+  m.edge_nodes.reserve(static_cast<std::size_t>(ni) * (2 * nj - 1) * 2);
+  m.edge_cells.reserve(static_cast<std::size_t>(ni) * (2 * nj - 1) * 2);
+  // Radial edges (between circumferential neighbors), all interior.
+  for (idx_t j = 0; j < nj; ++j)
+    for (idx_t i = 0; i < ni; ++i)
+      push_edge(m, node(i, j), node(i, j + 1), cell(i - 1, j), cell(i, j));
+  // Circumferential edges between ring j-1 and ring j.
+  for (idx_t j = 1; j < nj; ++j)
+    for (idx_t i = 0; i < ni; ++i)
+      push_edge(m, node(i, j), node(i + 1, j), cell(i, j - 1), cell(i, j));
+  // Wall (airfoil surface) and far-field boundary rings.
+  for (idx_t i = 0; i < ni; ++i) push_bedge(m, node(i, 0), node(i + 1, 0), cell(i, 0), kBoundWall);
+  for (idx_t i = 0; i < ni; ++i)
+    push_bedge(m, node(i, nj), node(i + 1, nj), cell(i, nj - 1), kBoundFarfield);
+  orient_edges_fv(m);
+  return m;
+}
+
+UnstructuredMesh make_quad_box(idx_t ni, idx_t nj, double lx, double ly) {
+  OPV_REQUIRE(ni >= 1 && nj >= 1, "box mesh requires ni, nj >= 1");
+  UnstructuredMesh m;
+  m.name = "quad-box-" + std::to_string(ni) + "x" + std::to_string(nj);
+  m.nodes_per_cell = 4;
+  m.nnodes = (ni + 1) * (nj + 1);
+  m.ncells = ni * nj;
+
+  auto node = [ni](idx_t i, idx_t j) { return j * (ni + 1) + i; };
+  auto cell = [ni](idx_t i, idx_t j) { return j * ni + i; };
+
+  m.node_xy.resize(static_cast<std::size_t>(m.nnodes) * 2);
+  for (idx_t j = 0; j <= nj; ++j)
+    for (idx_t i = 0; i <= ni; ++i) {
+      m.node_xy[2 * static_cast<std::size_t>(node(i, j))] =
+          lx * static_cast<double>(i) / static_cast<double>(ni);
+      m.node_xy[2 * static_cast<std::size_t>(node(i, j)) + 1] =
+          ly * static_cast<double>(j) / static_cast<double>(nj);
+    }
+
+  m.cell_nodes.resize(static_cast<std::size_t>(m.ncells) * 4);
+  for (idx_t j = 0; j < nj; ++j)
+    for (idx_t i = 0; i < ni; ++i) {
+      const std::size_t c = static_cast<std::size_t>(cell(i, j));
+      m.cell_nodes[4 * c + 0] = node(i, j);
+      m.cell_nodes[4 * c + 1] = node(i + 1, j);
+      m.cell_nodes[4 * c + 2] = node(i + 1, j + 1);
+      m.cell_nodes[4 * c + 3] = node(i, j + 1);
+    }
+
+  // Vertical interior edges between horizontal neighbors.
+  for (idx_t j = 0; j < nj; ++j)
+    for (idx_t i = 1; i < ni; ++i)
+      push_edge(m, node(i, j), node(i, j + 1), cell(i - 1, j), cell(i, j));
+  // Horizontal interior edges between vertical neighbors.
+  for (idx_t j = 1; j < nj; ++j)
+    for (idx_t i = 0; i < ni; ++i)
+      push_edge(m, node(i, j), node(i + 1, j), cell(i, j - 1), cell(i, j));
+  // Boundary: bottom wall, others far field.
+  for (idx_t i = 0; i < ni; ++i) push_bedge(m, node(i, 0), node(i + 1, 0), cell(i, 0), kBoundWall);
+  for (idx_t i = 0; i < ni; ++i)
+    push_bedge(m, node(i, nj), node(i + 1, nj), cell(i, nj - 1), kBoundFarfield);
+  for (idx_t j = 0; j < nj; ++j) {
+    push_bedge(m, node(0, j), node(0, j + 1), cell(0, j), kBoundFarfield);
+    push_bedge(m, node(ni, j), node(ni, j + 1), cell(ni - 1, j), kBoundFarfield);
+  }
+  orient_edges_fv(m);
+  return m;
+}
+
+UnstructuredMesh make_tri_box(idx_t ni, idx_t nj, double lx, double ly) {
+  OPV_REQUIRE(ni >= 1 && nj >= 1, "tri box requires ni, nj >= 1");
+  UnstructuredMesh m;
+  m.name = "tri-box-" + std::to_string(ni) + "x" + std::to_string(nj);
+  m.nodes_per_cell = 3;
+  m.nnodes = (ni + 1) * (nj + 1);
+  m.ncells = 2 * ni * nj;
+
+  auto node = [ni](idx_t i, idx_t j) { return j * (ni + 1) + i; };
+  // Square (i,j) -> lower triangle 2*sq, upper triangle 2*sq+1.
+  auto lower = [ni](idx_t i, idx_t j) { return 2 * (j * ni + i); };
+  auto upper = [ni](idx_t i, idx_t j) { return 2 * (j * ni + i) + 1; };
+
+  m.node_xy.resize(static_cast<std::size_t>(m.nnodes) * 2);
+  for (idx_t j = 0; j <= nj; ++j)
+    for (idx_t i = 0; i <= ni; ++i) {
+      m.node_xy[2 * static_cast<std::size_t>(node(i, j))] =
+          lx * static_cast<double>(i) / static_cast<double>(ni);
+      m.node_xy[2 * static_cast<std::size_t>(node(i, j)) + 1] =
+          ly * static_cast<double>(j) / static_cast<double>(nj);
+    }
+
+  m.cell_nodes.resize(static_cast<std::size_t>(m.ncells) * 3);
+  for (idx_t j = 0; j < nj; ++j)
+    for (idx_t i = 0; i < ni; ++i) {
+      const std::size_t cl = static_cast<std::size_t>(lower(i, j));
+      m.cell_nodes[3 * cl + 0] = node(i, j);
+      m.cell_nodes[3 * cl + 1] = node(i + 1, j);
+      m.cell_nodes[3 * cl + 2] = node(i + 1, j + 1);
+      const std::size_t cu = static_cast<std::size_t>(upper(i, j));
+      m.cell_nodes[3 * cu + 0] = node(i, j);
+      m.cell_nodes[3 * cu + 1] = node(i + 1, j + 1);
+      m.cell_nodes[3 * cu + 2] = node(i, j + 1);
+    }
+
+  // Diagonal edges: always interior, between the two triangles of a square.
+  for (idx_t j = 0; j < nj; ++j)
+    for (idx_t i = 0; i < ni; ++i)
+      push_edge(m, node(i, j), node(i + 1, j + 1), lower(i, j), upper(i, j));
+  // Horizontal edges.
+  for (idx_t j = 1; j < nj; ++j)
+    for (idx_t i = 0; i < ni; ++i)
+      push_edge(m, node(i, j), node(i + 1, j), upper(i, j - 1), lower(i, j));
+  // Vertical edges.
+  for (idx_t j = 0; j < nj; ++j)
+    for (idx_t i = 1; i < ni; ++i)
+      push_edge(m, node(i, j), node(i, j + 1), lower(i - 1, j), upper(i, j));
+  // Boundary: bottom = wall (the "coast"), rest far field.
+  for (idx_t i = 0; i < ni; ++i)
+    push_bedge(m, node(i, 0), node(i + 1, 0), lower(i, 0), kBoundWall);
+  for (idx_t i = 0; i < ni; ++i)
+    push_bedge(m, node(i, nj), node(i + 1, nj), upper(i, nj - 1), kBoundFarfield);
+  for (idx_t j = 0; j < nj; ++j) {
+    push_bedge(m, node(0, j), node(0, j + 1), upper(0, j), kBoundFarfield);
+    push_bedge(m, node(ni, j), node(ni, j + 1), lower(ni - 1, j), kBoundFarfield);
+  }
+  orient_edges_fv(m);
+  return m;
+}
+
+UnstructuredMesh make_tri_periodic(idx_t ni, idx_t nj, double lx, double ly) {
+  OPV_REQUIRE(ni >= 3 && nj >= 3, "periodic tri mesh requires ni, nj >= 3");
+  UnstructuredMesh m;
+  m.name = "tri-periodic-" + std::to_string(ni) + "x" + std::to_string(nj);
+  m.nodes_per_cell = 3;
+  m.periodic = true;
+  m.period_x = lx;
+  m.period_y = ly;
+  m.nnodes = ni * nj;
+  m.ncells = 2 * ni * nj;
+
+  auto node = [ni, nj](idx_t i, idx_t j) {
+    return ((j % nj + nj) % nj) * ni + ((i % ni + ni) % ni);
+  };
+  auto lower = [ni, nj](idx_t i, idx_t j) {
+    return 2 * (((j % nj + nj) % nj) * ni + ((i % ni + ni) % ni));
+  };
+  auto upper = [&lower](idx_t i, idx_t j) { return lower(i, j) + 1; };
+
+  m.node_xy.resize(static_cast<std::size_t>(m.nnodes) * 2);
+  for (idx_t j = 0; j < nj; ++j)
+    for (idx_t i = 0; i < ni; ++i) {
+      m.node_xy[2 * static_cast<std::size_t>(node(i, j))] =
+          lx * static_cast<double>(i) / static_cast<double>(ni);
+      m.node_xy[2 * static_cast<std::size_t>(node(i, j)) + 1] =
+          ly * static_cast<double>(j) / static_cast<double>(nj);
+    }
+
+  m.cell_nodes.resize(static_cast<std::size_t>(m.ncells) * 3);
+  for (idx_t j = 0; j < nj; ++j)
+    for (idx_t i = 0; i < ni; ++i) {
+      const std::size_t cl = static_cast<std::size_t>(lower(i, j));
+      m.cell_nodes[3 * cl + 0] = node(i, j);
+      m.cell_nodes[3 * cl + 1] = node(i + 1, j);
+      m.cell_nodes[3 * cl + 2] = node(i + 1, j + 1);
+      const std::size_t cu = static_cast<std::size_t>(upper(i, j));
+      m.cell_nodes[3 * cu + 0] = node(i, j);
+      m.cell_nodes[3 * cu + 1] = node(i + 1, j + 1);
+      m.cell_nodes[3 * cu + 2] = node(i, j + 1);
+    }
+
+  for (idx_t j = 0; j < nj; ++j)
+    for (idx_t i = 0; i < ni; ++i) {
+      push_edge(m, node(i, j), node(i + 1, j + 1), lower(i, j), upper(i, j));     // diagonal
+      push_edge(m, node(i, j), node(i + 1, j), upper(i, j - 1), lower(i, j));     // horizontal
+      push_edge(m, node(i, j), node(i, j + 1), lower(i - 1, j), upper(i, j));     // vertical
+    }
+  orient_edges_fv(m);
+  return m;
+}
+
+namespace {
+
+/// Min-image centroid of a cell.
+void cell_centroid(const UnstructuredMesh& m, idx_t c, double& cx, double& cy) {
+  const int k = m.nodes_per_cell;
+  const idx_t n0 = m.cell_nodes[static_cast<std::size_t>(c) * k];
+  const double x0 = m.node_xy[2 * static_cast<std::size_t>(n0)];
+  const double y0 = m.node_xy[2 * static_cast<std::size_t>(n0) + 1];
+  double sx = 0.0, sy = 0.0;
+  for (int j = 0; j < k; ++j) {
+    const idx_t n = m.cell_nodes[static_cast<std::size_t>(c) * k + j];
+    sx += m.wrap_dx(m.node_xy[2 * static_cast<std::size_t>(n)] - x0);
+    sy += m.wrap_dy(m.node_xy[2 * static_cast<std::size_t>(n) + 1] - y0);
+  }
+  cx = x0 + sx / k;
+  cy = y0 + sy / k;
+}
+
+}  // namespace
+
+void orient_edges_fv(UnstructuredMesh& m) {
+  auto normal_dot = [&m](idx_t n0, idx_t n1, double tx, double ty) {
+    // (dx,dy) = x(n0)-x(n1); normal (dy,-dx), dotted with direction (tx,ty).
+    const double dx = m.wrap_dx(m.node_xy[2 * static_cast<std::size_t>(n0)] -
+                                m.node_xy[2 * static_cast<std::size_t>(n1)]);
+    const double dy = m.wrap_dy(m.node_xy[2 * static_cast<std::size_t>(n0) + 1] -
+                                m.node_xy[2 * static_cast<std::size_t>(n1) + 1]);
+    return dy * tx - dx * ty;
+  };
+  for (idx_t e = 0; e < m.nedges; ++e) {
+    double c0x, c0y, c1x, c1y;
+    cell_centroid(m, m.edge_cells[2 * e], c0x, c0y);
+    cell_centroid(m, m.edge_cells[2 * e + 1], c1x, c1y);
+    const double tx = m.wrap_dx(c1x - c0x), ty = m.wrap_dy(c1y - c0y);
+    if (normal_dot(m.edge_nodes[2 * e], m.edge_nodes[2 * e + 1], tx, ty) < 0.0)
+      std::swap(m.edge_nodes[2 * e], m.edge_nodes[2 * e + 1]);
+  }
+  for (idx_t b = 0; b < m.nbedges; ++b) {
+    double cx, cy;
+    cell_centroid(m, m.bedge_cell[b], cx, cy);
+    const idx_t n0 = m.bedge_nodes[2 * b], n1 = m.bedge_nodes[2 * b + 1];
+    const double mx = m.node_xy[2 * static_cast<std::size_t>(n0)] +
+                      0.5 * m.wrap_dx(m.node_xy[2 * static_cast<std::size_t>(n1)] -
+                                      m.node_xy[2 * static_cast<std::size_t>(n0)]);
+    const double my = m.node_xy[2 * static_cast<std::size_t>(n0) + 1] +
+                      0.5 * m.wrap_dy(m.node_xy[2 * static_cast<std::size_t>(n1) + 1] -
+                                      m.node_xy[2 * static_cast<std::size_t>(n0) + 1]);
+    // Outward = away from the interior cell.
+    const double tx = m.wrap_dx(mx - cx), ty = m.wrap_dy(my - cy);
+    if (normal_dot(n0, n1, tx, ty) < 0.0)
+      std::swap(m.bedge_nodes[2 * b], m.bedge_nodes[2 * b + 1]);
+  }
+}
+
+void perturb_nodes(UnstructuredMesh& m, double amplitude, std::uint64_t seed) {
+  Rng rng(seed);
+  for (idx_t n = 0; n < m.nnodes; ++n) {
+    m.node_xy[2 * static_cast<std::size_t>(n)] += rng.uniform(-amplitude, amplitude);
+    m.node_xy[2 * static_cast<std::size_t>(n) + 1] += rng.uniform(-amplitude, amplitude);
+  }
+}
+
+namespace {
+
+/// Apply permutation p (new_pos -> old_pos) to an element-major array.
+template <class T>
+aligned_vector<T> permute_rows(const aligned_vector<T>& a, const aligned_vector<idx_t>& p,
+                               int arity) {
+  aligned_vector<T> out(a.size());
+  for (std::size_t e = 0; e < p.size(); ++e)
+    for (int k = 0; k < arity; ++k)
+      out[e * arity + k] = a[static_cast<std::size_t>(p[e]) * arity + k];
+  return out;
+}
+
+}  // namespace
+
+aligned_vector<idx_t> shuffle_edges(UnstructuredMesh& m, std::uint64_t seed) {
+  aligned_vector<idx_t> p(static_cast<std::size_t>(m.nedges));
+  for (idx_t e = 0; e < m.nedges; ++e) p[e] = e;
+  Rng rng(seed);
+  for (idx_t e = m.nedges - 1; e > 0; --e)
+    std::swap(p[e], p[rng.next_below(static_cast<std::uint64_t>(e) + 1)]);
+  m.edge_nodes = permute_rows(m.edge_nodes, p, 2);
+  m.edge_cells = permute_rows(m.edge_cells, p, 2);
+  return p;
+}
+
+aligned_vector<idx_t> sort_edges_by_cell(UnstructuredMesh& m) {
+  aligned_vector<idx_t> p(static_cast<std::size_t>(m.nedges));
+  for (idx_t e = 0; e < m.nedges; ++e) p[e] = e;
+  std::sort(p.begin(), p.end(), [&m](idx_t a, idx_t b) {
+    const idx_t ka = std::min(m.edge_cells[2 * a], m.edge_cells[2 * a + 1]);
+    const idx_t kb = std::min(m.edge_cells[2 * b], m.edge_cells[2 * b + 1]);
+    return ka != kb ? ka < kb : a < b;
+  });
+  m.edge_nodes = permute_rows(m.edge_nodes, p, 2);
+  m.edge_cells = permute_rows(m.edge_cells, p, 2);
+  return p;
+}
+
+aligned_vector<idx_t> renumber_cells_rcm(UnstructuredMesh& m) {
+  // Build cell-cell adjacency through interior edges.
+  const CellEdges ce = build_cell_edges(m);
+  auto neighbor = [&m](idx_t edge, idx_t c) {
+    const idx_t c0 = m.edge_cells[2 * edge], c1 = m.edge_cells[2 * edge + 1];
+    return c0 == c ? c1 : c0;
+  };
+
+  aligned_vector<idx_t> order;  // order[k] = old cell visited k-th
+  order.reserve(static_cast<std::size_t>(m.ncells));
+  aligned_vector<idx_t> visited(static_cast<std::size_t>(m.ncells), 0);
+
+  for (idx_t seed = 0; seed < m.ncells; ++seed) {
+    if (visited[seed]) continue;
+    std::queue<idx_t> q;
+    q.push(seed);
+    visited[seed] = 1;
+    while (!q.empty()) {
+      const idx_t c = q.front();
+      q.pop();
+      order.push_back(c);
+      // Gather unvisited neighbors, visit in ascending degree order (CM).
+      aligned_vector<idx_t> nbrs;
+      for (idx_t k = ce.offset[c]; k < ce.offset[c + 1]; ++k) {
+        const idx_t n = neighbor(ce.edges[k], c);
+        if (!visited[n]) nbrs.push_back(n);
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&ce](idx_t a, idx_t b) {
+        const idx_t da = ce.offset[a + 1] - ce.offset[a];
+        const idx_t db = ce.offset[b + 1] - ce.offset[b];
+        return da != db ? da < db : a < b;
+      });
+      for (idx_t n : nbrs) {
+        visited[n] = 1;
+        q.push(n);
+      }
+    }
+  }
+
+  // perm[old] = new (reverse CM ordering).
+  aligned_vector<idx_t> perm(static_cast<std::size_t>(m.ncells));
+  for (idx_t k = 0; k < m.ncells; ++k)
+    perm[order[k]] = m.ncells - 1 - k;
+
+  // Apply to cell-major data and to every map targeting cells.
+  aligned_vector<idx_t> inv(static_cast<std::size_t>(m.ncells));
+  for (idx_t old = 0; old < m.ncells; ++old) inv[perm[old]] = old;
+  m.cell_nodes = permute_rows(m.cell_nodes, inv, m.nodes_per_cell);
+  for (auto& c : m.edge_cells) c = perm[c];
+  for (auto& c : m.bedge_cell) c = perm[c];
+  return perm;
+}
+
+}  // namespace opv::mesh

@@ -1,0 +1,60 @@
+// Synthetic mesh generators.
+//
+// The paper benchmarks on two meshes we cannot redistribute: the OP2 Airfoil
+// NACA grid (720k / 2.8M cells) and a real NE-Pacific coastal triangulation
+// for Volna (2.4M cells). These generators produce topologically equivalent
+// synthetic meshes (same set arities, same access patterns, same size class):
+//   * make_airfoil_omesh: a body-fitted O-mesh around a Joukowski airfoil,
+//     stored fully unstructured (quad cells, interior + boundary edges).
+//   * make_tri_periodic: a periodic triangulated box used as the Volna
+//     domain (all edges interior; every cell has exactly 3 edges).
+//   * make_quad_box / make_tri_box: plain box meshes with boundaries, used
+//     by unit and property tests (known Euler characteristic).
+#pragma once
+
+#include "mesh/mesh.hpp"
+
+namespace opv::mesh {
+
+/// Body-fitted O-mesh around a Joukowski airfoil: ni cells around the
+/// profile (periodic), nj cell rings from the wall (bound=kBoundWall) to the
+/// far field (bound=kBoundFarfield). ncells = ni*nj, nnodes = ni*(nj+1),
+/// nedges = ni*nj + ni*(nj-1), nbedges = 2*ni. Requires ni >= 3, nj >= 2.
+UnstructuredMesh make_airfoil_omesh(idx_t ni, idx_t nj);
+
+/// Structured quad box mesh on [0,lx]x[0,ly] stored unstructured.
+/// Bottom boundary is kBoundWall, all others kBoundFarfield.
+UnstructuredMesh make_quad_box(idx_t ni, idx_t nj, double lx = 1.0, double ly = 1.0);
+
+/// Triangulated box mesh (each square split into two triangles).
+UnstructuredMesh make_tri_box(idx_t ni, idx_t nj, double lx = 1.0, double ly = 1.0);
+
+/// Fully periodic triangulated box (torus): no boundary set, every edge
+/// interior, every cell has exactly three edges. Requires ni, nj >= 3.
+UnstructuredMesh make_tri_periodic(idx_t ni, idx_t nj, double lx = 1.0, double ly = 1.0);
+
+/// Jitter node coordinates by +-amplitude (absolute units), deterministic in
+/// seed. Topology is unchanged; used to de-regularize synthetic meshes.
+void perturb_nodes(UnstructuredMesh& m, double amplitude, std::uint64_t seed = 42);
+
+/// Randomly permute interior-edge numbering (worst-case loop locality).
+/// Returns the permutation p with new_edge[e] = old_edge[p[e]].
+aligned_vector<idx_t> shuffle_edges(UnstructuredMesh& m, std::uint64_t seed = 42);
+
+/// Renumber interior edges so consecutive edges touch nearby cells
+/// (sort by min adjacent cell id). Returns the permutation applied.
+aligned_vector<idx_t> sort_edges_by_cell(UnstructuredMesh& m);
+
+/// Cuthill-McKee renumbering of cells (BFS over the cell-edge-cell graph,
+/// neighbors visited in degree order). Updates cell_nodes, edge_cells and
+/// bedge_cell in place; returns perm with new_id = perm[old_id].
+aligned_vector<idx_t> renumber_cells_rcm(UnstructuredMesh& m);
+
+/// Enforce the OP2 Airfoil finite-volume edge convention: with
+/// (dx,dy) = x(n0)-x(n1), the normal (dy,-dx) points from the edge's first
+/// cell toward its second cell, and out of the domain for boundary edges.
+/// Swaps edge node pairs where needed (min-image safe). The res_calc /
+/// bres_calc flux signs depend on this.
+void orient_edges_fv(UnstructuredMesh& m);
+
+}  // namespace opv::mesh

@@ -1,0 +1,96 @@
+#include "mesh/io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace opv::mesh {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4d56504f31303030ULL;  // "OPVM1000" (LE)
+
+struct Header {
+  std::uint64_t magic;
+  std::int64_t nnodes, ncells, nedges, nbedges;
+  std::int32_t nodes_per_cell;
+  std::int32_t periodic;
+  double period_x, period_y;
+  std::int64_t name_len;
+};
+
+template <class T>
+void write_vec(std::ofstream& os, const aligned_vector<T>& v) {
+  const std::uint64_t n = v.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof n);
+  os.write(reinterpret_cast<const char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <class T>
+void read_vec(std::ifstream& is, aligned_vector<T>& v) {
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof n);
+  v.resize(n);
+  is.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+}  // namespace
+
+void write_mesh(const UnstructuredMesh& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  OPV_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  Header h{};
+  h.magic = kMagic;
+  h.nnodes = m.nnodes;
+  h.ncells = m.ncells;
+  h.nedges = m.nedges;
+  h.nbedges = m.nbedges;
+  h.nodes_per_cell = m.nodes_per_cell;
+  h.periodic = m.periodic ? 1 : 0;
+  h.period_x = m.period_x;
+  h.period_y = m.period_y;
+  h.name_len = static_cast<std::int64_t>(m.name.size());
+  os.write(reinterpret_cast<const char*>(&h), sizeof h);
+  os.write(m.name.data(), static_cast<std::streamsize>(m.name.size()));
+  write_vec(os, m.node_xy);
+  write_vec(os, m.cell_nodes);
+  write_vec(os, m.edge_nodes);
+  write_vec(os, m.edge_cells);
+  write_vec(os, m.bedge_nodes);
+  write_vec(os, m.bedge_cell);
+  write_vec(os, m.bedge_bound);
+  OPV_REQUIRE(os.good(), "write failed for '" << path << "'");
+}
+
+UnstructuredMesh read_mesh(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  OPV_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
+  Header h{};
+  is.read(reinterpret_cast<char*>(&h), sizeof h);
+  OPV_REQUIRE(is.good() && h.magic == kMagic, "'" << path << "' is not an OPVM mesh file");
+  UnstructuredMesh m;
+  m.nnodes = static_cast<idx_t>(h.nnodes);
+  m.ncells = static_cast<idx_t>(h.ncells);
+  m.nedges = static_cast<idx_t>(h.nedges);
+  m.nbedges = static_cast<idx_t>(h.nbedges);
+  m.nodes_per_cell = h.nodes_per_cell;
+  m.periodic = h.periodic != 0;
+  m.period_x = h.period_x;
+  m.period_y = h.period_y;
+  m.name.resize(static_cast<std::size_t>(h.name_len));
+  is.read(m.name.data(), h.name_len);
+  read_vec(is, m.node_xy);
+  read_vec(is, m.cell_nodes);
+  read_vec(is, m.edge_nodes);
+  read_vec(is, m.edge_cells);
+  read_vec(is, m.bedge_nodes);
+  read_vec(is, m.bedge_cell);
+  read_vec(is, m.bedge_bound);
+  OPV_REQUIRE(is.good(), "truncated OPVM file '" << path << "'");
+  m.validate();
+  return m;
+}
+
+}  // namespace opv::mesh

@@ -1,0 +1,18 @@
+// Binary mesh serialization (an "OPVM" container). Lets expensive generator
+// output (multi-million-cell meshes) be cached on disk between bench runs,
+// playing the role of OP2's new_grid.dat input files.
+#pragma once
+
+#include <string>
+
+#include "mesh/mesh.hpp"
+
+namespace opv::mesh {
+
+/// Write a mesh to a binary file. Throws opv::Error on I/O failure.
+void write_mesh(const UnstructuredMesh& m, const std::string& path);
+
+/// Read a mesh previously written by write_mesh. Throws on format mismatch.
+UnstructuredMesh read_mesh(const std::string& path);
+
+}  // namespace opv::mesh

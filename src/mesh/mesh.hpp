@@ -1,0 +1,87 @@
+// Unstructured 2D finite-volume mesh container.
+//
+// The layout mirrors the OP2 Airfoil dataset (new_grid.dat): a node set with
+// coordinates, a cell set with a cell->node map, an interior-edge set with
+// edge->node and edge->cell maps, and a boundary-edge set with its own maps
+// plus a boundary-condition id. Triangular meshes (Volna) use the same
+// container with nodes_per_cell == 3; periodic meshes have no boundary set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/aligned.hpp"
+
+namespace opv::mesh {
+
+using idx_t = std::int32_t;
+
+/// Boundary condition ids carried by bedge_bound (Airfoil convention).
+inline constexpr idx_t kBoundFarfield = 1;
+inline constexpr idx_t kBoundWall = 2;
+
+/// A fully unstructured 2D mesh: sets (nodes, cells, edges, bedges) plus the
+/// mappings between them. All maps are stored element-major (AoS):
+/// cell_nodes[c*nodes_per_cell + k] is the k-th node of cell c.
+struct UnstructuredMesh {
+  std::string name;
+
+  idx_t nnodes = 0;
+  idx_t ncells = 0;
+  idx_t nedges = 0;   ///< interior edges (two adjacent cells)
+  idx_t nbedges = 0;  ///< boundary edges (one adjacent cell)
+
+  int nodes_per_cell = 4;  ///< 4 = quad mesh, 3 = triangle mesh
+
+  /// Periodicity: when true, coordinates wrap with period (period_x,
+  /// period_y) and geometric quantities must use the minimum-image rule.
+  bool periodic = false;
+  double period_x = 0.0;
+  double period_y = 0.0;
+
+  aligned_vector<double> node_xy;    ///< nnodes*2 node coordinates
+  aligned_vector<idx_t> cell_nodes;  ///< ncells*nodes_per_cell
+  aligned_vector<idx_t> edge_nodes;  ///< nedges*2
+  aligned_vector<idx_t> edge_cells;  ///< nedges*2 (left, right)
+  aligned_vector<idx_t> bedge_nodes; ///< nbedges*2
+  aligned_vector<idx_t> bedge_cell;  ///< nbedges*1
+  aligned_vector<idx_t> bedge_bound; ///< nbedges*1 boundary-condition id
+
+  /// Estimated resident size of all arrays in bytes.
+  [[nodiscard]] std::uint64_t footprint_bytes() const;
+
+  /// Throws opv::Error if any structural invariant is violated (index
+  /// ranges, distinct edge endpoints, edge nodes shared with both cells...).
+  void validate() const;
+
+  /// Apply the x/y minimum-image rule to a coordinate delta.
+  [[nodiscard]] double wrap_dx(double dx) const;
+  [[nodiscard]] double wrap_dy(double dy) const;
+};
+
+/// Topology statistics used by coloring diagnostics and tests.
+struct MeshStats {
+  int max_edges_per_cell = 0;    ///< max conflict degree for edge loops
+  double avg_edges_per_cell = 0; ///< 2*nedges/ncells for interior edges
+  idx_t isolated_cells = 0;      ///< cells touched by no interior edge
+  std::int64_t edge_bandwidth = 0;  ///< max |cell0-cell1| over edges
+};
+
+MeshStats compute_stats(const UnstructuredMesh& m);
+
+/// Inverse of edge->cell: for each cell, the (up to max_deg) incident
+/// interior edges in CSR form. Used by Volna's per-cell gather loop and by
+/// the coloring validity tests.
+struct CellEdges {
+  aligned_vector<idx_t> offset;  ///< ncells+1
+  aligned_vector<idx_t> edges;   ///< offset[ncells] entries
+};
+
+CellEdges build_cell_edges(const UnstructuredMesh& m);
+
+/// For triangle meshes where every cell has exactly three incident edges
+/// (e.g. periodic meshes), a flat ncells*3 cell->edge map. Throws if any
+/// cell does not have exactly three incident interior edges.
+aligned_vector<idx_t> build_cell_edges_flat3(const UnstructuredMesh& m);
+
+}  // namespace opv::mesh

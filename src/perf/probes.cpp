@@ -1,0 +1,134 @@
+#include "perf/probes.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "common/aligned.hpp"
+#include "common/timer.hpp"
+#include "simd/simd.hpp"
+
+namespace opv::perf {
+
+double StreamResult::best() const {
+  return std::max(std::max(copy_gbs, scale_gbs), std::max(add_gbs, triad_gbs));
+}
+
+StreamResult stream_bandwidth(std::size_t n, int reps, int nthreads) {
+  const int nth = nthreads > 0 ? nthreads : omp_get_max_threads();
+  aligned_vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.5);
+  StreamResult r;
+  const double gb = static_cast<double>(n) * sizeof(double) / 1e9;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer t;
+#pragma omp parallel for num_threads(nth) schedule(static)
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i];
+    r.copy_gbs = std::max(r.copy_gbs, 2 * gb / t.seconds());
+
+    t.reset();
+#pragma omp parallel for num_threads(nth) schedule(static)
+    for (std::size_t i = 0; i < n; ++i) b[i] = 3.0 * c[i];
+    r.scale_gbs = std::max(r.scale_gbs, 2 * gb / t.seconds());
+
+    t.reset();
+#pragma omp parallel for num_threads(nth) schedule(static)
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+    r.add_gbs = std::max(r.add_gbs, 3 * gb / t.seconds());
+
+    t.reset();
+#pragma omp parallel for num_threads(nth) schedule(static)
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + 0.42 * c[i];
+    r.triad_gbs = std::max(r.triad_gbs, 3 * gb / t.seconds());
+  }
+  return r;
+}
+
+namespace {
+
+/// FMA-chain throughput with V-typed accumulators; 8 independent chains
+/// hide the FMA latency. Returns GFLOP/s (2 flops per lane per FMA).
+template <class V>
+double fma_chains(int nthreads, long iters) {
+  const int nth = nthreads > 0 ? nthreads : omp_get_max_threads();
+  using S = typename opv::simd::vec_traits<V>::scalar;
+  const int lanes = opv::simd::vec_traits<V>::lanes;
+  double sink = 0.0;
+  WallTimer t;
+#pragma omp parallel num_threads(nth) reduction(+ : sink)
+  {
+    V a0(S(1.0001)), a1(S(1.0002)), a2(S(1.0003)), a3(S(1.0004));
+    V a4(S(1.0005)), a5(S(1.0006)), a6(S(1.0007)), a7(S(1.0008));
+    const V m(S(0.999999)), c(S(1e-7));
+    for (long i = 0; i < iters; ++i) {
+      a0 = opv::simd::fma(a0, m, c);
+      a1 = opv::simd::fma(a1, m, c);
+      a2 = opv::simd::fma(a2, m, c);
+      a3 = opv::simd::fma(a3, m, c);
+      a4 = opv::simd::fma(a4, m, c);
+      a5 = opv::simd::fma(a5, m, c);
+      a6 = opv::simd::fma(a6, m, c);
+      a7 = opv::simd::fma(a7, m, c);
+    }
+    sink += static_cast<double>(opv::simd::hsum(a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7));
+  }
+  const double secs = t.seconds();
+  // Keep the computation observable.
+  volatile double guard = sink;
+  (void)guard;
+  return static_cast<double>(nth) * static_cast<double>(iters) * 8.0 * lanes * 2.0 / secs / 1e9;
+}
+
+template <class V>
+double sqrt_chain_ns(long iters) {
+  using S = typename opv::simd::vec_traits<V>::scalar;
+  const int lanes = opv::simd::vec_traits<V>::lanes;
+  V a(S(1.7));
+  const V c(S(1.0000001));
+  WallTimer t;
+  for (long i = 0; i < iters; ++i) a = opv::simd::sqrt(a) * c;
+  const double secs = t.seconds();
+  volatile double guard = static_cast<double>(opv::simd::hsum(a));
+  (void)guard;
+  return secs * 1e9 / (static_cast<double>(iters) * lanes);
+}
+
+}  // namespace
+
+double flops_peak_dp(int vector_width, int nthreads) {
+  constexpr long kIters = 20'000'000;
+  switch (vector_width) {
+    case 1: return fma_chains<double>(nthreads, kIters);
+    case 4: return fma_chains<opv::simd::Vec<double, 4>>(nthreads, kIters);
+    case 8: return fma_chains<opv::simd::Vec<double, 8>>(nthreads, kIters);
+    default: return fma_chains<double>(nthreads, kIters);
+  }
+}
+
+double flops_peak_sp(int vector_width, int nthreads) {
+  constexpr long kIters = 20'000'000;
+  switch (vector_width) {
+    case 1: return fma_chains<float>(nthreads, kIters);
+    case 8: return fma_chains<opv::simd::Vec<float, 8>>(nthreads, kIters);
+    case 16: return fma_chains<opv::simd::Vec<float, 16>>(nthreads, kIters);
+    default: return fma_chains<float>(nthreads, kIters);
+  }
+}
+
+SqrtThroughput sqrt_throughput_dp() {
+  constexpr long kIters = 5'000'000;
+  SqrtThroughput r;
+  r.scalar_ns_per_op = sqrt_chain_ns<double>(kIters);
+  r.vector_ns_per_op =
+      sqrt_chain_ns<opv::simd::Vec<double, opv::simd::max_lanes<double>>>(kIters);
+  return r;
+}
+
+SqrtThroughput sqrt_throughput_sp() {
+  constexpr long kIters = 5'000'000;
+  SqrtThroughput r;
+  r.scalar_ns_per_op = sqrt_chain_ns<float>(kIters);
+  r.vector_ns_per_op = sqrt_chain_ns<opv::simd::Vec<float, opv::simd::max_lanes<float>>>(kIters);
+  return r;
+}
+
+}  // namespace opv::perf

@@ -1,0 +1,38 @@
+// Machine characterization probes: the data the paper reports in Table I
+// (STREAM bandwidth, achievable FLOP rates, FLOP/byte balance) measured on
+// the host so every bench can report achieved-vs-machine-peak fractions.
+#pragma once
+
+#include <cstddef>
+
+namespace opv::perf {
+
+/// STREAM-style bandwidth (GB/s), best of `reps` repetitions.
+struct StreamResult {
+  double copy_gbs = 0;
+  double scale_gbs = 0;
+  double add_gbs = 0;
+  double triad_gbs = 0;
+
+  [[nodiscard]] double best() const;
+};
+
+/// Run the four STREAM kernels over arrays of `n` doubles with OpenMP.
+StreamResult stream_bandwidth(std::size_t n = 1 << 26, int reps = 5, int nthreads = 0);
+
+/// Peak sustained FLOP rate (GFLOP/s) using FMA chains on vector registers.
+/// vector_width: lanes per operation (1 = scalar — the paper's
+/// "non-vectorized compute throughput").
+double flops_peak_dp(int vector_width, int nthreads = 0);
+double flops_peak_sp(int vector_width, int nthreads = 0);
+
+/// Scalar vs vector sqrt/div throughput (ns per operation) — the paper's
+/// explanation for adt_calc/compute_flux being compute-bound when scalar.
+struct SqrtThroughput {
+  double scalar_ns_per_op = 0;
+  double vector_ns_per_op = 0;  ///< per lane-operation at full width
+};
+SqrtThroughput sqrt_throughput_dp();
+SqrtThroughput sqrt_throughput_sp();
+
+}  // namespace opv::perf

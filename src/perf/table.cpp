@@ -1,0 +1,64 @@
+#include "perf/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace opv::perf {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      os << cell << std::string(width[c] - cell.size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print() const { std::cout << to_string() << std::flush; }
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::pct(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", prec, 100.0 * v);
+  return buf;
+}
+
+double useful_gbs(const KernelInfo& info, std::size_t value_bytes, const LoopRecord& rec) {
+  if (rec.seconds <= 0.0) return 0.0;
+  return info.bytes_per_elem(value_bytes) * static_cast<double>(rec.elements) / rec.seconds / 1e9;
+}
+
+double useful_gflops(const KernelInfo& info, const LoopRecord& rec) {
+  if (rec.seconds <= 0.0) return 0.0;
+  return info.flops * static_cast<double>(rec.elements) / rec.seconds / 1e9;
+}
+
+}  // namespace opv::perf

@@ -1,0 +1,37 @@
+// ASCII table printer used by every bench binary to emit the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/kernel_info.hpp"
+#include "core/loop_stats.hpp"
+
+namespace opv::perf {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+  /// Format helpers.
+  static std::string num(double v, int prec = 2);
+  static std::string pct(double v, int prec = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Useful bandwidth in GB/s for a recorded loop: the paper's convention
+/// (KernelInfo payload values x element count / time).
+double useful_gbs(const KernelInfo& info, std::size_t value_bytes, const LoopRecord& rec);
+
+/// Compute throughput in GFLOP/s for a recorded loop.
+double useful_gflops(const KernelInfo& info, const LoopRecord& rec);
+
+}  // namespace opv::perf

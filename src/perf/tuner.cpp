@@ -1,0 +1,32 @@
+#include "perf/tuner.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace opv::perf {
+
+TuneResult tune_block_size(const std::function<double(int)>& workload,
+                           std::vector<int> candidates, int reps) {
+  OPV_REQUIRE(!candidates.empty(), "tune_block_size: no candidates");
+  OPV_REQUIRE(reps >= 1, "tune_block_size: reps must be >= 1");
+  TuneResult r;
+  r.best_seconds = std::numeric_limits<double>::infinity();
+  for (int bs : candidates) {
+    OPV_REQUIRE(bs >= 16 && bs % 16 == 0,
+                "tune_block_size: candidate " << bs << " must be a positive multiple of 16");
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < reps; ++i) {
+      const double s = workload(bs);
+      best = s < best ? s : best;
+    }
+    r.samples.emplace_back(bs, best);
+    if (best < r.best_seconds) {
+      r.best_seconds = best;
+      r.best_block_size = bs;
+    }
+  }
+  return r;
+}
+
+}  // namespace opv::perf

@@ -1,0 +1,25 @@
+// Block-size auto-tuner: the paper tunes the mini-partition size by hand
+// (Fig. 8b); this utility automates the search for a given loop workload.
+// An extension feature beyond the paper (its "plan construction" future
+// work), exposed through the public API and used by the tuning bench.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace opv::perf {
+
+struct TuneResult {
+  int best_block_size = 0;
+  double best_seconds = 0.0;
+  std::vector<std::pair<int, double>> samples;  ///< (block size, seconds)
+};
+
+/// Time `workload(block_size)` for each candidate (repeating `reps` times,
+/// keeping the minimum) and return the fastest block size. Candidates must
+/// be positive multiples of 16; default sweep 128..4096.
+TuneResult tune_block_size(const std::function<double(int)>& workload,
+                           std::vector<int> candidates = {128, 256, 512, 1024, 2048, 4096},
+                           int reps = 3);
+
+}  // namespace opv::perf

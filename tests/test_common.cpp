@@ -1,0 +1,200 @@
+// Unit tests for the common utilities: aligned storage, RNG determinism,
+// running statistics, CLI parsing, formatting, error macros, timers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/aligned.hpp"
+#include "common/cli.hpp"
+#include "common/cpu.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace {
+
+using namespace opv;
+
+TEST(Aligned, VectorDataIs64ByteAligned) {
+  for (std::size_t n : {1u, 3u, 17u, 1000u, 65536u}) {
+    aligned_vector<double> v(n);
+    EXPECT_TRUE(is_aligned(v.data())) << "n=" << n;
+    aligned_vector<float> f(n);
+    EXPECT_TRUE(is_aligned(f.data())) << "n=" << n;
+    aligned_vector<std::int32_t> i(n);
+    EXPECT_TRUE(is_aligned(i.data())) << "n=" << n;
+  }
+}
+
+TEST(Aligned, RebindWorksForNestedContainers) {
+  // The allocator's explicit rebind must allow vector<vector<...>> style use.
+  std::vector<aligned_vector<int>> vv(3, aligned_vector<int>(5, 7));
+  EXPECT_EQ(vv[2][4], 7);
+}
+
+TEST(Aligned, VectorGrowsAndKeepsAlignment) {
+  aligned_vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_TRUE(is_aligned(v.data()));
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_DOUBLE_EQ(v[999], 999.0);
+}
+
+TEST(Aligned, IsAlignedChecksModulus) {
+  alignas(64) char buf[128];
+  EXPECT_TRUE(is_aligned(buf));
+  EXPECT_FALSE(is_aligned(buf + 8));
+  EXPECT_TRUE(is_aligned(buf + 8, 8));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform(-2.5, 7.25);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.25);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, RoughlyUniformBuckets) {
+  Rng r(1234);
+  int counts[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 - kDraws / 50);
+    EXPECT_LT(c, kDraws / 10 + kDraws / 50);
+  }
+}
+
+TEST(Stats, WelfordMatchesClosedForm) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 100);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  // Var of 1..100 (sample): n(n+1)/12 with n=101 -> 841.666...
+  EXPECT_NEAR(s.variance(), 841.66666, 1e-3);
+}
+
+TEST(Stats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(format_bytes(94u * 1024 * 1024), "94.0 MB");
+}
+
+TEST(Stats, FormatSeconds) {
+  EXPECT_EQ(format_seconds(2.5), "2.50 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.50 ms");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.50 us");
+}
+
+TEST(Stats, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(2880000), "2,880,000");
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--large", "--iters=42", "--name=abc", "--x=1.5"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.has("large"));
+  EXPECT_FALSE(cli.has("small"));
+  EXPECT_EQ(cli.get_int("iters", 0), 42);
+  EXPECT_EQ(cli.get("name", ""), "abc");
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 1.5);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, RejectsBarewords) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Cli(2, const_cast<char**>(argv)), Error);
+}
+
+TEST(Cli, UnknownDetection) {
+  const char* argv[] = {"prog", "--iters=1", "--typo=2"};
+  Cli cli(3, const_cast<char**>(argv));
+  const auto unknown = cli.unknown({"iters", "large"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    OPV_REQUIRE(1 == 2, "custom message " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::strstr(e.what(), "custom message 42"), nullptr);
+    EXPECT_NE(std::strstr(e.what(), "1 == 2"), nullptr);
+  }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, AccumMergesAndClears) {
+  TimeAccum a, b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(0.5);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.seconds, 3.5);
+  EXPECT_EQ(a.calls, 3);
+  a.clear();
+  EXPECT_EQ(a.calls, 0);
+}
+
+TEST(Cpu, DetectsSomethingSane) {
+  const CpuFeatures f = detect_cpu_features();
+  EXPECT_GE(f.max_double_lanes(), 2);
+  EXPECT_GE(f.max_float_lanes(), 4);
+  EXPECT_GE(hardware_threads(), 1);
+  EXPECT_FALSE(cpu_summary().empty());
+}
+
+}  // namespace

@@ -1,0 +1,342 @@
+// Mesh substrate tests: generator invariants (set counts, Euler
+// characteristic, map validity), validation, statistics, inverse maps,
+// renumbering, perturbation/shuffling, and I/O roundtrips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/io.hpp"
+#include "mesh/mesh.hpp"
+
+namespace {
+
+using namespace opv;
+using namespace opv::mesh;
+
+// Euler characteristic V - E + F for a planar mesh with one outer face = 2;
+// for a torus (periodic) = 0. E counts interior + boundary edges; F counts
+// cells + (1 outer face for planar meshes).
+long euler(const UnstructuredMesh& m, bool planar) {
+  return long(m.nnodes) - long(m.nedges + m.nbedges) + long(m.ncells) + (planar ? 1 : 0);
+}
+
+class QuadBoxP : public ::testing::TestWithParam<std::pair<idx_t, idx_t>> {};
+
+TEST_P(QuadBoxP, CountsAndInvariants) {
+  const auto [ni, nj] = GetParam();
+  auto m = make_quad_box(ni, nj);
+  EXPECT_EQ(m.ncells, ni * nj);
+  EXPECT_EQ(m.nnodes, (ni + 1) * (nj + 1));
+  EXPECT_EQ(m.nedges, (ni - 1) * nj + ni * (nj - 1));
+  EXPECT_EQ(m.nbedges, 2 * ni + 2 * nj);
+  EXPECT_EQ(euler(m, true), 2) << "Euler characteristic";
+  ASSERT_NO_THROW(m.validate());
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, QuadBoxP,
+                         ::testing::Values(std::pair<idx_t, idx_t>{1, 1},
+                                           std::pair<idx_t, idx_t>{2, 3},
+                                           std::pair<idx_t, idx_t>{7, 5},
+                                           std::pair<idx_t, idx_t>{16, 16},
+                                           std::pair<idx_t, idx_t>{33, 9}));
+
+class TriBoxP : public ::testing::TestWithParam<std::pair<idx_t, idx_t>> {};
+
+TEST_P(TriBoxP, CountsAndInvariants) {
+  const auto [ni, nj] = GetParam();
+  auto m = make_tri_box(ni, nj);
+  EXPECT_EQ(m.ncells, 2 * ni * nj);
+  EXPECT_EQ(m.nnodes, (ni + 1) * (nj + 1));
+  EXPECT_EQ(m.nedges, ni * nj + ni * (nj - 1) + (ni - 1) * nj);
+  EXPECT_EQ(m.nbedges, 2 * ni + 2 * nj);
+  EXPECT_EQ(euler(m, true), 2);
+  ASSERT_NO_THROW(m.validate());
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, TriBoxP,
+                         ::testing::Values(std::pair<idx_t, idx_t>{1, 1},
+                                           std::pair<idx_t, idx_t>{4, 4},
+                                           std::pair<idx_t, idx_t>{9, 13},
+                                           std::pair<idx_t, idx_t>{25, 10}));
+
+class TriPeriodicP : public ::testing::TestWithParam<std::pair<idx_t, idx_t>> {};
+
+TEST_P(TriPeriodicP, CountsAndTorusTopology) {
+  const auto [ni, nj] = GetParam();
+  auto m = make_tri_periodic(ni, nj, 2.0, 3.0);
+  EXPECT_EQ(m.ncells, 2 * ni * nj);
+  EXPECT_EQ(m.nnodes, ni * nj);
+  EXPECT_EQ(m.nedges, 3 * ni * nj);
+  EXPECT_EQ(m.nbedges, 0);
+  EXPECT_EQ(euler(m, false), 0) << "torus Euler characteristic";
+  ASSERT_NO_THROW(m.validate());
+  // Every cell has exactly 3 incident edges.
+  EXPECT_NO_THROW(build_cell_edges_flat3(m));
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, TriPeriodicP,
+                         ::testing::Values(std::pair<idx_t, idx_t>{3, 3},
+                                           std::pair<idx_t, idx_t>{4, 7},
+                                           std::pair<idx_t, idx_t>{16, 16},
+                                           std::pair<idx_t, idx_t>{31, 8}));
+
+class OMeshP : public ::testing::TestWithParam<std::pair<idx_t, idx_t>> {};
+
+TEST_P(OMeshP, CountsAndAnnulusTopology) {
+  const auto [ni, nj] = GetParam();
+  auto m = make_airfoil_omesh(ni, nj);
+  EXPECT_EQ(m.ncells, ni * nj);
+  EXPECT_EQ(m.nnodes, ni * (nj + 1));
+  EXPECT_EQ(m.nedges, ni * nj + ni * (nj - 1));
+  EXPECT_EQ(m.nbedges, 2 * ni);
+  // Annulus: V - E + F = 0 (one hole).
+  EXPECT_EQ(euler(m, true), 1);
+  ASSERT_NO_THROW(m.validate());
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, OMeshP,
+                         ::testing::Values(std::pair<idx_t, idx_t>{3, 2},
+                                           std::pair<idx_t, idx_t>{12, 6},
+                                           std::pair<idx_t, idx_t>{60, 30},
+                                           std::pair<idx_t, idx_t>{120, 60}));
+
+TEST(OMesh, PaperSizedMeshMatchesPaperScale) {
+  // The 1200x600 O-mesh stands in for the paper's 720k-cell Airfoil mesh.
+  auto m = make_airfoil_omesh(1200, 600);
+  EXPECT_EQ(m.ncells, 720000);
+  EXPECT_NEAR(double(m.nnodes), 721801.0, 1000.0);
+  EXPECT_NEAR(double(m.nedges), 1438600.0, 1000.0);
+}
+
+TEST(OMesh, BoundaryRingsHaveCorrectConditions) {
+  auto m = make_airfoil_omesh(16, 4);
+  int walls = 0, far = 0;
+  for (idx_t b = 0; b < m.nbedges; ++b) {
+    if (m.bedge_bound[b] == kBoundWall) ++walls;
+    else if (m.bedge_bound[b] == kBoundFarfield) ++far;
+  }
+  EXPECT_EQ(walls, 16);
+  EXPECT_EQ(far, 16);
+}
+
+TEST(OMesh, GeometryIsFiniteAndDistinct) {
+  auto m = make_airfoil_omesh(64, 16);
+  for (double v : m.node_xy) EXPECT_TRUE(std::isfinite(v));
+  // Wall ring should be much smaller than far field ring.
+  double rmax_wall = 0, rmin_far = 1e300;
+  for (idx_t i = 0; i < 64; ++i) {
+    rmax_wall = std::max(rmax_wall, std::hypot(m.node_xy[2 * i], m.node_xy[2 * i + 1]));
+    const std::size_t n = std::size_t(16) * 64 + i;
+    rmin_far = std::min(rmin_far, std::hypot(m.node_xy[2 * n], m.node_xy[2 * n + 1]));
+  }
+  EXPECT_GT(rmin_far, 5 * rmax_wall);
+}
+
+TEST(MeshValidate, CatchesBrokenMaps) {
+  auto m = make_quad_box(4, 4);
+  auto bad = m;
+  bad.edge_cells[3] = m.ncells + 5;  // out of range
+  EXPECT_THROW(bad.validate(), Error);
+  bad = m;
+  bad.edge_nodes[1] = bad.edge_nodes[0];  // repeated node
+  EXPECT_THROW(bad.validate(), Error);
+  bad = m;
+  bad.edge_cells[1] = bad.edge_cells[0];  // repeated cell
+  EXPECT_THROW(bad.validate(), Error);
+  bad = m;
+  bad.bedge_bound[0] = 99;  // unknown bc
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(MeshStats, QuadBoxInteriorDegree) {
+  auto m = make_quad_box(10, 10);
+  const auto s = compute_stats(m);
+  EXPECT_EQ(s.max_edges_per_cell, 4);
+  EXPECT_EQ(s.isolated_cells, 0);
+  EXPECT_GT(s.avg_edges_per_cell, 3.0);
+  EXPECT_LE(s.avg_edges_per_cell, 4.0);
+}
+
+TEST(CellEdges, InverseOfEdgeCells) {
+  auto m = make_tri_periodic(5, 6);
+  const auto ce = build_cell_edges(m);
+  // Every edge appears exactly twice (once per adjacent cell).
+  EXPECT_EQ(ce.edges.size(), std::size_t(2 * m.nedges));
+  for (idx_t c = 0; c < m.ncells; ++c) {
+    for (idx_t k = ce.offset[c]; k < ce.offset[c + 1]; ++k) {
+      const idx_t e = ce.edges[k];
+      EXPECT_TRUE(m.edge_cells[2 * e] == c || m.edge_cells[2 * e + 1] == c)
+          << "cell " << c << " lists edge " << e << " that does not touch it";
+    }
+  }
+}
+
+TEST(CellEdges, Flat3RequiresClosedMesh) {
+  auto box = make_tri_box(4, 4);
+  EXPECT_THROW(build_cell_edges_flat3(box), Error);  // boundary cells have <3
+  auto quad = make_quad_box(4, 4);
+  EXPECT_THROW(build_cell_edges_flat3(quad), Error);  // not a tri mesh
+}
+
+TEST(Perturb, PreservesTopologyChangesGeometry) {
+  auto m = make_quad_box(8, 8);
+  const auto before = m.node_xy;
+  perturb_nodes(m, 0.01, 7);
+  EXPECT_NO_THROW(m.validate());
+  double maxd = 0;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    maxd = std::max(maxd, std::abs(before[i] - m.node_xy[i]));
+  EXPECT_GT(maxd, 0.0);
+  EXPECT_LE(maxd, 0.01 + 1e-12);
+}
+
+TEST(ShuffleEdges, IsAPermutationAndStaysValid) {
+  auto m = make_quad_box(9, 7);
+  const auto before_edges = m.edge_cells;
+  const auto p = shuffle_edges(m, 3);
+  EXPECT_NO_THROW(m.validate());
+  // p is a permutation.
+  std::set<idx_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), std::size_t(m.nedges));
+  // Each new edge matches the old edge it came from.
+  for (idx_t e = 0; e < m.nedges; ++e) {
+    EXPECT_EQ(m.edge_cells[2 * e], before_edges[2 * p[e]]);
+    EXPECT_EQ(m.edge_cells[2 * e + 1], before_edges[2 * p[e] + 1]);
+  }
+}
+
+TEST(SortEdges, ImprovesOrGivesMonotoneMinCell) {
+  auto m = make_quad_box(9, 7);
+  shuffle_edges(m, 5);
+  sort_edges_by_cell(m);
+  EXPECT_NO_THROW(m.validate());
+  for (idx_t e = 1; e < m.nedges; ++e) {
+    const idx_t prev = std::min(m.edge_cells[2 * (e - 1)], m.edge_cells[2 * (e - 1) + 1]);
+    const idx_t cur = std::min(m.edge_cells[2 * e], m.edge_cells[2 * e + 1]);
+    EXPECT_LE(prev, cur);
+  }
+}
+
+TEST(Rcm, PermutationValidAndReducesBandwidth) {
+  auto m = make_quad_box(20, 20);
+  shuffle_edges(m, 11);
+  // Scramble cell numbering badly first via RCM on a shuffled mesh baseline.
+  const auto before = compute_stats(m);
+  auto perm = renumber_cells_rcm(m);
+  EXPECT_NO_THROW(m.validate());
+  std::set<idx_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), std::size_t(m.ncells));
+  const auto after = compute_stats(m);
+  EXPECT_LE(after.edge_bandwidth, before.edge_bandwidth * 2)
+      << "RCM should not blow up bandwidth";
+}
+
+// Regression for the FV orientation convention (a violation makes the
+// Airfoil central flux anti-dissipative and the solver blow up): for every
+// interior edge, the normal (dy,-dx) built from x(n0)-x(n1) must point from
+// the edge's first cell toward its second; boundary normals point outward.
+class EdgeOrientationP : public ::testing::TestWithParam<int> {
+ public:
+  static UnstructuredMesh make(int kind) {
+    switch (kind) {
+      case 0: return make_quad_box(9, 7);
+      case 1: return make_tri_box(8, 5);
+      case 2: return make_tri_periodic(6, 6, 2.0, 3.0);
+      default: return make_airfoil_omesh(48, 12);
+    }
+  }
+};
+
+TEST_P(EdgeOrientationP, NormalsPointFromFirstToSecondCell) {
+  const auto m = EdgeOrientationP::make(GetParam());
+  auto centroid = [&](idx_t c, double& cx, double& cy) {
+    const int k = m.nodes_per_cell;
+    const idx_t n0 = m.cell_nodes[std::size_t(c) * k];
+    const double x0 = m.node_xy[2 * std::size_t(n0)], y0 = m.node_xy[2 * std::size_t(n0) + 1];
+    double sx = 0, sy = 0;
+    for (int j = 0; j < k; ++j) {
+      const idx_t n = m.cell_nodes[std::size_t(c) * k + j];
+      sx += m.wrap_dx(m.node_xy[2 * std::size_t(n)] - x0);
+      sy += m.wrap_dy(m.node_xy[2 * std::size_t(n) + 1] - y0);
+    }
+    cx = x0 + sx / k;
+    cy = y0 + sy / k;
+  };
+  for (idx_t e = 0; e < m.nedges; ++e) {
+    const idx_t n0 = m.edge_nodes[2 * e], n1 = m.edge_nodes[2 * e + 1];
+    const double dx = m.wrap_dx(m.node_xy[2 * std::size_t(n0)] - m.node_xy[2 * std::size_t(n1)]);
+    const double dy = m.wrap_dy(m.node_xy[2 * std::size_t(n0) + 1] -
+                                m.node_xy[2 * std::size_t(n1) + 1]);
+    double c0x, c0y, c1x, c1y;
+    centroid(m.edge_cells[2 * e], c0x, c0y);
+    centroid(m.edge_cells[2 * e + 1], c1x, c1y);
+    const double dot = dy * m.wrap_dx(c1x - c0x) - dx * m.wrap_dy(c1y - c0y);
+    ASSERT_GT(dot, 0.0) << m.name << " edge " << e << " normal points the wrong way";
+  }
+  for (idx_t b = 0; b < m.nbedges; ++b) {
+    const idx_t n0 = m.bedge_nodes[2 * b], n1 = m.bedge_nodes[2 * b + 1];
+    const double dx = m.wrap_dx(m.node_xy[2 * std::size_t(n0)] - m.node_xy[2 * std::size_t(n1)]);
+    const double dy = m.wrap_dy(m.node_xy[2 * std::size_t(n0) + 1] -
+                                m.node_xy[2 * std::size_t(n1) + 1]);
+    const double mx = m.node_xy[2 * std::size_t(n0)] - 0.5 * dx;
+    const double my = m.node_xy[2 * std::size_t(n0) + 1] - 0.5 * dy;
+    double cx, cy;
+    centroid(m.bedge_cell[b], cx, cy);
+    const double dot = dy * m.wrap_dx(mx - cx) - dx * m.wrap_dy(my - cy);
+    ASSERT_GT(dot, 0.0) << m.name << " bedge " << b << " normal points inward";
+  }
+}
+INSTANTIATE_TEST_SUITE_P(AllGenerators, EdgeOrientationP, ::testing::Values(0, 1, 2, 3));
+
+TEST(MinImage, WrapsAcrossPeriod) {
+  auto m = make_tri_periodic(4, 4, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(m.wrap_dx(6.0), -4.0);
+  EXPECT_DOUBLE_EQ(m.wrap_dx(-6.0), 4.0);
+  EXPECT_DOUBLE_EQ(m.wrap_dx(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(m.wrap_dy(11.0), -9.0);
+  EXPECT_DOUBLE_EQ(m.wrap_dy(9.0), 9.0);
+  auto box = make_quad_box(2, 2);
+  EXPECT_DOUBLE_EQ(box.wrap_dx(100.0), 100.0);  // non-periodic: identity
+}
+
+TEST(MeshIO, BinaryRoundtrip) {
+  auto m = make_airfoil_omesh(24, 8);
+  perturb_nodes(m, 0.001, 9);
+  const std::string path = std::filesystem::temp_directory_path() / "opv_mesh_test.opvm";
+  write_mesh(m, path);
+  const auto r = read_mesh(path);
+  EXPECT_EQ(r.name, m.name);
+  EXPECT_EQ(r.ncells, m.ncells);
+  EXPECT_EQ(r.nnodes, m.nnodes);
+  EXPECT_EQ(r.nedges, m.nedges);
+  EXPECT_EQ(r.nbedges, m.nbedges);
+  EXPECT_EQ(r.node_xy, m.node_xy);
+  EXPECT_EQ(r.cell_nodes, m.cell_nodes);
+  EXPECT_EQ(r.edge_nodes, m.edge_nodes);
+  EXPECT_EQ(r.edge_cells, m.edge_cells);
+  EXPECT_EQ(r.bedge_bound, m.bedge_bound);
+  std::filesystem::remove(path);
+}
+
+TEST(MeshIO, RejectsGarbageFiles) {
+  const std::string path = std::filesystem::temp_directory_path() / "opv_mesh_garbage.opvm";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a mesh", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_mesh(path), Error);
+  EXPECT_THROW(read_mesh("/nonexistent/path/x.opvm"), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Footprint, GrowsWithMesh) {
+  auto s = make_quad_box(10, 10);
+  auto l = make_quad_box(40, 40);
+  EXPECT_GT(l.footprint_bytes(), 10 * s.footprint_bytes());
+}
+
+}  // namespace

@@ -1,0 +1,334 @@
+// SIMD layer tests: every arithmetic/comparison/select/math/reduction
+// operation on every vector type is checked lane-by-lane against scalar
+// reference computations, on deterministic random inputs. Typed tests cover
+// both the portable vectors and the AVX2/AVX-512 intrinsic specializations;
+// a separate suite asserts portable == intrinsic agreement.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using namespace opv;
+namespace simd = opv::simd;
+
+template <class V>
+struct Input {
+  using S = typename simd::vec_traits<V>::scalar;
+  static constexpr int W = simd::vec_traits<V>::lanes;
+  std::array<S, W> a, b, c;
+
+  static Input random(std::uint64_t seed, double lo = -10.0, double hi = 10.0) {
+    Input in;
+    Rng rng(seed);
+    for (int i = 0; i < W; ++i) {
+      in.a[i] = static_cast<S>(rng.uniform(lo, hi));
+      in.b[i] = static_cast<S>(rng.uniform(lo, hi));
+      in.c[i] = static_cast<S>(rng.uniform(lo, hi));
+    }
+    return in;
+  }
+};
+
+template <class V>
+class SimdOps : public ::testing::Test {};
+
+using VecTypes = ::testing::Types<
+    simd::VecP<double, 4>, simd::VecP<double, 8>, simd::VecP<float, 8>, simd::VecP<float, 16>,
+    simd::VecP<double, 16>
+#if defined(__AVX2__)
+    ,
+    simd::F64x4, simd::F32x8
+#endif
+#if defined(__AVX512F__) && defined(__AVX2__)
+    ,
+    simd::F64x8, simd::F32x16
+#endif
+    >;
+TYPED_TEST_SUITE(SimdOps, VecTypes);
+
+TYPED_TEST(SimdOps, BroadcastAndLaneAccess) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  const V v(S(3.5));
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(v[i], S(3.5));
+  const V z;  // default = zero
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(z[i], S(0));
+}
+
+TYPED_TEST(SimdOps, LoadStoreRoundtrip) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  const auto in = Input<V>::random(1);
+  alignas(64) S buf[V::width];
+  for (int i = 0; i < V::width; ++i) buf[i] = in.a[i];
+  const V v = V::loada(buf);
+  alignas(64) S out[V::width];
+  simd::storea(out, v);
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(out[i], in.a[i]);
+  // Unaligned path.
+  S ubuf[V::width + 1];
+  for (int i = 0; i < V::width; ++i) ubuf[i + 1] = in.b[i];
+  const V u = V::loadu(ubuf + 1);
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(u[i], in.b[i]);
+}
+
+TYPED_TEST(SimdOps, ArithmeticMatchesScalar) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto in = Input<V>::random(seed, 0.1, 10.0);
+    const V a = V::loadu(in.a.data()), b = V::loadu(in.b.data());
+    const V sum = a + b, dif = a - b, mul = a * b, quo = a / b, neg = -a;
+    for (int i = 0; i < V::width; ++i) {
+      EXPECT_EQ(sum[i], S(in.a[i] + in.b[i]));
+      EXPECT_EQ(dif[i], S(in.a[i] - in.b[i]));
+      EXPECT_EQ(mul[i], S(in.a[i] * in.b[i]));
+      EXPECT_EQ(quo[i], S(in.a[i] / in.b[i]));
+      EXPECT_EQ(neg[i], S(-in.a[i]));
+    }
+  }
+}
+
+TYPED_TEST(SimdOps, CompoundAssignment) {
+  using V = TypeParam;
+  const auto in = Input<V>::random(7, 0.5, 3.0);
+  V a = V::loadu(in.a.data());
+  const V b = V::loadu(in.b.data());
+  V x = a;
+  x += b;
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(x[i], a[i] + b[i]);
+  x = a;
+  x -= b;
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(x[i], a[i] - b[i]);
+  x = a;
+  x *= b;
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(x[i], a[i] * b[i]);
+  x = a;
+  x /= b;
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(x[i], a[i] / b[i]);
+}
+
+TYPED_TEST(SimdOps, ScalarOperandBroadcasts) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  const auto in = Input<V>::random(3, 1.0, 2.0);
+  const V a = V::loadu(in.a.data());
+  const V r1 = a * V(S(2));
+  const V r2 = V(S(1)) + a;
+  for (int i = 0; i < V::width; ++i) {
+    EXPECT_EQ(r1[i], S(in.a[i] * S(2)));
+    EXPECT_EQ(r2[i], S(S(1) + in.a[i]));
+  }
+}
+
+TYPED_TEST(SimdOps, MathFunctions) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto in = Input<V>::random(seed, 0.01, 100.0);
+    const auto in2 = Input<V>::random(seed + 100, -50.0, 50.0);
+    const V a = V::loadu(in.a.data()), b = V::loadu(in.b.data());
+    const V m = V::loadu(in2.a.data());
+    const V sq = simd::sqrt(a);
+    const V ab = simd::abs(m);
+    const V mn = simd::min(a, b);
+    const V mx = simd::max(a, b);
+    const V fm = simd::fma(a, b, m);
+    for (int i = 0; i < V::width; ++i) {
+      EXPECT_NEAR(sq[i], std::sqrt(in.a[i]), 1e-6 * std::sqrt(double(in.a[i])));
+      EXPECT_EQ(ab[i], S(std::abs(in2.a[i])));
+      EXPECT_EQ(mn[i], std::min(in.a[i], in.b[i]));
+      EXPECT_EQ(mx[i], std::max(in.a[i], in.b[i]));
+      // fma may be fused (one rounding) — compare with loose tolerance.
+      const double expect = double(in.a[i]) * double(in.b[i]) + double(in2.a[i]);
+      EXPECT_NEAR(double(fm[i]), expect, 1e-4 * (std::abs(expect) + 1));
+    }
+  }
+}
+
+TYPED_TEST(SimdOps, ComparisonsAndSelect) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto in = Input<V>::random(seed);
+    in.b[0] = in.a[0];  // force at least one equal lane
+    const V a = V::loadu(in.a.data()), b = V::loadu(in.b.data());
+    const auto lt = a < b, le = a <= b, gt = a > b, ge = a >= b, eq = a == b, ne = a != b;
+    const V sel = simd::select(lt, a, b);
+    for (int i = 0; i < V::width; ++i) {
+      EXPECT_EQ(lt[i], in.a[i] < in.b[i]) << "lane " << i;
+      EXPECT_EQ(le[i], in.a[i] <= in.b[i]);
+      EXPECT_EQ(gt[i], in.a[i] > in.b[i]);
+      EXPECT_EQ(ge[i], in.a[i] >= in.b[i]);
+      EXPECT_EQ(eq[i], in.a[i] == in.b[i]);
+      EXPECT_EQ(ne[i], in.a[i] != in.b[i]);
+      EXPECT_EQ(sel[i], in.a[i] < in.b[i] ? in.a[i] : in.b[i]);
+    }
+    (void)S(0);
+  }
+}
+
+TYPED_TEST(SimdOps, MaskLogicAndAnyAll) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  const auto in = Input<V>::random(5);
+  const V a = V::loadu(in.a.data());
+  const auto pos = a > V(S(0));
+  const auto neg = a < V(S(0));
+  const auto both = pos & neg;
+  const auto either = pos | neg;
+  EXPECT_FALSE(simd::any(both));
+  for (int i = 0; i < V::width; ++i) {
+    EXPECT_EQ((pos & either)[i], pos[i]);
+    EXPECT_EQ((!pos)[i], !pos[i]);
+  }
+  const auto all_true = a == a;
+  EXPECT_TRUE(simd::all(all_true));
+  EXPECT_TRUE(simd::any(all_true));
+  const unsigned bits = simd::to_bits(pos);
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ((bits >> i) & 1u, pos[i] ? 1u : 0u);
+}
+
+TYPED_TEST(SimdOps, HorizontalReductions) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto in = Input<V>::random(seed, -5.0, 5.0);
+    const V a = V::loadu(in.a.data());
+    S sum = S(0), mn = in.a[0], mx = in.a[0];
+    for (int i = 0; i < V::width; ++i) {
+      sum += in.a[i];
+      mn = std::min(mn, in.a[i]);
+      mx = std::max(mx, in.a[i]);
+    }
+    EXPECT_NEAR(double(simd::hsum(a)), double(sum), 1e-5);
+    EXPECT_EQ(simd::hmin(a), mn);
+    EXPECT_EQ(simd::hmax(a), mx);
+  }
+}
+
+TYPED_TEST(SimdOps, IotaIsLaneIndex) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  const V v = V::iota(S(10));
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(v[i], S(10 + i));
+}
+
+// ---- portable vs intrinsic agreement ---------------------------------------
+
+#if defined(__AVX2__)
+template <class Pair>
+class PortableVsIntrinsic : public ::testing::Test {};
+
+template <class VI, class VP>
+struct Pair {
+  using Intrinsic = VI;
+  using Portable = VP;
+};
+
+using PairTypes = ::testing::Types<
+    Pair<simd::F64x4, simd::VecP<double, 4>>, Pair<simd::F32x8, simd::VecP<float, 8>>
+#if defined(__AVX512F__)
+    ,
+    Pair<simd::F64x8, simd::VecP<double, 8>>, Pair<simd::F32x16, simd::VecP<float, 16>>
+#endif
+    >;
+TYPED_TEST_SUITE(PortableVsIntrinsic, PairTypes);
+
+TYPED_TEST(PortableVsIntrinsic, IdenticalResultsOnKernelExpression) {
+  using VI = typename TypeParam::Intrinsic;
+  using VP = typename TypeParam::Portable;
+  using S = typename simd::vec_traits<VI>::scalar;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto in = Input<VI>::random(seed, 0.1, 4.0);
+    auto eval = [&](auto a, auto b, auto c) {
+      using V = decltype(a);
+      // A res_calc-flavored expression: mul/add/div/sqrt/select/min.
+      V ri = V(S(1)) / a;
+      V p = V(S(0.4)) * (c - V(S(0.5)) * ri * (b * b));
+      V r = simd::select(p > V(S(0)), simd::sqrt(simd::abs(p)), simd::min(a, b));
+      return r + simd::fma(a, b, c);
+    };
+    const VI vi = eval(VI::loadu(in.a.data()), VI::loadu(in.b.data()), VI::loadu(in.c.data()));
+    const VP vp = eval(VP::loadu(in.a.data()), VP::loadu(in.b.data()), VP::loadu(in.c.data()));
+    for (int i = 0; i < VI::width; ++i)
+      EXPECT_NEAR(double(vi[i]), double(vp[i]), 2e-5 * (std::abs(double(vp[i])) + 1))
+          << "seed " << seed << " lane " << i;
+  }
+}
+#endif  // __AVX2__
+
+// ---- width-generic kernel instantiation (the core trick) -------------------
+
+template <class T>
+T sample_kernel(const T* x, const T* y) {
+  OPV_SIMD_MATH_USING;
+  T d = sqrt(abs(x[0] * y[1] - x[1] * y[0]));
+  return select(d > T(1.0), d, fma(x[0], y[0], d));
+}
+
+TEST(WidthGeneric, ScalarAndVectorAgree) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 100; ++trial) {
+    double x[2][8], y[2][8];
+    for (int c = 0; c < 2; ++c)
+      for (int l = 0; l < 8; ++l) {
+        x[c][l] = rng.uniform(-3, 3);
+        y[c][l] = rng.uniform(-3, 3);
+      }
+    using V = simd::Vec<double, 8>;
+    V vx[2] = {V::loadu(x[0]), V::loadu(x[1])};
+    V vy[2] = {V::loadu(y[0]), V::loadu(y[1])};
+    const V vr = sample_kernel(vx, vy);
+    for (int l = 0; l < 8; ++l) {
+      const double sx[2] = {x[0][l], x[1][l]};
+      const double sy[2] = {y[0][l], y[1][l]};
+      const double sr = sample_kernel(sx, sy);
+      EXPECT_NEAR(vr[l], sr, 1e-12 * (std::abs(sr) + 1)) << "lane " << l;
+    }
+  }
+}
+
+TEST(WidthGeneric, ToRealConvertsIntLanes) {
+  std::int32_t vals[8] = {-3, -1, 0, 1, 2, 5, 100, -100};
+  using V = simd::Vec<double, 8>;
+  using IV = simd::Vec<std::int32_t, 8>;
+  const V r = simd::to_real<V>(IV::loadu(vals));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(r[i], double(vals[i]));
+  EXPECT_EQ(simd::to_real<double>(std::int32_t(-7)), -7.0);
+  using V4 = simd::Vec<double, 4>;
+  using IV4 = simd::Vec<std::int32_t, 4>;
+  const V4 r4 = simd::to_real<V4>(IV4::loadu(vals));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r4[i], double(vals[i]));
+}
+
+TEST(WidthGeneric, MaskConvertDrivesValueSelect) {
+  using V = simd::Vec<double, 8>;
+  using IV = simd::Vec<std::int32_t, 8>;
+  std::int32_t colors[8] = {0, 1, 2, 0, 1, 2, 0, 1};
+  const IV cv = IV::loadu(colors);
+  for (int col = 0; col < 3; ++col) {
+    const auto imask = (cv == IV(col));
+    const auto vmask = simd::MaskConvert<V>::from(imask);
+    const V sel = simd::select(vmask, V(1.0), V(0.0));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(sel[l], colors[l] == col ? 1.0 : 0.0);
+  }
+}
+
+TEST(MaxLanes, MatchCompiledISA) {
+#if defined(__AVX512F__) && defined(__AVX2__)
+  EXPECT_EQ(simd::max_lanes<double>, 8);
+  EXPECT_EQ(simd::max_lanes<float>, 16);
+#elif defined(__AVX2__)
+  EXPECT_EQ(simd::max_lanes<double>, 4);
+  EXPECT_EQ(simd::max_lanes<float>, 8);
+#endif
+}
+
+}  // namespace

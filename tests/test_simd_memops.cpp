@@ -1,0 +1,264 @@
+// SIMD memory-operation tests: gathers (plain & masked), strided loads and
+// stores, scatters (serial, hardware, masked), tail masks — including the
+// duplicate-index semantics that the coloring correctness argument rests on:
+// serial scatter-add must accumulate duplicates, hardware scatter loses them
+// (which is why it is only legal under permute colorings).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using namespace opv;
+namespace simd = opv::simd;
+
+template <class V>
+class MemOps : public ::testing::Test {};
+
+using VecTypes = ::testing::Types<
+    simd::VecP<double, 4>, simd::VecP<double, 8>, simd::VecP<float, 8>
+#if defined(__AVX2__)
+    ,
+    simd::F64x4, simd::F32x8
+#endif
+#if defined(__AVX512F__) && defined(__AVX2__)
+    ,
+    simd::F64x8, simd::F32x16
+#endif
+    >;
+TYPED_TEST_SUITE(MemOps, VecTypes);
+
+TYPED_TEST(MemOps, GatherArbitraryIndices) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  using IV = simd::Vec<std::int32_t, V::width>;
+  constexpr int N = 100;
+  aligned_vector<S> data(N);
+  for (int i = 0; i < N; ++i) data[i] = S(i) * S(0.5);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::int32_t idx[V::width];
+    for (int l = 0; l < V::width; ++l) idx[l] = static_cast<std::int32_t>(rng.next_below(N));
+    const V g = V::gather(data.data(), IV::loadu(idx));
+    for (int l = 0; l < V::width; ++l) EXPECT_EQ(g[l], data[idx[l]]);
+  }
+}
+
+TYPED_TEST(MemOps, StridedLoadMatchesAoSComponent) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  constexpr int dim = 4;
+  aligned_vector<S> aos(V::width * dim);
+  for (std::size_t i = 0; i < aos.size(); ++i) aos[i] = S(i);
+  for (int c = 0; c < dim; ++c) {
+    const V v = V::strided(aos.data() + c, dim);
+    for (int l = 0; l < V::width; ++l) EXPECT_EQ(v[l], S(l * dim + c));
+  }
+}
+
+TYPED_TEST(MemOps, StoreStridedRoundtrip) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  constexpr int dim = 3;
+  const V v = V::iota(S(1));
+  aligned_vector<S> out(V::width * dim, S(-1));
+  simd::store_strided(out.data() + 1, dim, v);
+  for (int l = 0; l < V::width; ++l) EXPECT_EQ(out[1 + l * dim], S(1 + l));
+  // Untouched slots stay -1.
+  EXPECT_EQ(out[0], S(-1));
+  EXPECT_EQ(out[2], S(-1));
+}
+
+TYPED_TEST(MemOps, ScatterSerialLastLaneWinsOnDuplicates) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  using IV = simd::Vec<std::int32_t, V::width>;
+  aligned_vector<S> out(8, S(0));
+  // All lanes write slot 5: sequential semantics -> last lane's value.
+  const IV idx(5);
+  const V vals = V::iota(S(1));
+  simd::scatter_serial(out.data(), idx, vals);
+  EXPECT_EQ(out[5], S(V::width));
+}
+
+TYPED_TEST(MemOps, ScatterAddSerialAccumulatesDuplicates) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  using IV = simd::Vec<std::int32_t, V::width>;
+  aligned_vector<S> out(8, S(0));
+  const IV idx(3);
+  simd::scatter_add_serial(out.data(), idx, V(S(1)));
+  // Serial scatter-add with W duplicate lanes adds W times.
+  EXPECT_EQ(out[3], S(V::width));
+}
+
+TYPED_TEST(MemOps, ScatterAddHwCorrectForUniqueIndices) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  using IV = simd::Vec<std::int32_t, V::width>;
+  aligned_vector<S> out(2 * V::width, S(10));
+  std::int32_t idx[V::width];
+  for (int l = 0; l < V::width; ++l) idx[l] = 2 * l;  // unique
+  simd::scatter_add_hw(out.data(), IV::loadu(idx), V::iota(S(1)));
+  for (int l = 0; l < V::width; ++l) {
+    EXPECT_EQ(out[2 * l], S(10 + 1 + l));
+    EXPECT_EQ(out[2 * l + 1], S(10));
+  }
+}
+
+TYPED_TEST(MemOps, ScatterAddHwLosesDuplicates) {
+  // The exact failure mode that makes hardware scatter illegal without
+  // permute coloring: duplicate lanes collapse to a single update.
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  using IV = simd::Vec<std::int32_t, V::width>;
+  aligned_vector<S> out(4, S(0));
+  simd::scatter_add_hw(out.data(), IV(1), V(S(1)));
+  EXPECT_EQ(out[1], S(1)) << "hardware scatter must NOT accumulate duplicates";
+}
+
+TYPED_TEST(MemOps, MaskedScatterAddOnlyTouchesActiveLanes) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  using IV = simd::Vec<std::int32_t, V::width>;
+  aligned_vector<S> out(V::width, S(0));
+  std::int32_t idx[V::width];
+  std::iota(idx, idx + V::width, 0);
+  // Mask: even lanes active (mask built from a value comparison).
+  alignas(64) S sel[V::width];
+  for (int l = 0; l < V::width; ++l) sel[l] = S(l % 2 == 0 ? 1 : 0);
+  const auto mask = (V::loada(sel) > V(S(0.5)));
+  simd::scatter_add_serial_masked(out.data(), IV::loadu(idx), V(S(7)), mask);
+  for (int l = 0; l < V::width; ++l) EXPECT_EQ(out[l], S(l % 2 == 0 ? 7 : 0)) << "lane " << l;
+}
+
+TYPED_TEST(MemOps, GatherMaskedUsesFallbackOnInactiveLanes) {
+  using V = TypeParam;
+  using S = typename simd::vec_traits<V>::scalar;
+  using IV = simd::Vec<std::int32_t, V::width>;
+  aligned_vector<S> data(V::width);
+  for (int i = 0; i < V::width; ++i) data[i] = S(100 + i);
+  std::int32_t idx[V::width];
+  std::iota(idx, idx + V::width, 0);
+  alignas(64) S sel[V::width];
+  for (int l = 0; l < V::width; ++l) sel[l] = S(l < V::width / 2 ? 1 : 0);
+  const auto mask = (V::loada(sel) > V(S(0.5)));
+  const V g = V::gather_masked(data.data(), IV::loadu(idx), mask, V(S(-1)));
+  for (int l = 0; l < V::width; ++l)
+    EXPECT_EQ(g[l], l < V::width / 2 ? data[l] : S(-1)) << "lane " << l;
+}
+
+// ---- tail masks (ISA-specific helpers) -------------------------------------
+
+#if defined(__AVX2__)
+TEST(TailMask, F64x4) {
+  for (int n = 0; n <= 4; ++n) {
+    const auto m = simd::tail_mask_f64x4(n);
+    for (int l = 0; l < 4; ++l) EXPECT_EQ(m[l], l < n) << "n=" << n << " lane " << l;
+  }
+}
+TEST(TailMask, F32x8) {
+  for (int n = 0; n <= 8; ++n) {
+    const auto m = simd::tail_mask_f32x8(n);
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(m[l], l < n);
+  }
+}
+#endif
+#if defined(__AVX512F__) && defined(__AVX2__)
+TEST(TailMask, K8AndK16) {
+  for (int n = 0; n <= 8; ++n) {
+    const auto m = simd::tail_mask_k8(n);
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(m[l], l < n);
+  }
+  for (int n = 0; n <= 16; ++n) {
+    const auto m = simd::tail_mask_k16(n);
+    for (int l = 0; l < 16; ++l) EXPECT_EQ(m[l], l < n);
+  }
+}
+#endif
+
+// ---- int vectors -------------------------------------------------------------
+
+template <class IV>
+class IntOps : public ::testing::Test {};
+
+using IntTypes = ::testing::Types<
+    simd::VecP<std::int32_t, 4>, simd::VecP<std::int32_t, 8>
+#if defined(__AVX2__)
+    ,
+    simd::I32x4, simd::I32x8
+#endif
+#if defined(__AVX512F__) && defined(__AVX2__)
+    ,
+    simd::I32x16
+#endif
+    >;
+TYPED_TEST_SUITE(IntOps, IntTypes);
+
+TYPED_TEST(IntOps, ArithmeticAndCompare) {
+  using IV = TypeParam;
+  const IV a = IV::iota(1);
+  const IV b(3);
+  const IV sum = a + b, dif = a - b, mul = a * b;
+  for (int l = 0; l < IV::width; ++l) {
+    EXPECT_EQ(sum[l], 1 + l + 3);
+    EXPECT_EQ(dif[l], 1 + l - 3);
+    EXPECT_EQ(mul[l], (1 + l) * 3);
+  }
+  const auto eq = (a == b);
+  const auto gt = (a > b);
+  for (int l = 0; l < IV::width; ++l) {
+    EXPECT_EQ(eq[l], 1 + l == 3);
+    EXPECT_EQ(gt[l], 1 + l > 3);
+  }
+}
+
+TYPED_TEST(IntOps, GatherAndSelect) {
+  using IV = TypeParam;
+  aligned_vector<std::int32_t> data(64);
+  for (int i = 0; i < 64; ++i) data[i] = i * 10;
+  std::int32_t idx[IV::width];
+  for (int l = 0; l < IV::width; ++l) idx[l] = (l * 7) % 64;
+  const IV g = IV::gather(data.data(), IV::loadu(idx));
+  for (int l = 0; l < IV::width; ++l) EXPECT_EQ(g[l], ((l * 7) % 64) * 10);
+  const IV sel = simd::select(g > IV(200), IV(1), IV(0));
+  for (int l = 0; l < IV::width; ++l) EXPECT_EQ(sel[l], g[l] > 200 ? 1 : 0);
+}
+
+// ---- map-shaped access pattern (what the engine actually does) --------------
+
+TEST(EnginePattern, GatherScaledIndicesMatchesScalar) {
+  // Reproduce the engine's indirect load: idx = map[e*mdim+k]; addr =
+  // idx*dim + c — for every (W, dim) combination used by the apps.
+  Rng rng(99);
+  constexpr int N = 64, M = 256;
+  aligned_vector<std::int32_t> map(N * 2);
+  for (auto& x : map) x = static_cast<std::int32_t>(rng.next_below(M));
+  aligned_vector<double> data(M * 4);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = 0.25 * double(i);
+
+  auto check = [&]<int W>(std::integral_constant<int, W>) {
+    using V = simd::Vec<double, W>;
+    using IV = simd::Vec<std::int32_t, W>;
+    for (int dim : {1, 2, 4}) {
+      for (int n = 0; n + W <= N; n += W) {
+        const IV tgt = IV::strided(map.data() + n * 2 + 1, 2);
+        const IV sidx = tgt * IV(dim);
+        for (int c = 0; c < dim; ++c) {
+          const V g = V::gather(data.data() + c, sidx);
+          for (int l = 0; l < W; ++l)
+            ASSERT_EQ(g[l], data[std::size_t(map[(n + l) * 2 + 1]) * dim + c]);
+        }
+      }
+    }
+  };
+  check(std::integral_constant<int, 4>{});
+  check(std::integral_constant<int, 8>{});
+  check(std::integral_constant<int, 16>{});
+}
+
+}  // namespace

@@ -1,0 +1,247 @@
+// Volna application tests: edge/cell geometry invariants on periodic
+// meshes, HLL flux properties (consistency, symmetry, upwinding), exact
+// volume conservation, still-water steadiness, wave propagation sanity,
+// and cross-backend equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/volna/volna.hpp"
+#include "core/context.hpp"
+#include "dist/context.hpp"
+#include "mesh/generators.hpp"
+
+namespace {
+
+using namespace opv;
+using volna::Params;
+
+TEST(VolnaGeometry, CellAreasTileTheDomain) {
+  auto m = mesh::make_tri_periodic(8, 6, 4.0, 3.0);
+  const auto cg = volna::cell_geometry(m);
+  double total = 0;
+  for (idx_t c = 0; c < m.ncells; ++c) {
+    EXPECT_GT(cg[2 * c], 0.0);
+    EXPECT_NEAR(cg[2 * c + 1], 1.0 / cg[2 * c], 1e-12);
+    total += cg[2 * c];
+  }
+  EXPECT_NEAR(total, 4.0 * 3.0, 1e-9) << "areas must tile the periodic box";
+}
+
+TEST(VolnaGeometry, EdgeNormalsAreUnitAndOriented) {
+  auto m = mesh::make_tri_periodic(7, 9, 2.0, 2.0);
+  const auto eg = volna::edge_geometry(m);
+  for (idx_t e = 0; e < m.nedges; ++e) {
+    const double nx = eg[4 * e], ny = eg[4 * e + 1], len = eg[4 * e + 2];
+    EXPECT_NEAR(nx * nx + ny * ny, 1.0, 1e-12);
+    EXPECT_GT(len, 0.0);
+  }
+}
+
+TEST(VolnaGeometry, DivergenceTheoremPerCell) {
+  // Outward-oriented edge normals weighted by length must sum to zero
+  // around every closed cell: sum_e s_e * n_e * len_e = 0, where s_e is +1
+  // if the cell is the edge's left cell and -1 otherwise.
+  auto m = mesh::make_tri_periodic(6, 5, 3.0, 3.0);
+  const auto eg = volna::edge_geometry(m);
+  const auto ce = mesh::build_cell_edges_flat3(m);
+  for (idx_t c = 0; c < m.ncells; ++c) {
+    double sx = 0, sy = 0;
+    for (int k = 0; k < 3; ++k) {
+      const idx_t e = ce[3 * c + k];
+      const double s = m.edge_cells[2 * e] == c ? 1.0 : -1.0;
+      sx += s * eg[4 * e] * eg[4 * e + 2];
+      sy += s * eg[4 * e + 1] * eg[4 * e + 2];
+    }
+    ASSERT_NEAR(sx, 0.0, 1e-9) << "cell " << c;
+    ASSERT_NEAR(sy, 0.0, 1e-9) << "cell " << c;
+  }
+}
+
+// ---- flux kernel properties ---------------------------------------------------
+
+TEST(VolnaFlux, ConsistencyOnUniformState) {
+  // F(U, U) equals the physical flux of U: for still water (hu=hv=0) the
+  // mass flux is 0 and the momentum flux is the hydrostatic pressure.
+  Params<double> p;
+  const double h = 2.0;
+  const double ul[4] = {h, 0, 0, 0}, ur[4] = {h, 0, 0, 0};
+  const double geom[4] = {1, 0, 0.5, 0};  // normal +x
+  double flux[5];
+  volna::ComputeFlux<double>{p}(ul, ur, geom, flux);
+  EXPECT_NEAR(flux[0], 0.0, 1e-12);
+  EXPECT_NEAR(flux[1], 0.5 * p.g * h * h, 1e-9);
+  EXPECT_NEAR(flux[2], 0.0, 1e-12);
+  EXPECT_NEAR(flux[3], std::sqrt(p.g * h), 1e-9);  // smax = c
+}
+
+TEST(VolnaFlux, MirrorSymmetry) {
+  // Swapping the states and flipping the normal negates mass/momentum flux.
+  Params<double> p;
+  const double ul[4] = {1.5, 0.3, -0.1, 0}, ur[4] = {1.0, -0.2, 0.2, 0};
+  const double geom_f[4] = {0.6, 0.8, 1.0, 0};
+  const double geom_b[4] = {-0.6, -0.8, 1.0, 0};
+  double ff[5], fb[5];
+  volna::ComputeFlux<double>{p}(ul, ur, geom_f, ff);
+  volna::ComputeFlux<double>{p}(ur, ul, geom_b, fb);
+  for (int n = 0; n < 3; ++n) EXPECT_NEAR(ff[n], -fb[n], 1e-10) << "component " << n;
+  EXPECT_NEAR(ff[3], fb[3], 1e-12);
+}
+
+TEST(VolnaFlux, SupercriticalUpwinding) {
+  // Both states in fast rightward flow (un - c > 0 on both sides): the HLL
+  // flux must reduce to the left state's physical flux.
+  Params<double> p;
+  const double h = 1.0, u = 10.0;  // c = sqrt(9.81) ~ 3.1, Fr >> 1
+  const double ul[4] = {h, h * u, 0, 0}, ur[4] = {0.5, 0.5 * u, 0, 0};
+  const double geom[4] = {1, 0, 1, 0};
+  double flux[5];
+  volna::ComputeFlux<double>{p}(ul, ur, geom, flux);
+  EXPECT_NEAR(flux[0], h * u, 1e-5);
+  EXPECT_NEAR(flux[1], h * u * u + 0.5 * p.g * h * h, 1e-4);
+}
+
+TEST(VolnaFlux, DryStateProducesFiniteFlux) {
+  Params<double> p;
+  const double ul[4] = {0.0, 0.0, 0.0, 0}, ur[4] = {1.0, 0.0, 0.0, 0};
+  const double geom[4] = {1, 0, 1, 0};
+  double flux[5];
+  volna::ComputeFlux<double>{p}(ul, ur, geom, flux);
+  for (int n = 0; n < 4; ++n) EXPECT_TRUE(std::isfinite(flux[n])) << n;
+}
+
+TEST(VolnaKernels, RKStagesHandComputed) {
+  double u[4] = {2, 4, 6, 1}, res[4] = {0.5, -0.5, 1.0, 9.0}, utmp[4] = {};
+  const double dt = 0.1;
+  volna::RK1<double>{}(u, res, utmp, &dt);
+  EXPECT_NEAR(utmp[0], 2.05, 1e-14);
+  EXPECT_NEAR(utmp[1], 3.95, 1e-14);
+  EXPECT_NEAR(utmp[2], 6.10, 1e-14);
+  EXPECT_EQ(utmp[3], 1.0);  // bathymetry copied, not integrated
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(res[n], 0.0);
+
+  double uold[4] = {2, 4, 6, 1}, res2[4] = {1.0, 0.0, -1.0, 3.0}, unew[4] = {};
+  volna::RK2<double>{}(uold, utmp, res2, unew, &dt);
+  EXPECT_NEAR(unew[0], 0.5 * (2 + 2.05 + 0.1), 1e-14);
+  EXPECT_NEAR(unew[2], 0.5 * (6 + 6.10 - 0.1), 1e-14);
+  EXPECT_EQ(unew[3], 1.0);
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(res2[n], 0.0);
+}
+
+// ---- full application ------------------------------------------------------------
+
+template <class Real>
+aligned_vector<Real> run_app(const mesh::UnstructuredMesh& m, ExecConfig cfg, int steps,
+                             double amp = 0.25) {
+  LocalCtx ctx(cfg);
+  volna::Volna<Real, LocalCtx> app(ctx, m, 1.0, amp, 0.1);
+  app.run(steps);
+  return app.fetch_state();
+}
+
+TEST(VolnaApp, StillWaterIsSteady) {
+  auto m = mesh::make_tri_periodic(12, 12, 5.0, 5.0);
+  const auto s = run_app<double>(m, {.backend = Backend::Seq}, 5, /*amp=*/0.0);
+  for (idx_t c = 0; c < m.ncells; ++c) {
+    ASSERT_NEAR(s[4 * c + 0], 1.0, 1e-12) << "h drifted on cell " << c;
+    ASSERT_NEAR(s[4 * c + 1], 0.0, 1e-12);
+    ASSERT_NEAR(s[4 * c + 2], 0.0, 1e-12);
+  }
+}
+
+TEST(VolnaApp, VolumeConservedExactly) {
+  auto m = mesh::make_tri_periodic(16, 16, 5.0, 5.0);
+  const auto cg = volna::cell_geometry(m);
+  LocalCtx ctx(ExecConfig{.backend = Backend::Simd});
+  volna::Volna<double, LocalCtx> app(ctx, m, 1.0, 0.3, 0.1);
+  const double v0 = volna::total_volume(app.fetch_state(), cg);
+  app.run(20);
+  const double v1 = volna::total_volume(app.fetch_state(), cg);
+  EXPECT_NEAR(v1, v0, 1e-9 * v0) << "periodic FV scheme must conserve volume";
+}
+
+TEST(VolnaApp, WavePropagatesOutward) {
+  auto m = mesh::make_tri_periodic(24, 24, 10.0, 10.0);
+  LocalCtx ctx(ExecConfig{.backend = Backend::Simd});
+  volna::Volna<double, LocalCtx> app(ctx, m, 1.0, 0.4, 0.05);
+  const auto s0 = app.fetch_state();
+  double hmax0 = 0;
+  for (idx_t c = 0; c < m.ncells; ++c) hmax0 = std::max(hmax0, s0[4 * c]);
+  app.run(30);
+  const auto s1 = app.fetch_state();
+  double hmax1 = 0, hu_energy = 0;
+  for (idx_t c = 0; c < m.ncells; ++c) {
+    hmax1 = std::max(hmax1, s1[4 * c]);
+    hu_energy += s1[4 * c + 1] * s1[4 * c + 1] + s1[4 * c + 2] * s1[4 * c + 2];
+  }
+  EXPECT_LT(hmax1, hmax0) << "hump must collapse";
+  EXPECT_GT(hu_energy, 0.0) << "momentum must appear as the wave radiates";
+  EXPECT_GT(app.last_dt(), 0.0);
+}
+
+class VolnaBackends : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<std::pair<std::string, ExecConfig>> configs() {
+    return {
+        {"openmp", {.backend = Backend::OpenMP}},
+        {"autovec", {.backend = Backend::AutoVec}},
+        {"simd", {.backend = Backend::Simd}},
+        {"simd_bp", {.backend = Backend::Simd, .coloring = ColoringStrategy::BlockPermute}},
+        {"simt", {.backend = Backend::Simt}},
+    };
+  }
+};
+
+TEST_P(VolnaBackends, MatchSequential) {
+  auto m = mesh::make_tri_periodic(9, 11, 4.0, 4.0);
+  const auto ref = run_app<double>(m, {.backend = Backend::Seq}, 4);
+  const auto cfgs = configs();
+  const auto& [name, cfg] = cfgs[GetParam()];
+  SCOPED_TRACE(name);
+  const auto got = run_app<double>(m, cfg, 4);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_NEAR(ref[i], got[i], 1e-9 * (std::abs(ref[i]) + 1)) << "state[" << i << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, VolnaBackends,
+                         ::testing::Range(0, static_cast<int>(VolnaBackends::configs().size())),
+                         [](const auto& info) {
+                           return VolnaBackends::configs()[info.param].first;
+                         });
+
+TEST(VolnaApp, DistMatchesLocal) {
+  auto m = mesh::make_tri_periodic(10, 10, 4.0, 4.0);
+  const auto ref = run_app<double>(m, {.backend = Backend::Seq}, 3);
+  dist::DistCtx ctx(4, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  volna::Volna<double, dist::DistCtx> app(ctx, m, 1.0, 0.25, 0.1);
+  app.run(3);
+  const auto got = app.fetch_state();
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_NEAR(ref[i], got[i], 1e-9 * (std::abs(ref[i]) + 1)) << i;
+}
+
+TEST(VolnaApp, SinglePrecisionRuns) {
+  // The paper runs Volna in SP only; verify SP stays stable & conservative.
+  auto m = mesh::make_tri_periodic(16, 16, 5.0, 5.0);
+  const auto cg = volna::cell_geometry(m);
+  LocalCtx ctx(ExecConfig{.backend = Backend::Simd});
+  volna::Volna<float, LocalCtx> app(ctx, m, 1.0, 0.25, 0.1);
+  const double v0 = volna::total_volume(app.fetch_state(), cg);
+  app.run(10);
+  const double v1 = volna::total_volume(app.fetch_state(), cg);
+  EXPECT_NEAR(v1, v0, 1e-4 * v0);
+  for (float x : app.fetch_state()) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(VolnaApp, KernelInfoRegistered) {
+  volna::register_kernel_info();
+  auto& reg = KernelRegistry::instance();
+  for (const char* k :
+       {"sim_1", "compute_flux", "numerical_flux", "space_disc", "RK_1", "RK_2"})
+    EXPECT_TRUE(reg.has(k)) << k;
+  EXPECT_NEAR(reg.get("compute_flux").flop_per_byte(4), 154.0 / 72.0, 1e-3);
+}
+
+}  // namespace
