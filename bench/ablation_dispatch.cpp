@@ -89,9 +89,22 @@ void BM_dispatch_inlined_simd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * f.m.nedges);
 }
 
+/// The reusable Loop handle: conflict analysis, plan lookup and stats
+/// binding amortized to zero per call — the steady-state dispatch path.
+void BM_dispatch_loop_handle(benchmark::State& state) {
+  auto& f = fixture();
+  const ExecConfig cfg{.backend = Backend::Simd, .collect_stats = false};
+  Loop loop(EdgeKernel{}, std::string("loop_handle_simd"), f.edges,
+            arg<opv::READ>(f.q, 0, f.e2c), arg<opv::READ>(f.q, 1, f.e2c),
+            arg<opv::READ>(f.w), arg<opv::INC>(f.r, 0, f.e2c), arg<opv::INC>(f.r, 1, f.e2c));
+  for (auto _ : state) loop.run(cfg);
+  state.SetItemsProcessed(state.iterations() * f.m.nedges);
+}
+
 BENCHMARK(BM_dispatch_inlined)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_dispatch_fnptr)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_dispatch_inlined_simd)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_dispatch_loop_handle)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Local verification: the tier-1 sequence (configure + build + ctest) plus a
+# smoke run of the dispatch-path microbench, so regressions in the par_loop
+# dispatch path are caught before review.
+#
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+echo "== configure =="
+cmake -B "$BUILD" -S "$ROOT"
+
+echo "== build =="
+cmake --build "$BUILD" -j
+
+echo "== ctest =="
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "== dispatch-path smoke =="
+if [ -x "$BUILD/ablation_dispatch" ]; then
+  # One fast iteration per benchmark: catches dispatch-path breakage and
+  # gross slowdowns without a full measurement run.
+  "$BUILD/ablation_dispatch" --benchmark_min_time=0.05
+else
+  echo "ablation_dispatch not built (Google Benchmark missing) - skipped"
+fi
+
+echo "== OK =="

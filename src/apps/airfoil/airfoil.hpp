@@ -63,6 +63,9 @@ class Airfoil {
 
   /// Run niter outer iterations; records sqrt(rms/ncells) every rms_every.
   void run(int niter, int rms_every = 100) {
+    // A::READ etc. are compile-time access tags: every ctx.arg(...) below
+    // builds a typed Arg<S, A, Indirect> descriptor, so the engine's
+    // gather/scatter paths are specialized per argument (docs/API.md).
     using A = Access;
     for (int iter = 1; iter <= niter; ++iter) {
       ctx_.loop(SaveSoln<Real>{}, "save_soln", cells_, ctx_.arg(q_, A::READ),

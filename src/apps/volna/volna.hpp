@@ -70,6 +70,7 @@ class Volna {
 
   /// Advance nsteps timesteps (adaptive dt from the CFL reduction).
   void run(int nsteps) {
+    // A::READ etc. are compile-time access tags (typed Arg descriptors).
     using A = Access;
     for (int step = 0; step < nsteps; ++step) {
       ctx_.loop(Sim1<Real>{}, "sim_1", cells_, ctx_.arg(u_, A::READ), ctx_.arg(uold_, A::WRITE));

@@ -1,8 +1,22 @@
-// op_arg: argument descriptors for op_par_loop (paper Figure 2a).
+// op_arg: typed argument descriptors for op_par_loop (paper Figure 2a).
 //
-//   arg(dat, idx, map, access)  — dataset accessed through map index idx
-//   arg(dat, access)            — dataset on the iteration set itself
-//   arg_gbl(ptr, dim, access)   — global scalar/array (constants, reductions)
+// The access mode and directness are template parameters, so the engine's
+// gather/scatter paths specialize per argument at compile time — the
+// template analog of OP2's generated per-loop stubs:
+//
+//   arg<opv::READ>(dat, idx, map)   dataset accessed through map index idx
+//   arg<opv::INC>(dat)              dataset on the iteration set itself
+//   arg_gbl<opv::MIN>(ptr, dim)     global scalar/array (constant, reduction)
+//
+// The OP2-era call shapes keep working via typed tags (see access.hpp):
+//
+//   arg(dat, idx, map, Access::READ) / arg(dat, Access::INC)
+//   arg_gbl(ptr, dim, Access::MIN)
+//
+// Invalid combinations (MIN/MAX on a dataset, WRITE/RW on a global) are
+// rejected at COMPILE TIME via constraints — `requires { arg<opv::MIN>(d); }`
+// is false — while data-dependent errors (map index range, set mismatch)
+// remain runtime opv::Error throws.
 #pragma once
 
 #include "core/access.hpp"
@@ -11,26 +25,37 @@
 
 namespace opv {
 
-/// Dataset argument. map == nullptr means direct access (OP_ID).
-template <class S>
-struct ArgDat {
+/// Dataset argument. Indirect == false means direct access (OP_ID).
+template <class S, AccessMode A, bool Indirect>
+struct Arg {
+  using scalar_type = S;
+  static constexpr AccessMode access = A;
+  static constexpr bool indirect = Indirect;
+  static constexpr bool is_gbl = false;
+
   Dat<S>* dat = nullptr;
-  const Map* map = nullptr;  ///< nullptr = direct
+  const Map* map = nullptr;  ///< non-null iff Indirect
   int map_idx = -1;          ///< which of the map's dim targets
-  Access acc = Access::READ;
 };
 
 /// Global argument: READ broadcast or INC/MIN/MAX reduction into ptr[0..dim).
-template <class S>
+template <class S, AccessMode A>
 struct ArgGbl {
+  using scalar_type = S;
+  static constexpr AccessMode access = A;
+  static constexpr bool indirect = false;
+  static constexpr bool is_gbl = true;
+
   S* ptr = nullptr;
   int dim = 1;
-  Access acc = Access::READ;
 };
 
+// ===== typed builders (explicit template argument spelling) =================
+
 /// Indirect dataset argument through map index `idx`.
-template <class S>
-inline ArgDat<S> arg(Dat<S>& dat, int idx, const Map& map, Access acc) {
+template <AccessMode A, class S>
+  requires(dat_access_ok(A))
+inline Arg<S, A, true> arg(Dat<S>& dat, int idx, const Map& map) {
   OPV_REQUIRE(idx >= 0 && idx < map.dim(),
               "arg: map index " << idx << " out of range for map '" << map.name() << "' (dim "
                                 << map.dim() << ")");
@@ -38,27 +63,79 @@ inline ArgDat<S> arg(Dat<S>& dat, int idx, const Map& map, Access acc) {
                                                     << map.to().name() << "' but dat '"
                                                     << dat.name() << "' lives on '"
                                                     << dat.set().name() << "'");
-  OPV_REQUIRE(acc != Access::MIN && acc != Access::MAX,
-              "arg: MIN/MAX reductions are only valid for globals");
-  return {&dat, &map, idx, acc};
+  return {&dat, &map, idx};
 }
 
 /// Direct dataset argument (defined on the iteration set).
-template <class S>
-inline ArgDat<S> arg(Dat<S>& dat, Access acc) {
-  OPV_REQUIRE(acc != Access::MIN && acc != Access::MAX,
-              "arg: MIN/MAX reductions are only valid for globals");
-  return {&dat, nullptr, -1, acc};
+template <AccessMode A, class S>
+  requires(dat_access_ok(A))
+inline Arg<S, A, false> arg(Dat<S>& dat) {
+  return {&dat, nullptr, -1};
 }
 
 /// Global argument.
-template <class S>
-inline ArgGbl<S> arg_gbl(S* ptr, int dim, Access acc) {
+template <AccessMode A, class S>
+  requires(gbl_access_ok(A))
+inline ArgGbl<S, A> arg_gbl(S* ptr, int dim) {
   OPV_REQUIRE(dim >= 1 && dim <= 8, "arg_gbl: dim must be in [1,8]");
-  OPV_REQUIRE(acc == Access::READ || acc == Access::INC || acc == Access::MIN ||
-                  acc == Access::MAX,
-              "arg_gbl: access must be READ/INC/MIN/MAX");
-  return {ptr, dim, acc};
+  return {ptr, dim};
 }
+
+// ===== tag builders (the historical op_arg call shape) ======================
+
+template <class S, AccessMode A>
+  requires(dat_access_ok(A))
+inline Arg<S, A, true> arg(Dat<S>& dat, int idx, const Map& map, AccessTag<A>) {
+  return arg<A>(dat, idx, map);
+}
+
+template <class S, AccessMode A>
+  requires(dat_access_ok(A))
+inline Arg<S, A, false> arg(Dat<S>& dat, AccessTag<A>) {
+  return arg<A>(dat);
+}
+
+template <class S, AccessMode A>
+  requires(gbl_access_ok(A))
+inline ArgGbl<S, A> arg_gbl(S* ptr, int dim, AccessTag<A>) {
+  return arg_gbl<A>(ptr, dim);
+}
+
+// ===== compile-time argument traits ========================================
+
+/// Classification the engine (and plan construction) derives from an
+/// argument's TYPE alone — the compile-time replacement for the old
+/// runtime collect(..., bool&) conflict scan.
+template <class A>
+struct arg_traits;
+
+template <class S, AccessMode A, bool Ind>
+struct arg_traits<Arg<S, A, Ind>> {
+  using scalar = S;
+  static constexpr AccessMode access = A;
+  static constexpr bool is_gbl = false;
+  static constexpr bool is_indirect = Ind;
+  /// Indirect modification: a data-driven race the plan must color away.
+  static constexpr bool conflicting = Ind && access_conflicting(A);
+  static constexpr bool gbl_reduction = false;
+};
+
+template <class S, AccessMode A>
+struct arg_traits<ArgGbl<S, A>> {
+  using scalar = S;
+  static constexpr AccessMode access = A;
+  static constexpr bool is_gbl = true;
+  static constexpr bool is_indirect = false;
+  static constexpr bool conflicting = false;
+  static constexpr bool gbl_reduction = A != AccessMode::READ;
+};
+
+/// True if any argument indirectly modifies a dataset (loop needs a plan).
+template <class... Args>
+inline constexpr bool has_conflicts_v = (arg_traits<Args>::conflicting || ...);
+
+/// True if any argument is a global reduction.
+template <class... Args>
+inline constexpr bool has_gbl_reduction_v = (arg_traits<Args>::gbl_reduction || ...);
 
 }  // namespace opv

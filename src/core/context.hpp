@@ -56,17 +56,31 @@ class LocalCtx {
   /// No-op locally; the distributed context partitions here.
   void finalize() {}
 
-  template <class T>
-  ArgDat<T> arg(DatHandle<T> d, int idx, MapHandle m, Access a) {
-    return opv::arg(*d, idx, *m, a);
+  // Typed argument builders: the access mode travels as a template
+  // parameter, via explicit template argument or deduced from the tag.
+  template <AccessMode A, class T>
+  auto arg(DatHandle<T> d, int idx, MapHandle m) {
+    return opv::arg<A>(*d, idx, *m);
   }
-  template <class T>
-  ArgDat<T> arg(DatHandle<T> d, Access a) {
-    return opv::arg(*d, a);
+  template <AccessMode A, class T>
+  auto arg(DatHandle<T> d) {
+    return opv::arg<A>(*d);
   }
-  template <class T>
-  ArgGbl<T> arg_gbl(T* p, int dim, Access a) {
-    return opv::arg_gbl(p, dim, a);
+  template <AccessMode A, class T>
+  auto arg_gbl(T* p, int dim) {
+    return opv::arg_gbl<A>(p, dim);
+  }
+  template <class T, AccessMode A>
+  auto arg(DatHandle<T> d, int idx, MapHandle m, AccessTag<A> t) {
+    return opv::arg(*d, idx, *m, t);
+  }
+  template <class T, AccessMode A>
+  auto arg(DatHandle<T> d, AccessTag<A> t) {
+    return opv::arg(*d, t);
+  }
+  template <class T, AccessMode A>
+  auto arg_gbl(T* p, int dim, AccessTag<A> t) {
+    return opv::arg_gbl(p, dim, t);
   }
 
   template <class Kernel, class... Args>

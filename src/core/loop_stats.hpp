@@ -21,9 +21,24 @@ class StatsRegistry {
  public:
   static StatsRegistry& instance();
 
+  /// Stable accumulator slot for a loop name. The reference stays valid for
+  /// the process lifetime (clear() zeroes records, it does not erase them),
+  /// so Loop handles resolve their slot once at construction and record with
+  /// no per-call name lookup.
+  [[nodiscard]] LoopRecord& slot(const std::string& loop);
+
+  /// Accumulate into a slot obtained from slot() (thread-safe).
+  void record(LoopRecord& slot, double seconds, std::int64_t elements);
+
+  /// Accumulate by name (one-shot callers; does the lookup every time).
   void record(const std::string& loop, double seconds, std::int64_t elements);
+
   [[nodiscard]] LoopRecord get(const std::string& loop) const;
+
+  /// All records with at least one call, sorted by name.
   [[nodiscard]] std::vector<std::pair<std::string, LoopRecord>> all() const;
+
+  /// Zero every record. Slot references remain valid.
   void clear();
 
  private:

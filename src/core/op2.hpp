@@ -1,10 +1,14 @@
 // Umbrella header for the opvec core: the complete OP2-style public API.
 //
 //   opv::Set / opv::Map / opv::Dat<T>        mesh abstraction
-//   opv::arg / opv::arg_gbl / opv::Access    argument descriptors
-//   opv::par_loop                            parallel loop execution
+//   opv::arg<A> / opv::arg_gbl<A>            typed argument descriptors
+//   opv::Access / opv::AccessMode            compile-time access tags
+//   opv::Loop                                reusable parallel-loop handle
+//   opv::par_loop                            one-shot loop execution
 //   opv::ExecConfig / opv::Backend           backend selection
 //   opv::Plan / opv::PlanCache               coloring plans (advanced use)
+//
+// The distributed-rank context lives in dist/context.hpp (opv::dist).
 #pragma once
 
 #include "core/access.hpp"

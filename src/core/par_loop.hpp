@@ -3,12 +3,14 @@
 // OP2 uses source-to-source code generation to produce one specialized stub
 // per parallel loop (paper Fig. 2b for MPI, Fig. 3a for OpenCL, Fig. 3b for
 // AVX). This engine obtains the same specializations by template
-// instantiation: par_loop is a variadic template over typed argument
-// descriptors, and the user kernel is a functor templated over its value
-// type. Instantiating the kernel with T = double produces the scalar loops;
-// instantiating with T = simd::Vec<double,W> produces exactly the gather /
-// vector-kernel / colored-scatter structure of Fig. 3b, including the scalar
-// pre/post sweeps. Backends:
+// instantiation: every argument descriptor carries its access mode and
+// directness as template parameters (core/arg.hpp), so each gather/scatter
+// below is an `if constexpr` — per instantiation the compiler sees exactly
+// the branch-free straight-line code OP2's generator would have emitted.
+// The user kernel is a functor templated over its value type: instantiating
+// with T = double produces the scalar loops; with T = simd::Vec<double,W>
+// exactly the gather / vector-kernel / colored-scatter structure of Fig. 3b,
+// including the scalar pre/post sweeps. Backends:
 //
 //   Seq      reference scalar execution
 //   OpenMP   threads over colored blocks, scalar kernel (the baseline)
@@ -19,12 +21,24 @@
 //            hardware scatters depending on the coloring strategy
 //   Simt     OpenCL-on-CPU model: work-groups pulled from a dynamic queue,
 //            W-wide lock-step bundles, per-color masked increments (Fig. 3a)
+//
+// Two entry points:
+//
+//   opv::Loop handle — constructed once, run many times. Conflict analysis
+//   happens at construction, the coloring Plan and the stats slot are pinned
+//   on first use, so steady-state iteration does zero per-call setup.
+//
+//   opv::par_loop(kernel, name, set, cfg, args...) — the OP2-shaped free
+//   function, now a thin wrapper over a one-shot Loop.
 #pragma once
 
 #include <omp.h>
 
 #include <atomic>
 #include <limits>
+#include <memory>
+#include <optional>
+#include <string>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -48,70 +62,58 @@ inline int resolve_threads(int requested) {
 
 // ===== bound scalar arguments ==============================================
 
-template <class S>
+template <class S, AccessMode A, bool Ind>
 struct BoundDat {
   S* data = nullptr;
   const idx_t* map = nullptr;
   int map_dim = 0;
   int map_idx = 0;
   int dim = 0;
-  Access acc = Access::READ;
 };
 
-template <class S>
+template <class S, AccessMode A>
 struct BoundGbl {
   S* target = nullptr;
   int dim = 0;
-  Access acc = Access::READ;
   S scratch[kMaxDim] = {};
-  bool use_scratch = false;
 };
 
-template <class S>
-inline BoundDat<S> bind(const ArgDat<S>& a) {
-  return {a.dat->data(), a.map ? a.map->data() : nullptr, a.map ? a.map->dim() : 0,
-          a.map ? a.map_idx : 0, a.dat->dim(), a.acc};
+template <class S, AccessMode A, bool Ind>
+inline BoundDat<S, A, Ind> bind(const Arg<S, A, Ind>& a) {
+  if constexpr (Ind) {
+    return {a.dat->data(), a.map->data(), a.map->dim(), a.map_idx, a.dat->dim()};
+  } else {
+    return {a.dat->data(), nullptr, 0, 0, a.dat->dim()};
+  }
 }
-template <class S>
-inline BoundGbl<S> bind(const ArgGbl<S>& a) {
-  return {a.ptr, a.dim, a.acc, {}, false};
+template <class S, AccessMode A>
+inline BoundGbl<S, A> bind(const ArgGbl<S, A>& a) {
+  return {a.ptr, a.dim, {}};
 }
 
-template <class S>
-inline void thread_init(BoundDat<S>&) {}
-template <class S>
-inline void thread_init(BoundGbl<S>& g) {
-  if (g.acc == Access::READ) {
-    g.use_scratch = false;
-    return;
-  }
-  g.use_scratch = true;
+template <class S, AccessMode A, bool Ind>
+inline void thread_init(BoundDat<S, A, Ind>&) {}
+template <class S, AccessMode A>
+inline void thread_init(BoundGbl<S, A>& g) {
+  if constexpr (A == AccessMode::READ) return;
   for (int c = 0; c < g.dim; ++c) {
-    if (g.acc == Access::INC) g.scratch[c] = S(0);
-    else if (g.acc == Access::MIN) g.scratch[c] = std::numeric_limits<S>::max();
+    if constexpr (A == AccessMode::INC) g.scratch[c] = S(0);
+    else if constexpr (A == AccessMode::MIN) g.scratch[c] = std::numeric_limits<S>::max();
     else g.scratch[c] = std::numeric_limits<S>::lowest();
   }
 }
 
-template <class S>
-inline void thread_merge(BoundDat<S>&) {}
-template <class S>
-inline void thread_merge(BoundGbl<S>& g) {
-  if (!g.use_scratch) return;
+template <class S, AccessMode A, bool Ind>
+inline void thread_merge(BoundDat<S, A, Ind>&) {}
+template <class S, AccessMode A>
+inline void thread_merge(BoundGbl<S, A>& g) {
+  if constexpr (A == AccessMode::READ) return;
   for (int c = 0; c < g.dim; ++c) {
-    if (g.acc == Access::INC) g.target[c] += g.scratch[c];
-    else if (g.acc == Access::MIN) g.target[c] = g.target[c] < g.scratch[c] ? g.target[c] : g.scratch[c];
+    if constexpr (A == AccessMode::INC) g.target[c] += g.scratch[c];
+    else if constexpr (A == AccessMode::MIN)
+      g.target[c] = g.target[c] < g.scratch[c] ? g.target[c] : g.scratch[c];
     else g.target[c] = g.target[c] > g.scratch[c] ? g.target[c] : g.scratch[c];
   }
-}
-
-/// Redirect reductions of the redundantly-executed halo range to a dummy
-/// buffer (their contributions belong to the owning rank).
-template <class S>
-inline void mute_reductions(BoundDat<S>&) {}
-template <class S>
-inline void mute_reductions(BoundGbl<S>& g) {
-  if (g.acc != Access::READ) thread_init(g);  // reset scratch; merge skipped by caller
 }
 
 template <class Tuple, std::size_t... Is>
@@ -124,14 +126,19 @@ inline void thread_merge_all(Tuple& t, std::index_sequence<Is...>) {
 }
 
 /// Pointer handed to the scalar kernel for element e.
-template <class S>
-inline S* kptr(BoundDat<S>& b, idx_t e) {
-  const idx_t tgt = b.map ? b.map[static_cast<std::size_t>(e) * b.map_dim + b.map_idx] : e;
-  return b.data + static_cast<std::size_t>(tgt) * b.dim;
+template <class S, AccessMode A, bool Ind>
+inline S* kptr(BoundDat<S, A, Ind>& b, idx_t e) {
+  if constexpr (Ind) {
+    const idx_t tgt = b.map[static_cast<std::size_t>(e) * b.map_dim + b.map_idx];
+    return b.data + static_cast<std::size_t>(tgt) * b.dim;
+  } else {
+    return b.data + static_cast<std::size_t>(e) * b.dim;
+  }
 }
-template <class S>
-inline S* kptr(BoundGbl<S>& g, idx_t) {
-  return g.use_scratch ? g.scratch : g.target;
+template <class S, AccessMode A>
+inline S* kptr(BoundGbl<S, A>& g, idx_t) {
+  if constexpr (A == AccessMode::READ) return g.target;
+  else return g.scratch;
 }
 
 // ---- scalar loop bodies ----------------------------------------------------
@@ -184,7 +191,7 @@ inline void run_perm_simd_hint(Kernel& k, Tuple& t, const idx_t* perm, idx_t beg
 
 // ===== vector-path argument state ==========================================
 
-template <class S, int W>
+template <class S, int W, AccessMode A, bool Ind>
 struct VDat {
   using V = simd::Vec<S, W>;
   using IV = simd::Vec<std::int32_t, W>;
@@ -193,61 +200,60 @@ struct VDat {
   int map_dim = 0;
   int map_idx = 0;
   int dim = 0;
-  Access acc = Access::READ;
   V buf[kMaxDim];
   IV sidx;  ///< scaled target index (target*dim), kept for scatters
 };
 
-template <class S, int W>
+template <class S, int W, AccessMode A>
 struct VGbl {
   using V = simd::Vec<S, W>;
   S* target = nullptr;
   int dim = 0;
-  Access acc = Access::READ;
   V buf[kMaxDim];
 };
 
-template <int W, class S>
-inline VDat<S, W> vbind(const ArgDat<S>& a) {
-  VDat<S, W> v;
+template <int W, class S, AccessMode A, bool Ind>
+inline VDat<S, W, A, Ind> vbind(const Arg<S, A, Ind>& a) {
+  VDat<S, W, A, Ind> v;
   v.data = a.dat->data();
-  v.map = a.map ? a.map->data() : nullptr;
-  v.map_dim = a.map ? a.map->dim() : 0;
-  v.map_idx = a.map ? a.map_idx : 0;
+  if constexpr (Ind) {
+    v.map = a.map->data();
+    v.map_dim = a.map->dim();
+    v.map_idx = a.map_idx;
+  }
   v.dim = a.dat->dim();
-  v.acc = a.acc;
   return v;
 }
-template <int W, class S>
-inline VGbl<S, W> vbind(const ArgGbl<S>& a) {
-  VGbl<S, W> v;
+template <int W, class S, AccessMode A>
+inline VGbl<S, W, A> vbind(const ArgGbl<S, A>& a) {
+  VGbl<S, W, A> v;
   v.target = a.ptr;
   v.dim = a.dim;
-  v.acc = a.acc;
   return v;
 }
 
-template <class S, int W>
-inline void vthread_init(VDat<S, W>&) {}
-template <class S, int W>
-inline void vthread_init(VGbl<S, W>& g) {
+template <class S, int W, AccessMode A, bool Ind>
+inline void vthread_init(VDat<S, W, A, Ind>&) {}
+template <class S, int W, AccessMode A>
+inline void vthread_init(VGbl<S, W, A>& g) {
   using V = simd::Vec<S, W>;
   for (int c = 0; c < g.dim; ++c) {
-    if (g.acc == Access::READ) g.buf[c] = V(g.target[c]);
-    else if (g.acc == Access::INC) g.buf[c] = V(S(0));
-    else if (g.acc == Access::MIN) g.buf[c] = V(std::numeric_limits<S>::max());
+    if constexpr (A == AccessMode::READ) g.buf[c] = V(g.target[c]);
+    else if constexpr (A == AccessMode::INC) g.buf[c] = V(S(0));
+    else if constexpr (A == AccessMode::MIN) g.buf[c] = V(std::numeric_limits<S>::max());
     else g.buf[c] = V(std::numeric_limits<S>::lowest());
   }
 }
 
-template <class S, int W>
-inline void vthread_merge(VDat<S, W>&) {}
-template <class S, int W>
-inline void vthread_merge(VGbl<S, W>& g) {
+template <class S, int W, AccessMode A, bool Ind>
+inline void vthread_merge(VDat<S, W, A, Ind>&) {}
+template <class S, int W, AccessMode A>
+inline void vthread_merge(VGbl<S, W, A>& g) {
+  if constexpr (A == AccessMode::READ) return;
   for (int c = 0; c < g.dim; ++c) {
-    if (g.acc == Access::READ) continue;
-    if (g.acc == Access::INC) g.target[c] += simd::hsum(g.buf[c]);
-    else if (g.acc == Access::MIN) {
+    if constexpr (A == AccessMode::INC) {
+      g.target[c] += simd::hsum(g.buf[c]);
+    } else if constexpr (A == AccessMode::MIN) {
       const S m = simd::hmin(g.buf[c]);
       g.target[c] = g.target[c] < m ? g.target[c] : m;
     } else {
@@ -267,20 +273,21 @@ inline void vthread_merge_all(Tuple& t, std::index_sequence<Is...>) {
 }
 
 /// Pointer handed to the vector kernel instantiation.
-template <class S, int W>
-inline simd::Vec<S, W>* vkptr(VDat<S, W>& a) {
+template <class S, int W, AccessMode A, bool Ind>
+inline simd::Vec<S, W>* vkptr(VDat<S, W, A, Ind>& a) {
   return a.buf;
 }
-template <class S, int W>
-inline simd::Vec<S, W>* vkptr(VGbl<S, W>& a) {
+template <class S, int W, AccessMode A>
+inline simd::Vec<S, W>* vkptr(VGbl<S, W, A>& a) {
   return a.buf;
 }
 
 // ---- gather phase (Fig. 3b "gather data to registers") ---------------------
 
 /// Dispatch a runtime dim (1..kMaxDim) to a compile-time constant so the
-/// per-component gather/scatter loops fully unroll — the engine's analog of
-/// OP2's code generator "substituting literal constants" (paper section 5).
+/// per-component gather/scatter loops fully unroll — together with the
+/// compile-time access mode this is the engine's analog of OP2's code
+/// generator "substituting literal constants" (paper section 5).
 template <class F>
 inline void for_dim(int dim, F&& f) {
   switch (dim) {
@@ -295,16 +302,17 @@ inline void for_dim(int dim, F&& f) {
   }
 }
 
-/// Load a contiguous chunk of W elements starting at n.
-template <class S, int W>
-inline void vload(VDat<S, W>& a, idx_t n) {
+/// Load a contiguous chunk of W elements starting at n. Every access-mode
+/// decision below is `if constexpr`: each instantiation is branch-free.
+template <class S, int W, AccessMode A, bool Ind>
+inline void vload(VDat<S, W, A, Ind>& a, idx_t n) {
   using V = simd::Vec<S, W>;
   using IV = simd::Vec<std::int32_t, W>;
-  if (a.map) {
+  if constexpr (Ind) {
     const IV tgt = IV::strided(a.map + static_cast<std::size_t>(n) * a.map_dim + a.map_idx,
                                a.map_dim);
     a.sidx = tgt * IV(a.dim);
-    if (a.acc == Access::READ || a.acc == Access::RW) {
+    if constexpr (A == AccessMode::READ || A == AccessMode::RW) {
       for_dim(a.dim, [&](auto D) {
         for (int c = 0; c < D(); ++c) a.buf[c] = V::gather(a.data + c, a.sidx);
       });
@@ -314,11 +322,11 @@ inline void vload(VDat<S, W>& a, idx_t n) {
       });
     }
   } else {
-    if (a.acc == Access::INC) {
+    if constexpr (A == AccessMode::INC) {
       for_dim(a.dim, [&](auto D) {
         for (int c = 0; c < D(); ++c) a.buf[c] = V(S(0));
       });
-    } else if (a.acc != Access::WRITE) {
+    } else if constexpr (A != AccessMode::WRITE) {
       if (a.dim == 1) {
         a.buf[0] = V::loadu(a.data + n);
       } else {
@@ -330,58 +338,58 @@ inline void vload(VDat<S, W>& a, idx_t n) {
     }
   }
 }
-template <class S, int W>
-inline void vload(VGbl<S, W>&, idx_t) {}
+template <class S, int W, AccessMode A>
+inline void vload(VGbl<S, W, A>&, idx_t) {}
 
 /// Load a chunk of W permuted elements whose ids are in eidx.
-template <class S, int W>
-inline void vload_perm(VDat<S, W>& a, simd::Vec<std::int32_t, W> eidx) {
+template <class S, int W, AccessMode A, bool Ind>
+inline void vload_perm(VDat<S, W, A, Ind>& a, simd::Vec<std::int32_t, W> eidx) {
   using V = simd::Vec<S, W>;
   using IV = simd::Vec<std::int32_t, W>;
-  if (a.map) {
+  if constexpr (Ind) {
     const IV tgt = IV::gather(a.map + a.map_idx, eidx * IV(a.map_dim));
     a.sidx = tgt * IV(a.dim);
-    if (a.acc == Access::READ || a.acc == Access::RW) {
+    if constexpr (A == AccessMode::READ || A == AccessMode::RW) {
       for (int c = 0; c < a.dim; ++c) a.buf[c] = V::gather(a.data + c, a.sidx);
     } else {
       for (int c = 0; c < a.dim; ++c) a.buf[c] = V(S(0));
     }
   } else {
     a.sidx = eidx * IV(a.dim);
-    if (a.acc == Access::INC) {
+    if constexpr (A == AccessMode::INC) {
       for (int c = 0; c < a.dim; ++c) a.buf[c] = V(S(0));
-    } else if (a.acc != Access::WRITE) {
+    } else if constexpr (A != AccessMode::WRITE) {
       // Formerly-direct data must now be gathered (paper section 4: the
       // cost the permute colorings add).
       for (int c = 0; c < a.dim; ++c) a.buf[c] = V::gather(a.data + c, a.sidx);
     }
   }
 }
-template <class S, int W>
-inline void vload_perm(VGbl<S, W>&, simd::Vec<std::int32_t, W>) {}
+template <class S, int W, AccessMode A>
+inline void vload_perm(VGbl<S, W, A>&, simd::Vec<std::int32_t, W>) {}
 
 // ---- scatter phase ----------------------------------------------------------
 
 /// Flush a contiguous chunk. `hw_scatter` selects the hardware scatter
 /// (legal only when lane targets are independent, i.e. permute colorings).
-template <class S, int W>
-inline void vflush(VDat<S, W>& a, idx_t n, bool hw_scatter) {
+template <class S, int W, AccessMode A, bool Ind>
+inline void vflush(VDat<S, W, A, Ind>& a, idx_t n, bool hw_scatter) {
   using V = simd::Vec<S, W>;
-  if (a.map) {
-    if (a.acc == Access::INC) {
+  if constexpr (Ind) {
+    if constexpr (A == AccessMode::INC) {
       for_dim(a.dim, [&](auto D) {
         for (int c = 0; c < D(); ++c) {
           if (hw_scatter) simd::scatter_add_hw(a.data + c, a.sidx, a.buf[c]);
           else simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
         }
       });
-    } else if (a.acc == Access::WRITE || a.acc == Access::RW) {
+    } else if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
       for_dim(a.dim, [&](auto D) {
         for (int c = 0; c < D(); ++c) simd::scatter_serial(a.data + c, a.sidx, a.buf[c]);
       });
     }
   } else {
-    if (a.acc == Access::WRITE || a.acc == Access::RW) {
+    if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
       if (a.dim == 1) {
         simd::storeu(a.data + n, a.buf[0]);
       } else {
@@ -390,7 +398,7 @@ inline void vflush(VDat<S, W>& a, idx_t n, bool hw_scatter) {
             simd::store_strided(a.data + static_cast<std::size_t>(n) * D() + c, D(), a.buf[c]);
         });
       }
-    } else if (a.acc == Access::INC) {
+    } else if constexpr (A == AccessMode::INC) {
       if (a.dim == 1) {
         const V cur = V::loadu(a.data + n);
         simd::storeu(a.data + n, cur + a.buf[0]);
@@ -406,41 +414,42 @@ inline void vflush(VDat<S, W>& a, idx_t n, bool hw_scatter) {
     }
   }
 }
-template <class S, int W>
-inline void vflush(VGbl<S, W>&, idx_t, bool) {}
+template <class S, int W, AccessMode A>
+inline void vflush(VGbl<S, W, A>&, idx_t, bool) {}
 
 /// Flush a permuted chunk. Element ids are distinct, so direct writes may
 /// scatter; indirect increments use the hardware scatter iff requested.
-template <class S, int W>
-inline void vflush_perm(VDat<S, W>& a, bool hw_scatter) {
-  if (a.map) {
-    if (a.acc == Access::INC) {
+template <class S, int W, AccessMode A, bool Ind>
+inline void vflush_perm(VDat<S, W, A, Ind>& a, bool hw_scatter) {
+  if constexpr (Ind) {
+    if constexpr (A == AccessMode::INC) {
       for (int c = 0; c < a.dim; ++c) {
         if (hw_scatter) simd::scatter_add_hw(a.data + c, a.sidx, a.buf[c]);
         else simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
       }
-    } else if (a.acc == Access::WRITE || a.acc == Access::RW) {
+    } else if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
       for (int c = 0; c < a.dim; ++c) simd::scatter_serial(a.data + c, a.sidx, a.buf[c]);
     }
   } else {
-    if (a.acc == Access::WRITE || a.acc == Access::RW) {
+    if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
       for (int c = 0; c < a.dim; ++c) simd::scatter_serial(a.data + c, a.sidx, a.buf[c]);
-    } else if (a.acc == Access::INC) {
+    } else if constexpr (A == AccessMode::INC) {
       for (int c = 0; c < a.dim; ++c) simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
     }
   }
 }
-template <class S, int W>
-inline void vflush_perm(VGbl<S, W>&, bool) {}
+template <class S, int W, AccessMode A>
+inline void vflush_perm(VGbl<S, W, A>&, bool) {}
 
 /// SIMT colored increment (Fig. 3a): indirect increments are applied
 /// color-by-color with a lane mask, serializing conflicting work-items
 /// exactly like the generated OpenCL kernel does.
-template <class S, int W>
-inline void vflush_simt(VDat<S, W>& a, idx_t n, const std::int32_t* elem_color, int ncolors) {
+template <class S, int W, AccessMode A, bool Ind>
+inline void vflush_simt(VDat<S, W, A, Ind>& a, idx_t n, const std::int32_t* elem_color,
+                        int ncolors) {
   using V = simd::Vec<S, W>;
   using IV = simd::Vec<std::int32_t, W>;
-  if (a.map && a.acc == Access::INC) {
+  if constexpr (Ind && A == AccessMode::INC) {
     const IV cv = IV::loadu(elem_color + n);
     for (int col = 0; col < ncolors; ++col) {
       const auto imask = (cv == IV(col));
@@ -453,8 +462,8 @@ inline void vflush_simt(VDat<S, W>& a, idx_t n, const std::int32_t* elem_color, 
     vflush(a, n, /*hw_scatter=*/false);
   }
 }
-template <class S, int W>
-inline void vflush_simt(VGbl<S, W>&, idx_t, const std::int32_t*, int) {}
+template <class S, int W, AccessMode A>
+inline void vflush_simt(VGbl<S, W, A>&, idx_t, const std::int32_t*, int) {}
 
 template <class Tuple, std::size_t... Is>
 inline void vload_all(Tuple& t, idx_t n, std::index_sequence<Is...>) {
@@ -485,30 +494,13 @@ inline void vcall(Kernel& k, Tuple& t, std::index_sequence<Is...>) {
 
 // ===== conflict collection ====================================================
 
-inline void collect(std::vector<IncRef>& out, bool&, const Map* map, int idx, Access acc) {
-  if (map && (acc == Access::INC || acc == Access::RW || acc == Access::WRITE))
-    out.push_back({map, idx});
-}
-template <class S>
-inline void collect_arg(const ArgDat<S>& a, std::vector<IncRef>& out, bool& gbl_red) {
-  collect(out, gbl_red, a.map, a.map_idx, a.acc);
-}
-template <class S>
-inline void collect_arg(const ArgGbl<S>& a, std::vector<IncRef>&, bool& gbl_red) {
-  if (a.acc != Access::READ) gbl_red = true;
-}
-
-/// Scalar element type of an argument descriptor.
+/// Record the (map, idx) pairs the loop modifies through. WHETHER an
+/// argument conflicts is a compile-time fact (arg_traits<>::conflicting);
+/// only the map identity needed for the plan key is runtime data.
 template <class A>
-struct arg_scalar;
-template <class S>
-struct arg_scalar<ArgDat<S>> {
-  using type = S;
-};
-template <class S>
-struct arg_scalar<ArgGbl<S>> {
-  using type = S;
-};
+inline void collect_arg(const A& a, std::vector<IncRef>& out) {
+  if constexpr (arg_traits<A>::conflicting) out.push_back({a.map, a.map_idx});
+}
 
 /// True if the kernel has a vector instantiation for these arguments (i.e.
 /// a templated operator() that accepts Vec pointers). Type-erased kernels
@@ -516,7 +508,7 @@ struct arg_scalar<ArgGbl<S>> {
 /// backend for them is a runtime error instead of a compile error.
 template <class Kernel, class... Args>
 inline constexpr bool vector_callable =
-    std::is_invocable_v<Kernel&, simd::Vec<typename arg_scalar<Args>::type, 4>*...>;
+    std::is_invocable_v<Kernel&, simd::Vec<typename arg_traits<Args>::scalar, 4>*...>;
 
 /// Scalar type of the first floating-point dataset argument (the loop's
 /// computational precision); double if there is none.
@@ -524,13 +516,13 @@ template <class... Args>
 struct first_real {
   using type = double;
 };
-template <class S, class... Rest>
-struct first_real<ArgDat<S>, Rest...> {
+template <class S, AccessMode A, bool Ind, class... Rest>
+struct first_real<Arg<S, A, Ind>, Rest...> {
   using type = std::conditional_t<std::is_floating_point_v<S>, S,
                                   typename first_real<Rest...>::type>;
 };
-template <class S, class... Rest>
-struct first_real<ArgGbl<S>, Rest...> {
+template <class S, AccessMode A, class... Rest>
+struct first_real<ArgGbl<S, A>, Rest...> {
   using type = typename first_real<Rest...>::type;
 };
 
@@ -832,117 +824,207 @@ void exec_simt(Kernel& k, const STuple& sproto, const VTuple& vproto, const Plan
   }
 }
 
-/// Vector-width dispatch: instantiate the engine for the requested W.
-template <class Real, class Kernel, class... Args>
-void run_vectorized(Kernel& k, const Set& set, const ExecConfig& cfg, idx_t n, bool has_inc,
-                    const std::vector<IncRef>& conflicts, Args... args) {
-  const int nth = resolve_threads(cfg.nthreads);
-  auto dispatch = [&]<int W>() {
-    auto sproto = std::make_tuple(bind(args)...);
-    auto vproto = std::make_tuple(vbind<W>(args)...);
-    if (cfg.backend == Backend::Simt) {
-      auto plan = PlanCache::instance().get(set, conflicts, cfg.block_size,
-                                            ColoringStrategy::TwoLevel);
-      exec_simt<W>(k, sproto, vproto, *plan, nth);
-      return;
-    }
-    if (!has_inc) {
-      exec_simd_direct<W>(k, sproto, vproto, n, nth);
-      return;
-    }
-    auto plan = PlanCache::instance().get(set, conflicts, cfg.block_size, cfg.coloring);
-    switch (cfg.coloring) {
-      case ColoringStrategy::TwoLevel:
-        exec_simd_colored<W>(k, sproto, vproto, *plan, nth);
-        break;
-      case ColoringStrategy::FullPermute:
-        exec_simd_fullperm<W>(k, sproto, vproto, *plan, nth);
-        break;
-      case ColoringStrategy::BlockPermute:
-        exec_simd_blockperm<W>(k, sproto, vproto, *plan, nth);
-        break;
-    }
-  };
-  const int w = cfg.simd_width > 0 ? cfg.simd_width : simd::max_lanes<Real>;
-  switch (w) {
-    case 4: dispatch.template operator()<4>(); break;
-    case 8: dispatch.template operator()<8>(); break;
-    case 16: dispatch.template operator()<16>(); break;
-    default:
-      OPV_REQUIRE(false, "unsupported simd width " << w << " (use 4, 8 or 16)");
-  }
-}
-
 }  // namespace detail
+
+// ===== the reusable Loop handle ==============================================
+
+/// A parallel loop bound to its kernel, iteration set and typed arguments.
+///
+///   Loop loop(ResCalc<double>{consts}, "res_calc", edges, args...);
+///   for (int it = 0; it < 1000; ++it) loop.run(cfg);
+///
+/// Construction performs the conflict analysis (which args indirectly modify
+/// data — a compile-time fact lifted from the argument types, plus the
+/// runtime map identities the plan key needs) and binds the loop's stats
+/// slot. The coloring Plan is fetched from the PlanCache on first use and
+/// pinned per strategy, so steady-state run() calls do zero setup: no
+/// conflict scan, no cache lookup, no registry lookup.
+template <class Kernel, class... Args>
+class Loop {
+ public:
+  static constexpr bool has_inc = has_conflicts_v<Args...>;
+  static constexpr bool has_gbl_reduction = has_gbl_reduction_v<Args...>;
+
+  Loop(Kernel kernel, std::string name, const Set& set, Args... args)
+      : kernel_(std::move(kernel)), name_(std::move(name)), set_(&set), args_(args...) {
+    (detail::collect_arg(args, conflicts_), ...);
+  }
+
+  /// Execute the loop under the given configuration.
+  void run(const ExecConfig& cfg) {
+    // Loops with indirect increments redundantly execute the import halo so
+    // owned data receives all contributions (OP2's owner-compute scheme).
+    const idx_t n = has_inc ? set_->exec_size() : set_->size();
+    if constexpr (has_inc && has_gbl_reduction) {
+      OPV_REQUIRE(set_->exec_size() == set_->size(),
+                  "loop '" << name_
+                           << "': global reductions combined with indirect increments are not "
+                              "supported under halo execution");
+    }
+    if (n == 0) return;
+
+    WallTimer timer;
+    switch (cfg.backend) {
+      case Backend::Seq: {
+        auto t = std::apply([](const auto&... a) { return std::make_tuple(detail::bind(a)...); },
+                            args_);
+        detail::exec_seq(kernel_, t, n);
+        break;
+      }
+      case Backend::OpenMP:
+      case Backend::AutoVec: {
+        const bool hint = cfg.backend == Backend::AutoVec;
+        auto proto = std::apply(
+            [](const auto&... a) { return std::make_tuple(detail::bind(a)...); }, args_);
+        const int nth = detail::resolve_threads(cfg.nthreads);
+        const auto strat = strategy_for(cfg);
+        if (!strat) {
+          detail::exec_omp_direct(kernel_, proto, n, nth, hint);
+        } else if (!hint) {
+          detail::exec_omp_colored(kernel_, proto, plan_for(*strat, cfg.block_size), nth);
+        } else {
+          const Plan& plan = plan_for(*strat, cfg.block_size);
+          if (*strat == ColoringStrategy::FullPermute)
+            detail::exec_autovec_fullperm(kernel_, proto, plan, nth);
+          else
+            detail::exec_autovec_blockperm(kernel_, proto, plan, nth);
+        }
+        break;
+      }
+      case Backend::Simd:
+      case Backend::Simt: {
+        if constexpr (detail::vector_callable<Kernel, Args...>) {
+          run_vectorized(cfg, n);
+        } else {
+          OPV_REQUIRE(false, "loop '" << name_
+                                      << "': kernel has no vector instantiation (scalar-only "
+                                         "callable); use Seq/OpenMP/AutoVec");
+        }
+        break;
+      }
+    }
+    if (cfg.collect_stats) {
+      // Slot bound on first recording run: loops that never collect stats
+      // (one-shot wrappers with collect_stats=false, per-rank loops inside
+      // DistCtx) never touch the registry at all.
+      if (!stats_) stats_ = &StatsRegistry::instance().slot(name_);
+      StatsRegistry::instance().record(*stats_, timer.seconds(), n);
+    }
+  }
+
+  /// Execute under the process-wide default configuration.
+  void run() { run(default_config()); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Set& set() const { return *set_; }
+  [[nodiscard]] const std::vector<IncRef>& conflicts() const { return conflicts_; }
+
+  /// The pinned plan this loop would use under `cfg` (nullptr if the
+  /// configuration needs no plan). Exposed so callers/tests can verify plan
+  /// reuse across run() calls.
+  [[nodiscard]] const Plan* plan(const ExecConfig& cfg) {
+    const auto strat = strategy_for(cfg);
+    return strat ? &plan_for(*strat, cfg.block_size) : nullptr;
+  }
+
+ private:
+  /// The single source of truth for backend -> coloring-strategy selection
+  /// (used by run(), run_vectorized() and plan()). nullopt = no plan needed.
+  [[nodiscard]] static std::optional<ColoringStrategy> strategy_for(const ExecConfig& cfg) {
+    // Simt always schedules work-groups through a TwoLevel plan, conflicts
+    // or not (the dynamic block queue lives in the plan).
+    if (cfg.backend == Backend::Simt) return ColoringStrategy::TwoLevel;
+    if (!has_inc || cfg.backend == Backend::Seq) return std::nullopt;
+    // Scalar OpenMP races are handled at block granularity only.
+    if (cfg.backend == Backend::OpenMP) return ColoringStrategy::TwoLevel;
+    // AutoVec requires lane independence: TwoLevel cannot provide it, so
+    // fall back to BlockPermute (the paper's scheme for enabling compiler
+    // vectorization of gather-scatter loops).
+    if (cfg.backend == Backend::AutoVec && cfg.coloring == ColoringStrategy::TwoLevel)
+      return ColoringStrategy::BlockPermute;
+    return cfg.coloring;
+  }
+  /// Memoized plan lookup: one pinned shared_ptr per coloring strategy.
+  const Plan& plan_for(ColoringStrategy strat, int block_size) {
+    PlanSlot& s = plans_[static_cast<int>(strat)];
+    if (!s.plan || s.block_size != block_size) {
+      s.plan = PlanCache::instance().get(*set_, conflicts_, block_size, strat);
+      s.block_size = block_size;
+    }
+    return *s.plan;
+  }
+
+  /// Vector-width dispatch: instantiate the engine for the requested W.
+  void run_vectorized(const ExecConfig& cfg, idx_t n) {
+    using Real = typename detail::first_real<Args...>::type;
+    const int nth = detail::resolve_threads(cfg.nthreads);
+    auto dispatch = [&]<int W>() {
+      auto sproto = std::apply(
+          [](const auto&... a) { return std::make_tuple(detail::bind(a)...); }, args_);
+      auto vproto = std::apply(
+          [](const auto&... a) { return std::make_tuple(detail::vbind<W>(a)...); }, args_);
+      const auto strat = strategy_for(cfg);
+      if (cfg.backend == Backend::Simt) {
+        detail::exec_simt<W>(kernel_, sproto, vproto, plan_for(*strat, cfg.block_size), nth);
+        return;
+      }
+      if (!strat) {
+        detail::exec_simd_direct<W>(kernel_, sproto, vproto, n, nth);
+        return;
+      }
+      const Plan& plan = plan_for(*strat, cfg.block_size);
+      switch (*strat) {
+        case ColoringStrategy::TwoLevel:
+          detail::exec_simd_colored<W>(kernel_, sproto, vproto, plan, nth);
+          break;
+        case ColoringStrategy::FullPermute:
+          detail::exec_simd_fullperm<W>(kernel_, sproto, vproto, plan, nth);
+          break;
+        case ColoringStrategy::BlockPermute:
+          detail::exec_simd_blockperm<W>(kernel_, sproto, vproto, plan, nth);
+          break;
+      }
+    };
+    const int w = cfg.simd_width > 0 ? cfg.simd_width : simd::max_lanes<Real>;
+    switch (w) {
+      case 4: dispatch.template operator()<4>(); break;
+      case 8: dispatch.template operator()<8>(); break;
+      case 16: dispatch.template operator()<16>(); break;
+      default:
+        OPV_REQUIRE(false, "unsupported simd width " << w << " (use 4, 8 or 16)");
+    }
+  }
+
+  struct PlanSlot {
+    int block_size = -1;
+    std::shared_ptr<const Plan> plan;
+  };
+
+  Kernel kernel_;
+  std::string name_;
+  const Set* set_;
+  std::tuple<Args...> args_;
+  std::vector<IncRef> conflicts_;
+  LoopRecord* stats_ = nullptr;
+  PlanSlot plans_[3];
+};
+
+template <class Kernel, class... Args>
+Loop(Kernel, std::string, const Set&, Args...) -> Loop<Kernel, Args...>;
+
+// ===== the OP2-shaped free function ==========================================
 
 /// Execute `kernel` for every element of `set`, with the given typed
 /// argument descriptors, under the given execution configuration.
 ///
-/// Mirrors op_par_loop(kernel, "name", set, op_arg_dat(...), ...).
+/// Mirrors op_par_loop(kernel, "name", set, op_arg_dat(...), ...). This is a
+/// compatibility wrapper over a one-shot Loop; steady-state iteration should
+/// construct the Loop once and call run() repeatedly.
 template <class Kernel, class... Args>
 void par_loop(Kernel kernel, const char* name, const Set& set, const ExecConfig& cfg,
               Args... args) {
-  std::vector<IncRef> conflicts;
-  bool has_gbl_red = false;
-  (detail::collect_arg(args, conflicts, has_gbl_red), ...);
-  const bool has_inc = !conflicts.empty();
-
-  // Loops with indirect increments redundantly execute the import halo so
-  // owned data receives all contributions (OP2's owner-compute scheme).
-  const idx_t n = has_inc ? set.exec_size() : set.size();
-  OPV_REQUIRE(!(has_inc && has_gbl_red && set.exec_size() != set.size()),
-              "loop '" << name
-                       << "': global reductions combined with indirect increments are not "
-                          "supported under halo execution");
-  if (n == 0) return;
-
-  WallTimer timer;
-  switch (cfg.backend) {
-    case Backend::Seq: {
-      auto t = std::make_tuple(detail::bind(args)...);
-      detail::exec_seq(kernel, t, n);
-      break;
-    }
-    case Backend::OpenMP:
-    case Backend::AutoVec: {
-      const bool hint = cfg.backend == Backend::AutoVec;
-      auto proto = std::make_tuple(detail::bind(args)...);
-      const int nth = detail::resolve_threads(cfg.nthreads);
-      if (!has_inc) {
-        detail::exec_omp_direct(kernel, proto, n, nth, hint);
-      } else if (!hint) {
-        auto plan = PlanCache::instance().get(set, conflicts, cfg.block_size,
-                                              ColoringStrategy::TwoLevel);
-        detail::exec_omp_colored(kernel, proto, *plan, nth);
-      } else {
-        // AutoVec requires lane independence: TwoLevel cannot provide it,
-        // so fall back to BlockPermute (the paper's scheme for enabling
-        // compiler vectorization of gather-scatter loops).
-        const ColoringStrategy strat = cfg.coloring == ColoringStrategy::TwoLevel
-                                           ? ColoringStrategy::BlockPermute
-                                           : cfg.coloring;
-        auto plan = PlanCache::instance().get(set, conflicts, cfg.block_size, strat);
-        if (strat == ColoringStrategy::FullPermute)
-          detail::exec_autovec_fullperm(kernel, proto, *plan, nth);
-        else
-          detail::exec_autovec_blockperm(kernel, proto, *plan, nth);
-      }
-      break;
-    }
-    case Backend::Simd:
-    case Backend::Simt: {
-      if constexpr (detail::vector_callable<Kernel, Args...>) {
-        using Real = typename detail::first_real<Args...>::type;
-        detail::run_vectorized<Real>(kernel, set, cfg, n, has_inc, conflicts, args...);
-      } else {
-        OPV_REQUIRE(false, "loop '" << name
-                                    << "': kernel has no vector instantiation (scalar-only "
-                                       "callable); use Seq/OpenMP/AutoVec");
-      }
-      break;
-    }
-  }
-  if (cfg.collect_stats) StatsRegistry::instance().record(name, timer.seconds(), n);
+  Loop<Kernel, Args...> loop(std::move(kernel), name, set, args...);
+  loop.run(cfg);
 }
 
 /// par_loop using the process-wide default configuration.

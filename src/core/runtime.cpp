@@ -44,12 +44,20 @@ StatsRegistry& StatsRegistry::instance() {
   return r;
 }
 
-void StatsRegistry::record(const std::string& loop, double seconds, std::int64_t elements) {
+LoopRecord& StatsRegistry::slot(const std::string& loop) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  LoopRecord& r = impl_->records[loop];
-  r.seconds += seconds;
-  r.calls += 1;
-  r.elements += elements;
+  return impl_->records[loop];  // std::map nodes are address-stable
+}
+
+void StatsRegistry::record(LoopRecord& slot, double seconds, std::int64_t elements) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  slot.seconds += seconds;
+  slot.calls += 1;
+  slot.elements += elements;
+}
+
+void StatsRegistry::record(const std::string& loop, double seconds, std::int64_t elements) {
+  record(slot(loop), seconds, elements);
 }
 
 LoopRecord StatsRegistry::get(const std::string& loop) const {
@@ -60,12 +68,16 @@ LoopRecord StatsRegistry::get(const std::string& loop) const {
 
 std::vector<std::pair<std::string, LoopRecord>> StatsRegistry::all() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  return {impl_->records.begin(), impl_->records.end()};
+  std::vector<std::pair<std::string, LoopRecord>> out;
+  for (const auto& [name, rec] : impl_->records)
+    if (rec.calls > 0) out.emplace_back(name, rec);
+  return out;
 }
 
 void StatsRegistry::clear() {
+  // Zero instead of erase: Loop handles hold stable slot references.
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->records.clear();
+  for (auto& [name, rec] : impl_->records) rec = LoopRecord{};
 }
 
 }  // namespace opv

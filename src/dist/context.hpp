@@ -1,0 +1,484 @@
+// DistCtx: the distributed-rank execution context (OP2's MPI model as a
+// single-process rank simulator).
+//
+// Application drivers written against the Context concept (decl_set /
+// decl_map / decl_dat / arg / loop / fetch) run unchanged: DistCtx
+// partitions the primary set geometrically at finalize(), derives ownership
+// of every other set through the maps, builds owned/exec/non-exec halo
+// layouts (halo.hpp), and replicates each dataset per rank. Each loop() then
+// runs one opv::par_loop per rank on the rank's localized sets/maps
+// (concurrently, on plain threads), with:
+//   * owner-compute redundant execution: loops with indirect increments
+//     execute the import halo so owned data gets every contribution locally;
+//   * dirty-bit lazy halo exchange: a dataset's halo copies are refreshed
+//     only when a loop will actually read them and a previous loop has
+//     modified the dataset (exchanges are recorded as "<loop>/halo" in the
+//     stats registry);
+//   * cross-rank global reductions merged after the rank barrier.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/op2.hpp"
+#include "dist/halo.hpp"
+#include "dist/partition.hpp"
+
+namespace opv::dist {
+
+/// Runs f(rank) for every rank concurrently and blocks until all finish.
+/// The rank threads are persistent (one per rank for the pool's lifetime),
+/// so repeated run() calls — one per parallel loop in a timestep-driven
+/// application — pay a condition-variable wakeup, not a thread spawn. The
+/// first exception thrown by any rank is rethrown in the caller.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int nranks) {
+    OPV_REQUIRE(nranks >= 1, "WorkerPool: need at least one rank");
+    state_.nranks = nranks;
+    threads_.reserve(nranks);
+    for (int r = 0; r < nranks; ++r) threads_.emplace_back([this, r] { worker(r); });
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(state_.mu);
+      state_.stop = true;
+    }
+    state_.start_cv.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  template <class F>
+  void run(F&& f) {
+    const std::function<void(int)> job(std::forward<F>(f));
+    State& s = state_;
+    std::unique_lock<std::mutex> lock(s.mu);
+    s.job = &job;
+    s.pending = s.nranks;
+    ++s.generation;
+    s.start_cv.notify_all();
+    s.done_cv.wait(lock, [&] { return s.pending == 0; });
+    s.job = nullptr;
+    if (s.error) {
+      const std::exception_ptr e = s.error;
+      s.error = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  [[nodiscard]] int size() const { return state_.nranks; }
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable start_cv, done_cv;
+    const std::function<void(int)>* job = nullptr;
+    std::uint64_t generation = 0;
+    int pending = 0;
+    int nranks = 0;
+    bool stop = false;
+    std::exception_ptr error;
+  };
+
+  void worker(int r) {
+    State& s = state_;
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(s.mu);
+        s.start_cv.wait(lock, [&] { return s.stop || s.generation != seen; });
+        if (s.stop) return;
+        seen = s.generation;
+        job = s.job;
+      }
+      try {
+        (*job)(r);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (!s.error) s.error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (--s.pending == 0) s.done_cv.notify_all();
+      }
+    }
+  }
+
+  State state_;
+  std::vector<std::thread> threads_;
+};
+
+// ---- rank-addressable argument descriptors ---------------------------------
+
+/// Dataset argument by handle: resolved to a typed opv::Arg on each rank's
+/// replica at loop() time. Access/directness are compile-time, like opv::Arg.
+template <class T, AccessMode A, bool Ind>
+struct DistArgDat {
+  using scalar_type = T;
+  static constexpr AccessMode access = A;
+  static constexpr bool indirect = Ind;
+  static constexpr bool is_gbl = false;
+  int dat = -1;
+  int map = -1;
+  int idx = -1;
+};
+
+template <class T, AccessMode A>
+struct DistArgGbl {
+  using scalar_type = T;
+  static constexpr AccessMode access = A;
+  static constexpr bool indirect = false;
+  static constexpr bool is_gbl = true;
+  T* ptr = nullptr;
+  int dim = 1;
+};
+
+class DistCtx {
+ public:
+  using SetHandle = int;
+  using MapHandle = int;
+  template <class T>
+  struct DatHandleT {
+    int id = -1;
+  };
+  template <class T>
+  using DatHandle = DatHandleT<T>;
+
+  DistCtx(int nranks, ExecConfig cfg) : nranks_(nranks), cfg_(cfg), pool_(nranks) {
+    OPV_REQUIRE(nranks >= 1, "DistCtx: need at least one rank");
+  }
+
+  ExecConfig& config() { return cfg_; }
+  [[nodiscard]] const ExecConfig& config() const { return cfg_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  // ---- declaration phase ---------------------------------------------------
+
+  SetHandle decl_set(const std::string& name, idx_t size) {
+    require_open("decl_set");
+    return spec_.add_set(name, size);
+  }
+
+  /// Mark `s` as the primary (partitioned) set with interleaved 2D element
+  /// coordinates. Required before finalize().
+  void set_partition_coords(SetHandle s, const double* xy) {
+    require_open("set_partition_coords");
+    primary_ = s;
+    coords_.assign(xy, xy + static_cast<std::size_t>(spec_.sets[s].size) * 2);
+  }
+
+  MapHandle decl_map(const std::string& name, SetHandle from, SetHandle to, int dim,
+                     const aligned_vector<idx_t>& data) {
+    require_open("decl_map");
+    return spec_.add_map(name, from, to, dim, data.data());
+  }
+
+  template <class T>
+  DatHandle<T> decl_dat(const std::string& name, SetHandle set, int dim,
+                        const aligned_vector<T>& init) {
+    require_open("decl_dat");
+    OPV_REQUIRE(init.size() == static_cast<std::size_t>(spec_.sets[set].size) * dim,
+                "decl_dat '" << name << "': init size mismatch");
+    auto e = std::make_unique<DatEntry<T>>();
+    e->name = name;
+    e->set = set;
+    e->dim = dim;
+    e->init = init;
+    dats_.push_back(std::move(e));
+    return {static_cast<int>(dats_.size()) - 1};
+  }
+  template <class T>
+  DatHandle<T> decl_dat(const std::string& name, SetHandle set, int dim) {
+    require_open("decl_dat");
+    auto e = std::make_unique<DatEntry<T>>();
+    e->name = name;
+    e->set = set;
+    e->dim = dim;
+    dats_.push_back(std::move(e));
+    return {static_cast<int>(dats_.size()) - 1};
+  }
+
+  /// Partition, derive ownership, build halos, replicate datasets.
+  /// Idempotent; called implicitly by the first loop() or fetch().
+  void finalize() {
+    if (finalized_) return;
+    OPV_REQUIRE(primary_ >= 0,
+                "DistCtx::finalize: no partition coordinates declared "
+                "(call set_partition_coords on the primary set)");
+    const auto primary_owner =
+        partition_rcb(coords_.data(), spec_.sets[primary_].size, nranks_);
+    auto owner = derive_ownership(spec_, primary_, primary_owner, nranks_);
+    part_ = std::make_unique<Partitioned>(spec_, owner, nranks_);
+    for (auto& d : dats_) d->materialize(*part_);
+    finalized_ = true;
+  }
+
+  [[nodiscard]] const Partitioned& partitioned() const {
+    OPV_REQUIRE(part_, "DistCtx::partitioned: finalize() has not run yet");
+    return *part_;
+  }
+
+  // ---- typed argument builders --------------------------------------------
+
+  template <AccessMode A, class T>
+    requires(dat_access_ok(A))
+  DistArgDat<T, A, true> arg(DatHandle<T> d, int idx, MapHandle m) {
+    OPV_REQUIRE(idx >= 0 && idx < spec_.maps[m].dim,
+                "arg: map index " << idx << " out of range for map '" << spec_.maps[m].name
+                                  << "'");
+    OPV_REQUIRE(spec_.maps[m].to == dats_[d.id]->set,
+                "arg: map '" << spec_.maps[m].name << "' does not target dat '"
+                             << dats_[d.id]->name << "'s set");
+    return {d.id, m, idx};
+  }
+  template <AccessMode A, class T>
+    requires(dat_access_ok(A))
+  DistArgDat<T, A, false> arg(DatHandle<T> d) {
+    return {d.id, -1, -1};
+  }
+  template <AccessMode A, class T>
+    requires(gbl_access_ok(A))
+  DistArgGbl<T, A> arg_gbl(T* p, int dim) {
+    OPV_REQUIRE(dim >= 1 && dim <= 8, "arg_gbl: dim must be in [1,8]");
+    return {p, dim};
+  }
+
+  template <class T, AccessMode A>
+  auto arg(DatHandle<T> d, int idx, MapHandle m, AccessTag<A>) {
+    return arg<A>(d, idx, m);
+  }
+  template <class T, AccessMode A>
+  auto arg(DatHandle<T> d, AccessTag<A>) {
+    return arg<A>(d);
+  }
+  template <class T, AccessMode A>
+  auto arg_gbl(T* p, int dim, AccessTag<A>) {
+    return arg_gbl<A>(p, dim);
+  }
+
+  // ---- execution -----------------------------------------------------------
+
+  template <class Kernel, class... DArgs>
+  void loop(Kernel kernel, const char* name, SetHandle set, DArgs... dargs) {
+    finalize();
+    constexpr bool loop_has_inc = has_inc_v<DArgs...>;
+
+    // 1. Lazy halo refresh for every dataset this loop will read stale.
+    {
+      std::vector<int> need;
+      (collect_fresh<loop_has_inc>(dargs, need), ...);
+      WallTimer ht;
+      std::int64_t exchanged = 0;
+      for (std::size_t i = 0; i < need.size(); ++i) {
+        if (std::find(need.begin(), need.begin() + i, need[i]) != need.begin() + i) continue;
+        DatEntryBase& d = *dats_[need[i]];
+        if (!d.dirty) continue;
+        exchanged += d.exchange(*part_);
+        d.dirty = false;
+      }
+      if (exchanged > 0 && cfg_.collect_stats)
+        StatsRegistry::instance().record(std::string(name) + "/halo", ht.seconds(), exchanged);
+    }
+
+    // 2. Run one par_loop per rank concurrently; globals get per-rank
+    //    scratch merged after the barrier. The per-rank config is derived
+    //    from the CURRENT cfg_ so mutations through config() take effect;
+    //    per-rank stats stay off (the context records loop stats itself).
+    WallTimer timer;
+    ExecConfig rank_cfg = cfg_;
+    rank_cfg.collect_stats = false;
+    auto prepped = std::make_tuple(prep(dargs)...);
+    std::apply(
+        [&](auto&... p) {
+          pool_.run([&](int r) {
+            opv::par_loop(kernel, name, part_->set(r, set), rank_cfg, rank_arg(r, p)...);
+          });
+        },
+        prepped);
+    std::apply([&](auto&... p) { (merge_gbl(p), ...); }, prepped);
+
+    // 3. Modified datasets now have stale halo copies everywhere.
+    (mark_dirty(dargs), ...);
+
+    if (cfg_.collect_stats)
+      StatsRegistry::instance().record(name, timer.seconds(), spec_.sets[set].size);
+  }
+
+  /// Copy a dataset's owned values into a global-order array.
+  template <class T>
+  void fetch(DatHandle<T> d, aligned_vector<T>& out) {
+    finalize();
+    auto& e = entry<T>(d.id);
+    out.assign(static_cast<std::size_t>(spec_.sets[e.set].size) * e.dim, T{});
+    for (int r = 0; r < nranks_; ++r) {
+      const LocalLayout& L = part_->layout(r, e.set);
+      const Dat<T>& dat = e.rank[r];
+      for (idx_t l = 0; l < L.nowned; ++l)
+        for (int c = 0; c < e.dim; ++c)
+          out[static_cast<std::size_t>(L.local_to_global[l]) * e.dim + c] = dat.at(l, c);
+    }
+  }
+
+ private:
+  // ---- dataset storage -----------------------------------------------------
+
+  struct DatEntryBase {
+    std::string name;
+    int set = -1;
+    int dim = 0;
+    bool dirty = false;  ///< halo copies stale relative to owner data
+    virtual ~DatEntryBase() = default;
+    virtual void materialize(const Partitioned& part) = 0;
+    /// Refresh every halo slot from its owner; returns values copied.
+    virtual std::int64_t exchange(const Partitioned& part) = 0;
+  };
+
+  template <class T>
+  struct DatEntry final : DatEntryBase {
+    aligned_vector<T> init;   ///< global initial values (empty = zeros)
+    std::deque<Dat<T>> rank;  ///< per-rank replica, local layout order
+
+    void materialize(const Partitioned& part) override {
+      for (int r = 0; r < part.nranks(); ++r) {
+        rank.emplace_back(name, part.set(r, set), dim);
+        if (init.empty()) continue;
+        Dat<T>& d = rank.back();
+        const LocalLayout& L = part.layout(r, set);
+        for (idx_t l = 0; l < L.ntotal; ++l)
+          for (int c = 0; c < dim; ++c)
+            d.at(l, c) = init[static_cast<std::size_t>(L.local_to_global[l]) * dim + c];
+      }
+    }
+
+    std::int64_t exchange(const Partitioned& part) override {
+      std::int64_t copied = 0;
+      for (int r = 0; r < part.nranks(); ++r) {
+        const LocalLayout& L = part.layout(r, set);
+        Dat<T>& dst = rank[r];
+        for (idx_t i = 0; i < L.ntotal - L.nowned; ++i) {
+          const Dat<T>& src = rank[L.src_rank[i]];
+          for (int c = 0; c < dim; ++c) dst.at(L.nowned + i, c) = src.at(L.src_local[i], c);
+          copied += dim;
+        }
+      }
+      return copied;
+    }
+  };
+
+  template <class T>
+  DatEntry<T>& entry(int id) {
+    return *static_cast<DatEntry<T>*>(dats_[id].get());
+  }
+
+  // ---- loop plumbing -------------------------------------------------------
+
+  // Same conflict rule the core engine's arg_traits uses for coloring:
+  // keeping them on one predicate keeps halo execution and plan coloring
+  // in agreement.
+  template <class... DA>
+  static constexpr bool has_inc_v =
+      ((!DA::is_gbl && DA::indirect && access_conflicting(DA::access)) || ...);
+
+  /// Which datasets must have fresh halos before this loop: indirect reads
+  /// always; direct reads too when the loop redundantly executes the halo
+  /// (the kernel then consumes halo-element data to build owned increments).
+  template <bool LoopHasInc, class DA>
+  void collect_fresh(const DA& a, std::vector<int>& need) {
+    if constexpr (!DA::is_gbl) {
+      constexpr AccessMode A = DA::access;
+      if constexpr (DA::indirect ? access_reads(A)
+                                 : (LoopHasInc && (access_reads(A) || A == AccessMode::INC)))
+        need.push_back(a.dat);
+    }
+  }
+
+  template <class DA>
+  void mark_dirty(const DA& a) {
+    if constexpr (!DA::is_gbl && access_writes(DA::access)) dats_[a.dat]->dirty = true;
+  }
+
+  /// Per-loop state: dat args pass through; gbl args gain per-rank scratch.
+  template <class T, AccessMode A, bool Ind>
+  DistArgDat<T, A, Ind> prep(const DistArgDat<T, A, Ind>& a) {
+    return a;
+  }
+
+  template <class T, AccessMode A>
+  struct GblState {
+    T* target;
+    int dim;
+    aligned_vector<T> buf;  ///< nranks * dim
+  };
+  template <class T, AccessMode A>
+  GblState<T, A> prep(const DistArgGbl<T, A>& a) {
+    GblState<T, A> s{a.ptr, a.dim, {}};
+    s.buf.assign(static_cast<std::size_t>(nranks_) * a.dim, T{});
+    for (int r = 0; r < nranks_; ++r)
+      for (int c = 0; c < a.dim; ++c) {
+        T v{};
+        if constexpr (A == AccessMode::READ) v = a.ptr[c];
+        else if constexpr (A == AccessMode::INC) v = T(0);
+        else if constexpr (A == AccessMode::MIN) v = std::numeric_limits<T>::max();
+        else v = std::numeric_limits<T>::lowest();
+        s.buf[static_cast<std::size_t>(r) * a.dim + c] = v;
+      }
+    return s;
+  }
+
+  template <class T, AccessMode A, bool Ind>
+  auto rank_arg(int r, DistArgDat<T, A, Ind>& a) {
+    Dat<T>& d = entry<T>(a.dat).rank[r];
+    if constexpr (Ind) return opv::arg<A>(d, a.idx, part_->map(r, a.map));
+    else return opv::arg<A>(d);
+  }
+  template <class T, AccessMode A>
+  auto rank_arg(int r, GblState<T, A>& s) {
+    return opv::arg_gbl<A>(s.buf.data() + static_cast<std::size_t>(r) * s.dim, s.dim);
+  }
+
+  template <class T, AccessMode A, bool Ind>
+  void merge_gbl(DistArgDat<T, A, Ind>&) {}
+  template <class T, AccessMode A>
+  void merge_gbl(GblState<T, A>& s) {
+    if constexpr (A == AccessMode::READ) return;
+    for (int r = 0; r < nranks_; ++r)
+      for (int c = 0; c < s.dim; ++c) {
+        const T v = s.buf[static_cast<std::size_t>(r) * s.dim + c];
+        if constexpr (A == AccessMode::INC) s.target[c] += v;
+        else if constexpr (A == AccessMode::MIN)
+          s.target[c] = s.target[c] < v ? s.target[c] : v;
+        else s.target[c] = s.target[c] > v ? s.target[c] : v;
+      }
+  }
+
+  void require_open(const char* what) const {
+    OPV_REQUIRE(!finalized_, "DistCtx::" << what << ": context already finalized");
+  }
+
+  int nranks_;
+  ExecConfig cfg_;
+  WorkerPool pool_;
+  GlobalSpec spec_;
+  int primary_ = -1;
+  aligned_vector<double> coords_;
+  std::vector<std::unique_ptr<DatEntryBase>> dats_;
+  std::unique_ptr<Partitioned> part_;
+  bool finalized_ = false;
+};
+
+}  // namespace opv::dist

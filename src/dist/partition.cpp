@@ -1,0 +1,83 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace opv::dist {
+
+namespace {
+
+/// Recursively bisect `ids` (indices into xy) into nparts parts starting at
+/// part id `base`, splitting along the axis of larger spread with counts
+/// proportional to the part counts on each side.
+void rcb_split(const double* xy, std::vector<idx_t>& ids, idx_t begin, idx_t end, int nparts,
+               int base, aligned_vector<int>& owner) {
+  if (nparts == 1) {
+    for (idx_t i = begin; i < end; ++i) owner[ids[i]] = base;
+    return;
+  }
+  const int nl = (nparts + 1) / 2;
+  const int nr = nparts - nl;
+  const idx_t n = end - begin;
+  const idx_t k = static_cast<idx_t>(
+      std::llround(static_cast<double>(n) * nl / static_cast<double>(nparts)));
+
+  // Axis of larger spread.
+  double minx = 1e300, maxx = -1e300, miny = 1e300, maxy = -1e300;
+  for (idx_t i = begin; i < end; ++i) {
+    const double x = xy[2 * static_cast<std::size_t>(ids[i])];
+    const double y = xy[2 * static_cast<std::size_t>(ids[i]) + 1];
+    minx = std::min(minx, x);
+    maxx = std::max(maxx, x);
+    miny = std::min(miny, y);
+    maxy = std::max(maxy, y);
+  }
+  const int axis = (maxx - minx) >= (maxy - miny) ? 0 : 1;
+
+  std::nth_element(ids.begin() + begin, ids.begin() + begin + k, ids.begin() + end,
+                   [&](idx_t a, idx_t b) {
+                     const double ca = xy[2 * static_cast<std::size_t>(a) + axis];
+                     const double cb = xy[2 * static_cast<std::size_t>(b) + axis];
+                     return ca != cb ? ca < cb : a < b;  // deterministic tie-break
+                   });
+
+  rcb_split(xy, ids, begin, begin + k, nl, base, owner);
+  rcb_split(xy, ids, begin + k, end, nr, base + nl, owner);
+}
+
+}  // namespace
+
+aligned_vector<int> partition_rcb(const double* xy, idx_t n, int nparts) {
+  OPV_REQUIRE(nparts >= 1, "partition_rcb: nparts must be >= 1, got " << nparts);
+  OPV_REQUIRE(n >= 0, "partition_rcb: negative element count");
+  aligned_vector<int> owner(static_cast<std::size_t>(n), 0);
+  if (n == 0 || nparts == 1) return owner;
+  std::vector<idx_t> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), idx_t{0});
+  rcb_split(xy, ids, 0, n, nparts, 0, owner);
+  return owner;
+}
+
+aligned_vector<int> partition_block(idx_t n, int nparts) {
+  OPV_REQUIRE(nparts >= 1, "partition_block: nparts must be >= 1, got " << nparts);
+  aligned_vector<int> owner(static_cast<std::size_t>(n), 0);
+  if (n == 0) return owner;
+  const idx_t chunk = (n + nparts - 1) / nparts;
+  for (idx_t i = 0; i < n; ++i) owner[i] = static_cast<int>(i / chunk);
+  return owner;
+}
+
+std::vector<idx_t> part_sizes(const aligned_vector<int>& owner, int nparts) {
+  std::vector<idx_t> sizes(static_cast<std::size_t>(std::max(nparts, 0)), 0);
+  for (int r : owner) {
+    OPV_REQUIRE(r >= 0 && r < nparts, "part_sizes: owner " << r << " outside [0," << nparts << ")");
+    ++sizes[r];
+  }
+  return sizes;
+}
+
+}  // namespace opv::dist

@@ -1,0 +1,27 @@
+// Partitioners for the distributed-rank execution model (OP2's MPI design,
+// reproduced as a single-process rank simulator in opv::dist).
+//
+// The primary set (the one the application attached coordinates to) is
+// partitioned geometrically; every other set derives its ownership from the
+// primary through the declared mappings (see halo.hpp).
+#pragma once
+
+#include "common/aligned.hpp"
+#include "core/set.hpp"
+
+namespace opv::dist {
+
+/// Recursive coordinate bisection over interleaved 2D coordinates
+/// (xy[2*i], xy[2*i+1]). Returns the owning part (0..nparts-1) of each of
+/// the n elements. Parts are balanced to within a few elements and
+/// geometrically compact; the result is deterministic.
+aligned_vector<int> partition_rcb(const double* xy, idx_t n, int nparts);
+
+/// Trivial contiguous-chunk partition: element i belongs to part
+/// i / ceil(n/nparts). Used as a coordinate-free fallback and in tests.
+aligned_vector<int> partition_block(idx_t n, int nparts);
+
+/// Number of elements owned by each part.
+std::vector<idx_t> part_sizes(const aligned_vector<int>& owner, int nparts);
+
+}  // namespace opv::dist

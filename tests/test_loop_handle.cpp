@@ -1,0 +1,220 @@
+// Tests for the typed-argument API and the reusable Loop handle:
+// compile-time rejection of invalid access/argument combinations,
+// Loop::run() equivalence with one-shot par_loop across backends, plan
+// pinning (pointer stability across runs), and stats accumulation through
+// the pre-bound slot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/op2.hpp"
+#include "mesh/generators.hpp"
+
+namespace {
+
+using namespace opv;
+
+// ---- compile-time access validation ----------------------------------------
+// Invalid combinations must fail to COMPILE (constraint violation), not
+// throw: the requires-expressions below are the negative-compile assertions.
+
+template <AccessMode A>
+concept DatDirectArgOk = requires(Dat<double>& d) { opv::arg<A>(d); };
+template <AccessMode A>
+concept DatIndirectArgOk = requires(Dat<double>& d, const Map& m) { opv::arg<A>(d, 0, m); };
+template <AccessMode A>
+concept GblArgOk = requires(double* p) { opv::arg_gbl<A>(p, 1); };
+
+static_assert(DatDirectArgOk<opv::READ> && DatDirectArgOk<opv::WRITE> &&
+              DatDirectArgOk<opv::RW> && DatDirectArgOk<opv::INC>);
+static_assert(!DatDirectArgOk<opv::MIN>, "MIN reductions are global-only");
+static_assert(!DatDirectArgOk<opv::MAX>, "MAX reductions are global-only");
+static_assert(!DatIndirectArgOk<opv::MIN> && !DatIndirectArgOk<opv::MAX>);
+static_assert(GblArgOk<opv::READ> && GblArgOk<opv::INC> && GblArgOk<opv::MIN> &&
+              GblArgOk<opv::MAX>);
+static_assert(!GblArgOk<opv::WRITE>, "globals cannot be element-wise written");
+static_assert(!GblArgOk<opv::RW>, "globals cannot be read-modify-written");
+
+// The tag spelling is the same typed API: it must be rejected identically.
+template <class Tag>
+concept DatTagArgOk = requires(Dat<double>& d, Tag t) { opv::arg(d, t); };
+template <class Tag>
+concept GblTagArgOk = requires(double* p, Tag t) { opv::arg_gbl(p, 1, t); };
+static_assert(DatTagArgOk<decltype(Access::INC)>);
+static_assert(!DatTagArgOk<decltype(Access::MIN)>);
+static_assert(GblTagArgOk<decltype(Access::MAX)>);
+static_assert(!GblTagArgOk<decltype(Access::WRITE)>);
+
+// ---- compile-time conflict classification ----------------------------------
+
+using DirectRead = Arg<double, opv::READ, false>;
+using IndirectInc = Arg<double, opv::INC, true>;
+using IndirectRead = Arg<double, opv::READ, true>;
+using GblSum = ArgGbl<double, opv::INC>;
+using GblCoef = ArgGbl<double, opv::READ>;
+
+static_assert(!arg_traits<DirectRead>::conflicting);
+static_assert(arg_traits<IndirectInc>::conflicting);
+static_assert(!arg_traits<IndirectRead>::conflicting, "indirect reads are race-free");
+static_assert(!arg_traits<GblSum>::conflicting && arg_traits<GblSum>::gbl_reduction);
+static_assert(!arg_traits<GblCoef>::gbl_reduction);
+static_assert(has_conflicts_v<DirectRead, IndirectInc>);
+static_assert(!has_conflicts_v<DirectRead, IndirectRead, GblSum>);
+static_assert(has_gbl_reduction_v<GblCoef, GblSum>);
+
+// ---- fixture ----------------------------------------------------------------
+
+struct EdgeKernel {
+  template <class T>
+  void operator()(const T* ql, const T* qr, const T* w, T* rl, T* rr, T* gsum) const {
+    OPV_SIMD_MATH_USING;
+    const T f = w[0] * sqrt(abs(qr[0] - ql[0]) + T(0.25));
+    rl[0] += f;
+    rr[0] -= f * T(0.5);
+    gsum[0] += f;
+  }
+};
+
+struct Fixture {
+  mesh::UnstructuredMesh m = mesh::make_quad_box(23, 17);
+  Set cells{"cells", m.ncells};
+  Set edges{"edges", m.nedges};
+  Map e2c{"e2c", edges, cells, 2, m.edge_cells};
+  Dat<double> q{"q", cells, 1};
+  Dat<double> r{"r", cells, 1};
+  Dat<double> w{"w", edges, 1};
+  double gsum = 0.0;
+
+  Fixture() {
+    Rng rng(11);
+    for (idx_t c = 0; c < cells.size(); ++c) q.at(c) = rng.uniform(0.0, 2.0);
+    for (idx_t e = 0; e < edges.size(); ++e) w.at(e) = rng.uniform(0.1, 1.0);
+  }
+};
+
+// ---- Loop handle equivalence with one-shot par_loop -------------------------
+
+TEST(LoopHandle, RepeatedRunsMatchOneShotParLoop) {
+  const std::vector<ExecConfig> cfgs = {
+      {.backend = Backend::Seq},
+      {.backend = Backend::OpenMP, .nthreads = 3},
+      {.backend = Backend::AutoVec},
+      {.backend = Backend::Simd, .simd_width = 4},
+      {.backend = Backend::Simd, .coloring = ColoringStrategy::FullPermute, .simd_width = 8},
+      {.backend = Backend::Simd, .coloring = ColoringStrategy::BlockPermute, .simd_width = 8},
+      {.backend = Backend::Simt, .simd_width = 8},
+  };
+  for (const auto& cfg : cfgs) {
+    SCOPED_TRACE(cfg.to_string());
+    Fixture a, b;
+
+    // One-shot reference: call par_loop three times.
+    for (int it = 0; it < 3; ++it)
+      par_loop(EdgeKernel{}, "lh_free", a.edges, cfg, arg<opv::READ>(a.q, 0, a.e2c),
+               arg<opv::READ>(a.q, 1, a.e2c), arg<opv::READ>(a.w),
+               arg<opv::INC>(a.r, 0, a.e2c), arg<opv::INC>(a.r, 1, a.e2c),
+               arg_gbl<opv::INC>(&a.gsum, 1));
+
+    // Handle: construct once, run three times.
+    Loop loop(EdgeKernel{}, std::string("lh_handle"), b.edges, arg<opv::READ>(b.q, 0, b.e2c),
+              arg<opv::READ>(b.q, 1, b.e2c), arg<opv::READ>(b.w), arg<opv::INC>(b.r, 0, b.e2c),
+              arg<opv::INC>(b.r, 1, b.e2c), arg_gbl<opv::INC>(&b.gsum, 1));
+    static_assert(decltype(loop)::has_inc);
+    static_assert(decltype(loop)::has_gbl_reduction);
+    for (int it = 0; it < 3; ++it) loop.run(cfg);
+
+    for (idx_t c = 0; c < a.cells.size(); ++c)
+      ASSERT_NEAR(a.r.at(c), b.r.at(c), 1e-12 * (std::abs(a.r.at(c)) + 1)) << "cell " << c;
+    EXPECT_NEAR(a.gsum, b.gsum, 1e-12 * (std::abs(a.gsum) + 1));
+  }
+}
+
+// ---- plan pinning -----------------------------------------------------------
+
+TEST(LoopHandle, PlanPointerStableAcrossRuns) {
+  Fixture f;
+  Loop loop(EdgeKernel{}, std::string("lh_plan"), f.edges, arg<opv::READ>(f.q, 0, f.e2c),
+            arg<opv::READ>(f.q, 1, f.e2c), arg<opv::READ>(f.w), arg<opv::INC>(f.r, 0, f.e2c),
+            arg<opv::INC>(f.r, 1, f.e2c), arg_gbl<opv::INC>(&f.gsum, 1));
+  const ExecConfig cfg{.backend = Backend::Simd, .simd_width = 4};
+  loop.run(cfg);
+  const Plan* p1 = loop.plan(cfg);
+  ASSERT_NE(p1, nullptr);
+  loop.run(cfg);
+  loop.run(cfg);
+  EXPECT_EQ(loop.plan(cfg), p1) << "plan must be pinned, not re-fetched";
+
+  // A different strategy pins a different plan without evicting the first.
+  const ExecConfig bp{.backend = Backend::Simd, .coloring = ColoringStrategy::BlockPermute,
+                      .simd_width = 4};
+  loop.run(bp);
+  const Plan* p2 = loop.plan(bp);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_NE(p2, p1);
+  EXPECT_EQ(loop.plan(cfg), p1);
+
+  // The pinned plan is the same object the global cache would serve.
+  EXPECT_EQ(p1, PlanCache::instance()
+                    .get(f.edges, loop.conflicts(), cfg.block_size, ColoringStrategy::TwoLevel)
+                    .get());
+}
+
+TEST(LoopHandle, DirectLoopNeedsNoPlan) {
+  Fixture f;
+  Loop loop([](const auto* a, auto* b) { b[0] = a[0]; }, std::string("lh_direct"), f.cells,
+            arg<opv::READ>(f.q), arg<opv::WRITE>(f.r));
+  static_assert(!decltype(loop)::has_inc);
+  const ExecConfig cfg{.backend = Backend::Simd};
+  loop.run(cfg);
+  EXPECT_EQ(loop.plan(cfg), nullptr);
+  for (idx_t c = 0; c < f.cells.size(); ++c) ASSERT_EQ(f.r.at(c), f.q.at(c));
+}
+
+// ---- stats through the pre-bound slot ---------------------------------------
+
+TEST(LoopHandle, StatsAccumulateAcrossRuns) {
+  Fixture f;
+  StatsRegistry::instance().clear();
+  Loop loop(EdgeKernel{}, std::string("lh_stats"), f.edges, arg<opv::READ>(f.q, 0, f.e2c),
+            arg<opv::READ>(f.q, 1, f.e2c), arg<opv::READ>(f.w), arg<opv::INC>(f.r, 0, f.e2c),
+            arg<opv::INC>(f.r, 1, f.e2c), arg_gbl<opv::INC>(&f.gsum, 1));
+  const ExecConfig cfg{.backend = Backend::Seq};
+  loop.run(cfg);
+  loop.run(cfg);
+  auto rec = StatsRegistry::instance().get("lh_stats");
+  EXPECT_EQ(rec.calls, 2);
+  EXPECT_EQ(rec.elements, 2 * f.edges.size());
+
+  // clear() zeroes but keeps the slot valid: the handle keeps recording.
+  StatsRegistry::instance().clear();
+  EXPECT_EQ(StatsRegistry::instance().get("lh_stats").calls, 0);
+  loop.run(cfg);
+  rec = StatsRegistry::instance().get("lh_stats");
+  EXPECT_EQ(rec.calls, 1);
+  EXPECT_EQ(rec.elements, f.edges.size());
+}
+
+// ---- legacy call-shape compatibility ---------------------------------------
+
+TEST(LoopHandle, TagSpellingBuildsSameDescriptorType) {
+  Fixture f;
+  auto typed = arg<opv::INC>(f.r, 0, f.e2c);
+  auto tagged = arg(f.r, 0, f.e2c, Access::INC);
+  static_assert(std::is_same_v<decltype(typed), decltype(tagged)>,
+                "tag spelling must produce the identical typed descriptor");
+  auto g_typed = arg_gbl<opv::MIN>(&f.gsum, 1);
+  auto g_tagged = arg_gbl(&f.gsum, 1, Access::MIN);
+  static_assert(std::is_same_v<decltype(g_typed), decltype(g_tagged)>);
+}
+
+// Runtime (data-dependent) validation still throws.
+TEST(LoopHandle, RuntimeValidationStillThrows) {
+  Fixture f;
+  EXPECT_THROW(arg<opv::READ>(f.q, 2, f.e2c), Error);   // idx out of range
+  EXPECT_THROW(arg<opv::READ>(f.w, 0, f.e2c), Error);   // dat not on target set
+  EXPECT_THROW(arg_gbl<opv::INC>(&f.gsum, 0), Error);   // dim < 1
+  EXPECT_THROW(arg_gbl<opv::INC>(&f.gsum, 9), Error);   // dim > 8
+}
+
+}  // namespace

@@ -42,8 +42,8 @@ TEST(SimtBackend, ColoredIncrementWithHeavyConflicts) {
   auto run = [&](ExecConfig cfg) {
     hub.fill(0.0);
     double gsum = 0.0;
-    par_loop(StarKernel{}, "star", elems, cfg, arg(w, Access::READ),
-             arg(hub, 0, m, Access::INC), arg_gbl(&gsum, 1, Access::INC));
+    par_loop(StarKernel{}, "star", elems, cfg, arg<opv::READ>(w),
+             arg<opv::INC>(hub, 0, m), arg_gbl<opv::INC>(&gsum, 1));
     aligned_vector<double> out(hub.data(), hub.data() + nhubs);
     out.push_back(gsum);
     return out;
@@ -77,11 +77,12 @@ TEST(SimtBackend, DeterministicAcrossRepeatedRuns) {
   };
   const ExecConfig cfg{.backend = Backend::Simt, .simd_width = 8, .nthreads = 8};
   aligned_vector<double> first;
+  // Explicit-template spelling of the typed arg API (equivalent to tags).
   for (int rep = 0; rep < 5; ++rep) {
     r.fill(0.0);
-    par_loop(edge_k, "det", edges, cfg, arg(q, 0, e2c, Access::READ),
-             arg(q, 1, e2c, Access::READ), arg(r, 0, e2c, Access::INC),
-             arg(r, 1, e2c, Access::INC));
+    par_loop(edge_k, "det", edges, cfg, arg<opv::READ>(q, 0, e2c),
+             arg<opv::READ>(q, 1, e2c), arg<opv::INC>(r, 0, e2c),
+             arg<opv::INC>(r, 1, e2c));
     if (rep == 0) {
       first.assign(r.data(), r.data() + r.size());
     } else {
