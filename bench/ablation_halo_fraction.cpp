@@ -7,6 +7,8 @@
 // relatively larger. The rank simulator records exchange time per loop
 // ("<loop>/halo"), letting us reproduce the trend.
 
+#include <algorithm>
+
 #include "bench_common.hpp"
 
 using namespace opv;
@@ -18,7 +20,7 @@ int main(int argc, char** argv) {
   print_header("Ablation: halo-exchange fraction vs mesh size and rank count",
                "Reguly et al., section 6.5 (MPI time fraction)");
 
-  perf::Table t({"mesh", "ranks", "compute (s)", "halo (s)", "halo fraction"});
+  perf::Table t({"mesh", "ranks", "compute (s)", "halo (s)", "halo fraction", "max imb"});
 
   for (auto [ni, nj, label] : {std::tuple<idx_t, idx_t, const char*>{300, 150, "45k cells"},
                                {600, 300, "180k cells"},
@@ -31,13 +33,15 @@ int main(int argc, char** argv) {
       app.run(1, 0);  // warmup (halo build, first exchange)
       clear_stats();
       app.run(iters, 0);
-      double compute = 0, halo = 0;
+      double compute = 0, halo = 0, imb = 0;
       for (const auto& [name, rec] : StatsRegistry::instance().all()) {
         if (name.ends_with("/halo")) halo += rec.seconds;
         else compute += rec.seconds;
+        imb = std::max(imb, perf::rank_imbalance(rec));
       }
       t.add_row({label, std::to_string(ranks), perf::Table::num(compute, 3),
-                 perf::Table::num(halo, 3), perf::Table::pct(halo / (compute + halo), 1)});
+                 perf::Table::num(halo, 3), perf::Table::pct(halo / (compute + halo), 1),
+                 perf::Table::num(imb, 2)});
     }
   }
   t.print();

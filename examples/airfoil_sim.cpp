@@ -13,6 +13,7 @@
 #include "core/context.hpp"
 #include "dist/context.hpp"
 #include "mesh/generators.hpp"
+#include "perf/table.hpp"
 
 namespace {
 
@@ -62,6 +63,10 @@ int main(int argc, char** argv) {
     opv::dist::DistCtx ctx(ranks, cfg);
     if (precision == "float") run<float>(ctx, m, iters);
     else run<double>(ctx, m, iters);
+    // Per-loop partition-imbalance breakdown (max/mean of per-rank seconds,
+    // paper section 6): 1.0 = balanced, larger = the slowest rank dominates.
+    std::printf("\nper-loop stats:\n");
+    opv::perf::loop_stats_table(opv::StatsRegistry::instance().all()).print();
   } else {
     opv::LocalCtx ctx(cfg);
     if (precision == "float") run<float>(ctx, m, iters);

@@ -3,11 +3,21 @@
 # smoke run of the dispatch-path microbench, so regressions in the par_loop
 # dispatch path are caught before review.
 #
-# Usage: scripts/check.sh [build-dir]
+# Usage: scripts/check.sh [--dist] [build-dir]
+#   --dist   also smoke-run the distributed dispatch bench
+#            (ablation_dist_dispatch: DistCtx::loop vs dist::Loop::run)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build}"
+BUILD="$ROOT/build"
+DIST=0
+for arg in "$@"; do
+  case "$arg" in
+    --dist) DIST=1 ;;
+    -*) echo "unknown flag: $arg" >&2; exit 1 ;;
+    *) BUILD="$arg" ;;
+  esac
+done
 
 echo "== configure =="
 cmake -B "$BUILD" -S "$ROOT"
@@ -25,6 +35,15 @@ if [ -x "$BUILD/ablation_dispatch" ]; then
   "$BUILD/ablation_dispatch" --benchmark_min_time=0.05
 else
   echo "ablation_dispatch not built (Google Benchmark missing) - skipped"
+fi
+
+if [ "$DIST" = 1 ]; then
+  echo "== dist dispatch-path smoke =="
+  if [ -x "$BUILD/ablation_dist_dispatch" ]; then
+    "$BUILD/ablation_dist_dispatch" --benchmark_min_time=0.05
+  else
+    echo "ablation_dist_dispatch not built (Google Benchmark missing) - skipped"
+  fi
 fi
 
 echo "== OK =="

@@ -15,6 +15,15 @@ struct LoopRecord {
   double seconds = 0.0;
   std::int64_t calls = 0;
   std::int64_t elements = 0;  ///< total elements processed across calls
+
+  // Per-rank imbalance accounting (distributed loops; nranks == 0 until a
+  // dist::Loop records rank times). Each field accumulates its per-call
+  // statistic, so rank_max_seconds / rank_mean_seconds is the aggregate
+  // max/mean imbalance ratio over the whole run (paper section 6).
+  int nranks = 0;
+  double rank_max_seconds = 0.0;   ///< sum over calls of the slowest rank
+  double rank_min_seconds = 0.0;   ///< sum over calls of the fastest rank
+  double rank_mean_seconds = 0.0;  ///< sum over calls of the rank mean
 };
 
 class StatsRegistry {
@@ -29,6 +38,11 @@ class StatsRegistry {
 
   /// Accumulate into a slot obtained from slot() (thread-safe).
   void record(LoopRecord& slot, double seconds, std::int64_t elements);
+
+  /// Accumulate one distributed call's per-rank wall times into a slot:
+  /// max/min/mean are summed across calls so max/mean exposes the aggregate
+  /// partition imbalance (perf::rank_imbalance).
+  void record_ranks(LoopRecord& slot, const double* seconds, int nranks);
 
   /// Accumulate by name (one-shot callers; does the lookup every time).
   void record(const std::string& loop, double seconds, std::int64_t elements);

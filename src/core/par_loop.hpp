@@ -48,6 +48,7 @@
 #include "core/config.hpp"
 #include "core/loop_stats.hpp"
 #include "core/plan.hpp"
+#include "perf/tuner.hpp"
 #include "simd/simd.hpp"
 
 namespace opv {
@@ -863,6 +864,7 @@ class Loop {
     }
     if (n == 0) return;
 
+    const int bs = resolve_block_size(cfg);
     WallTimer timer;
     switch (cfg.backend) {
       case Backend::Seq: {
@@ -881,9 +883,9 @@ class Loop {
         if (!strat) {
           detail::exec_omp_direct(kernel_, proto, n, nth, hint);
         } else if (!hint) {
-          detail::exec_omp_colored(kernel_, proto, plan_for(*strat, cfg.block_size), nth);
+          detail::exec_omp_colored(kernel_, proto, plan_for(*strat, bs), nth);
         } else {
-          const Plan& plan = plan_for(*strat, cfg.block_size);
+          const Plan& plan = plan_for(*strat, bs);
           if (*strat == ColoringStrategy::FullPermute)
             detail::exec_autovec_fullperm(kernel_, proto, plan, nth);
           else
@@ -894,7 +896,7 @@ class Loop {
       case Backend::Simd:
       case Backend::Simt: {
         if constexpr (detail::vector_callable<Kernel, Args...>) {
-          run_vectorized(cfg, n);
+          run_vectorized(cfg, bs, n);
         } else {
           OPV_REQUIRE(false, "loop '" << name_
                                       << "': kernel has no vector instantiation (scalar-only "
@@ -903,12 +905,15 @@ class Loop {
         break;
       }
     }
+    const double secs = timer.seconds();
+    if (tuner_ && cfg.block_size == ExecConfig::kAuto && !tuner_->settled())
+      tuner_->observe(bs, secs);
     if (cfg.collect_stats) {
       // Slot bound on first recording run: loops that never collect stats
       // (one-shot wrappers with collect_stats=false, per-rank loops inside
       // DistCtx) never touch the registry at all.
       if (!stats_) stats_ = &StatsRegistry::instance().slot(name_);
-      StatsRegistry::instance().record(*stats_, timer.seconds(), n);
+      StatsRegistry::instance().record(*stats_, secs, n);
     }
   }
 
@@ -924,10 +929,27 @@ class Loop {
   /// reuse across run() calls.
   [[nodiscard]] const Plan* plan(const ExecConfig& cfg) {
     const auto strat = strategy_for(cfg);
-    return strat ? &plan_for(*strat, cfg.block_size) : nullptr;
+    if (!strat) return nullptr;
+    return &plan_for(*strat, resolve_block_size(cfg));
+  }
+
+  /// kAuto result: the settled block size (0 while still tuning, or when
+  /// this loop always ran with an explicit block size / no plan).
+  [[nodiscard]] int tuned_block_size() const {
+    return tuner_ && tuner_->settled() ? tuner_->best() : 0;
   }
 
  private:
+  /// Block size for the next run: explicit from cfg, or — under
+  /// ExecConfig::kAuto — the online tuner's current candidate. Loops that
+  /// never need a plan skip tuning entirely (block size is meaningless).
+  int resolve_block_size(const ExecConfig& cfg) {
+    if (cfg.block_size != ExecConfig::kAuto) return cfg.block_size;
+    if (!strategy_for(cfg)) return ExecConfig::kDefaultBlockSize;
+    if (!tuner_) tuner_ = std::make_unique<perf::OnlineTuner>();
+    return tuner_->propose();
+  }
+
   /// The single source of truth for backend -> coloring-strategy selection
   /// (used by run(), run_vectorized() and plan()). nullopt = no plan needed.
   [[nodiscard]] static std::optional<ColoringStrategy> strategy_for(const ExecConfig& cfg) {
@@ -955,7 +977,7 @@ class Loop {
   }
 
   /// Vector-width dispatch: instantiate the engine for the requested W.
-  void run_vectorized(const ExecConfig& cfg, idx_t n) {
+  void run_vectorized(const ExecConfig& cfg, int block_size, idx_t n) {
     using Real = typename detail::first_real<Args...>::type;
     const int nth = detail::resolve_threads(cfg.nthreads);
     auto dispatch = [&]<int W>() {
@@ -965,14 +987,14 @@ class Loop {
           [](const auto&... a) { return std::make_tuple(detail::vbind<W>(a)...); }, args_);
       const auto strat = strategy_for(cfg);
       if (cfg.backend == Backend::Simt) {
-        detail::exec_simt<W>(kernel_, sproto, vproto, plan_for(*strat, cfg.block_size), nth);
+        detail::exec_simt<W>(kernel_, sproto, vproto, plan_for(*strat, block_size), nth);
         return;
       }
       if (!strat) {
         detail::exec_simd_direct<W>(kernel_, sproto, vproto, n, nth);
         return;
       }
-      const Plan& plan = plan_for(*strat, cfg.block_size);
+      const Plan& plan = plan_for(*strat, block_size);
       switch (*strat) {
         case ColoringStrategy::TwoLevel:
           detail::exec_simd_colored<W>(kernel_, sproto, vproto, plan, nth);
@@ -1007,6 +1029,7 @@ class Loop {
   std::vector<IncRef> conflicts_;
   LoopRecord* stats_ = nullptr;
   PlanSlot plans_[3];
+  std::unique_ptr<perf::OnlineTuner> tuner_;  ///< allocated on first kAuto run
 };
 
 template <class Kernel, class... Args>

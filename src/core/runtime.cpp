@@ -56,6 +56,21 @@ void StatsRegistry::record(LoopRecord& slot, double seconds, std::int64_t elemen
   slot.elements += elements;
 }
 
+void StatsRegistry::record_ranks(LoopRecord& slot, const double* seconds, int nranks) {
+  if (nranks <= 0) return;
+  double mx = seconds[0], mn = seconds[0], sum = 0.0;
+  for (int r = 0; r < nranks; ++r) {
+    mx = seconds[r] > mx ? seconds[r] : mx;
+    mn = seconds[r] < mn ? seconds[r] : mn;
+    sum += seconds[r];
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  slot.nranks = nranks;
+  slot.rank_max_seconds += mx;
+  slot.rank_min_seconds += mn;
+  slot.rank_mean_seconds += sum / nranks;
+}
+
 void StatsRegistry::record(const std::string& loop, double seconds, std::int64_t elements) {
   record(slot(loop), seconds, elements);
 }

@@ -5,25 +5,28 @@
 // decl_map / decl_dat / arg / loop / fetch) run unchanged: DistCtx
 // partitions the primary set geometrically at finalize(), derives ownership
 // of every other set through the maps, builds owned/exec/non-exec halo
-// layouts (halo.hpp), and replicates each dataset per rank. Each loop() then
-// runs one opv::par_loop per rank on the rank's localized sets/maps
-// (concurrently, on plain threads), with:
+// layouts (halo.hpp), and replicates each dataset per rank.
+//
+// Execution goes through dist::Loop handles (dist/loop.hpp): a Loop pins the
+// halo-exchange plan, the per-rank argument bindings and one opv::Loop per
+// rank at construction, so steady-state run() does zero setup. The context's
+// loop(...) member is a one-shot wrapper over a throwaway Loop — exactly the
+// relationship opv::par_loop has to opv::Loop. The execution model:
 //   * owner-compute redundant execution: loops with indirect increments
 //     execute the import halo so owned data gets every contribution locally;
 //   * dirty-bit lazy halo exchange: a dataset's halo copies are refreshed
 //     only when a loop will actually read them and a previous loop has
 //     modified the dataset (exchanges are recorded as "<loop>/halo" in the
-//     stats registry);
+//     stats registry). The bytes move through a pluggable Exchanger
+//     (exchange.hpp); the default is the in-process MemcpyExchanger;
 //   * cross-rank global reductions merged after the rank barrier.
 #pragma once
 
-#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <exception>
-#include <limits>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +34,7 @@
 #include <vector>
 
 #include "core/op2.hpp"
+#include "dist/exchange.hpp"
 #include "dist/halo.hpp"
 #include "dist/partition.hpp"
 
@@ -126,7 +130,8 @@ class WorkerPool {
 // ---- rank-addressable argument descriptors ---------------------------------
 
 /// Dataset argument by handle: resolved to a typed opv::Arg on each rank's
-/// replica at loop() time. Access/directness are compile-time, like opv::Arg.
+/// replica when a dist::Loop is constructed. Access/directness are
+/// compile-time, like opv::Arg.
 template <class T, AccessMode A, bool Ind>
 struct DistArgDat {
   using scalar_type = T;
@@ -147,6 +152,9 @@ struct DistArgGbl {
   T* ptr = nullptr;
   int dim = 1;
 };
+
+template <class Kernel, class... DArgs>
+class Loop;
 
 class DistCtx {
  public:
@@ -224,7 +232,7 @@ class DistCtx {
         partition_rcb(coords_.data(), spec_.sets[primary_].size, nranks_);
     auto owner = derive_ownership(spec_, primary_, primary_owner, nranks_);
     part_ = std::make_unique<Partitioned>(spec_, owner, nranks_);
-    for (auto& d : dats_) d->materialize(*part_);
+    for (int i = 0; i < static_cast<int>(dats_.size()); ++i) dats_[i]->materialize(i, *part_);
     finalized_ = true;
   }
 
@@ -232,6 +240,17 @@ class DistCtx {
     OPV_REQUIRE(part_, "DistCtx::partitioned: finalize() has not run yet");
     return *part_;
   }
+
+  // ---- halo-exchange transport --------------------------------------------
+
+  /// Swap the halo-exchange transport. The default is the in-process
+  /// MemcpyExchanger; a real MPI transport implements the same interface and
+  /// replaces it here without touching the loop API.
+  void set_exchanger(std::unique_ptr<Exchanger> e) {
+    OPV_REQUIRE(e != nullptr, "DistCtx::set_exchanger: null exchanger");
+    exchanger_ = std::move(e);
+  }
+  [[nodiscard]] Exchanger& exchanger() { return *exchanger_; }
 
   // ---- typed argument builders --------------------------------------------
 
@@ -273,51 +292,12 @@ class DistCtx {
 
   // ---- execution -----------------------------------------------------------
 
+  /// One-shot execution: construct a dist::Loop, run it once, discard it.
+  /// Steady-state callers (timestep-driven applications) should construct
+  /// the Loop themselves and run() it repeatedly (dist/loop.hpp). Defined in
+  /// loop.hpp.
   template <class Kernel, class... DArgs>
-  void loop(Kernel kernel, const char* name, SetHandle set, DArgs... dargs) {
-    finalize();
-    constexpr bool loop_has_inc = has_inc_v<DArgs...>;
-
-    // 1. Lazy halo refresh for every dataset this loop will read stale.
-    {
-      std::vector<int> need;
-      (collect_fresh<loop_has_inc>(dargs, need), ...);
-      WallTimer ht;
-      std::int64_t exchanged = 0;
-      for (std::size_t i = 0; i < need.size(); ++i) {
-        if (std::find(need.begin(), need.begin() + i, need[i]) != need.begin() + i) continue;
-        DatEntryBase& d = *dats_[need[i]];
-        if (!d.dirty) continue;
-        exchanged += d.exchange(*part_);
-        d.dirty = false;
-      }
-      if (exchanged > 0 && cfg_.collect_stats)
-        StatsRegistry::instance().record(std::string(name) + "/halo", ht.seconds(), exchanged);
-    }
-
-    // 2. Run one par_loop per rank concurrently; globals get per-rank
-    //    scratch merged after the barrier. The per-rank config is derived
-    //    from the CURRENT cfg_ so mutations through config() take effect;
-    //    per-rank stats stay off (the context records loop stats itself).
-    WallTimer timer;
-    ExecConfig rank_cfg = cfg_;
-    rank_cfg.collect_stats = false;
-    auto prepped = std::make_tuple(prep(dargs)...);
-    std::apply(
-        [&](auto&... p) {
-          pool_.run([&](int r) {
-            opv::par_loop(kernel, name, part_->set(r, set), rank_cfg, rank_arg(r, p)...);
-          });
-        },
-        prepped);
-    std::apply([&](auto&... p) { (merge_gbl(p), ...); }, prepped);
-
-    // 3. Modified datasets now have stale halo copies everywhere.
-    (mark_dirty(dargs), ...);
-
-    if (cfg_.collect_stats)
-      StatsRegistry::instance().record(name, timer.seconds(), spec_.sets[set].size);
-  }
+  void loop(Kernel kernel, const char* name, SetHandle set, DArgs... dargs);
 
   /// Copy a dataset's owned values into a global-order array.
   template <class T>
@@ -335,6 +315,9 @@ class DistCtx {
   }
 
  private:
+  template <class Kernel, class... DArgs>
+  friend class Loop;
+
   // ---- dataset storage -----------------------------------------------------
 
   struct DatEntryBase {
@@ -342,10 +325,9 @@ class DistCtx {
     int set = -1;
     int dim = 0;
     bool dirty = false;  ///< halo copies stale relative to owner data
+    DatHaloView view;    ///< type-erased transport view, pinned at materialize
     virtual ~DatEntryBase() = default;
-    virtual void materialize(const Partitioned& part) = 0;
-    /// Refresh every halo slot from its owner; returns values copied.
-    virtual std::int64_t exchange(const Partitioned& part) = 0;
+    virtual void materialize(int id, const Partitioned& part) = 0;
   };
 
   template <class T>
@@ -353,7 +335,7 @@ class DistCtx {
     aligned_vector<T> init;   ///< global initial values (empty = zeros)
     std::deque<Dat<T>> rank;  ///< per-rank replica, local layout order
 
-    void materialize(const Partitioned& part) override {
+    void materialize(int id, const Partitioned& part) override {
       for (int r = 0; r < part.nranks(); ++r) {
         rank.emplace_back(name, part.set(r, set), dim);
         if (init.empty()) continue;
@@ -363,20 +345,13 @@ class DistCtx {
           for (int c = 0; c < dim; ++c)
             d.at(l, c) = init[static_cast<std::size_t>(L.local_to_global[l]) * dim + c];
       }
-    }
-
-    std::int64_t exchange(const Partitioned& part) override {
-      std::int64_t copied = 0;
-      for (int r = 0; r < part.nranks(); ++r) {
-        const LocalLayout& L = part.layout(r, set);
-        Dat<T>& dst = rank[r];
-        for (idx_t i = 0; i < L.ntotal - L.nowned; ++i) {
-          const Dat<T>& src = rank[L.src_rank[i]];
-          for (int c = 0; c < dim; ++c) dst.at(L.nowned + i, c) = src.at(L.src_local[i], c);
-          copied += dim;
-        }
-      }
-      return copied;
+      view.dat = id;
+      view.set = set;
+      view.dim = dim;
+      view.value_bytes = sizeof(T);
+      view.rank_base.clear();
+      for (int r = 0; r < part.nranks(); ++r)
+        view.rank_base.push_back(reinterpret_cast<unsigned char*>(rank[r].data()));
     }
   };
 
@@ -385,85 +360,23 @@ class DistCtx {
     return *static_cast<DatEntry<T>*>(dats_[id].get());
   }
 
-  // ---- loop plumbing -------------------------------------------------------
+  // ---- halo management (called by dist::Loop) ------------------------------
 
-  // Same conflict rule the core engine's arg_traits uses for coloring:
-  // keeping them on one predicate keeps halo execution and plan coloring
-  // in agreement.
-  template <class... DA>
-  static constexpr bool has_inc_v =
-      ((!DA::is_gbl && DA::indirect && access_conflicting(DA::access)) || ...);
-
-  /// Which datasets must have fresh halos before this loop: indirect reads
-  /// always; direct reads too when the loop redundantly executes the halo
-  /// (the kernel then consumes halo-element data to build owned increments).
-  template <bool LoopHasInc, class DA>
-  void collect_fresh(const DA& a, std::vector<int>& need) {
-    if constexpr (!DA::is_gbl) {
-      constexpr AccessMode A = DA::access;
-      if constexpr (DA::indirect ? access_reads(A)
-                                 : (LoopHasInc && (access_reads(A) || A == AccessMode::INC)))
-        need.push_back(a.dat);
+  /// Refresh the listed datasets' halos through the exchanger, dirty ones
+  /// only; returns the number of scalar values moved.
+  std::int64_t refresh_halos(const std::vector<int>& dat_ids) {
+    std::int64_t exchanged = 0;
+    for (int id : dat_ids) {
+      DatEntryBase& d = *dats_[id];
+      if (!d.dirty) continue;
+      exchanged += exchanger_->exchange(*part_, d.view);
+      d.dirty = false;
     }
+    return exchanged;
   }
 
-  template <class DA>
-  void mark_dirty(const DA& a) {
-    if constexpr (!DA::is_gbl && access_writes(DA::access)) dats_[a.dat]->dirty = true;
-  }
-
-  /// Per-loop state: dat args pass through; gbl args gain per-rank scratch.
-  template <class T, AccessMode A, bool Ind>
-  DistArgDat<T, A, Ind> prep(const DistArgDat<T, A, Ind>& a) {
-    return a;
-  }
-
-  template <class T, AccessMode A>
-  struct GblState {
-    T* target;
-    int dim;
-    aligned_vector<T> buf;  ///< nranks * dim
-  };
-  template <class T, AccessMode A>
-  GblState<T, A> prep(const DistArgGbl<T, A>& a) {
-    GblState<T, A> s{a.ptr, a.dim, {}};
-    s.buf.assign(static_cast<std::size_t>(nranks_) * a.dim, T{});
-    for (int r = 0; r < nranks_; ++r)
-      for (int c = 0; c < a.dim; ++c) {
-        T v{};
-        if constexpr (A == AccessMode::READ) v = a.ptr[c];
-        else if constexpr (A == AccessMode::INC) v = T(0);
-        else if constexpr (A == AccessMode::MIN) v = std::numeric_limits<T>::max();
-        else v = std::numeric_limits<T>::lowest();
-        s.buf[static_cast<std::size_t>(r) * a.dim + c] = v;
-      }
-    return s;
-  }
-
-  template <class T, AccessMode A, bool Ind>
-  auto rank_arg(int r, DistArgDat<T, A, Ind>& a) {
-    Dat<T>& d = entry<T>(a.dat).rank[r];
-    if constexpr (Ind) return opv::arg<A>(d, a.idx, part_->map(r, a.map));
-    else return opv::arg<A>(d);
-  }
-  template <class T, AccessMode A>
-  auto rank_arg(int r, GblState<T, A>& s) {
-    return opv::arg_gbl<A>(s.buf.data() + static_cast<std::size_t>(r) * s.dim, s.dim);
-  }
-
-  template <class T, AccessMode A, bool Ind>
-  void merge_gbl(DistArgDat<T, A, Ind>&) {}
-  template <class T, AccessMode A>
-  void merge_gbl(GblState<T, A>& s) {
-    if constexpr (A == AccessMode::READ) return;
-    for (int r = 0; r < nranks_; ++r)
-      for (int c = 0; c < s.dim; ++c) {
-        const T v = s.buf[static_cast<std::size_t>(r) * s.dim + c];
-        if constexpr (A == AccessMode::INC) s.target[c] += v;
-        else if constexpr (A == AccessMode::MIN)
-          s.target[c] = s.target[c] < v ? s.target[c] : v;
-        else s.target[c] = s.target[c] > v ? s.target[c] : v;
-      }
+  void mark_dirty(const std::vector<int>& dat_ids) {
+    for (int id : dat_ids) dats_[id]->dirty = true;
   }
 
   void require_open(const char* what) const {
@@ -478,7 +391,12 @@ class DistCtx {
   aligned_vector<double> coords_;
   std::vector<std::unique_ptr<DatEntryBase>> dats_;
   std::unique_ptr<Partitioned> part_;
+  std::unique_ptr<Exchanger> exchanger_ = std::make_unique<MemcpyExchanger>();
   bool finalized_ = false;
 };
 
 }  // namespace opv::dist
+
+// The Loop handle and the DistCtx::loop wrapper it backs live in a sibling
+// header so either include order works (both are #pragma once).
+#include "dist/loop.hpp"  // IWYU pragma: keep

@@ -1,0 +1,87 @@
+// Halo-exchange transport seam for the distributed layer.
+//
+// The paper's MPI results (section 6.5) hinge on making halo exchange cheap
+// and overlappable; the first step is separating WHAT a loop exchanges from
+// HOW the bytes move. A dist::Loop pins an ExchangePlan at construction
+// (which dats it reads stale, which it dirties); all traffic then flows
+// through the context's Exchanger. The in-tree transport is MemcpyExchanger
+// (every rank replica lives in one address space, so halo slots are filled
+// by direct memcpy from the owner); a real MPI transport implements the same
+// two-method interface and drops in via DistCtx::set_exchanger without
+// touching the loop API.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "dist/halo.hpp"
+
+namespace opv::dist {
+
+/// Type-erased per-rank storage view of one dataset: everything a transport
+/// needs to move halo values without knowing the value type. The rank base
+/// pointers are pinned when the dataset is materialized (rank replicas are
+/// never reallocated after finalize()).
+struct DatHaloView {
+  int dat = -1;                ///< dat id (diagnostics)
+  int set = -1;                ///< set the dat lives on (selects layouts)
+  int dim = 0;                 ///< values per element
+  std::size_t value_bytes = 0; ///< sizeof one scalar value
+  std::vector<unsigned char*> rank_base;  ///< per-rank replica base pointer
+};
+
+/// A loop's pinned halo-exchange schedule, derived once at dist::Loop
+/// construction from the argument types (compile-time access modes) and the
+/// runtime dat identities:
+///   * read_dats — datasets the loop consumes halo values of (indirect
+///     reads always; direct reads/increments too when the loop redundantly
+///     executes the import halo), refreshed before the run if dirty;
+///   * write_dats — datasets the loop modifies, whose halo copies are
+///     invalidated after the run.
+struct ExchangePlan {
+  std::vector<int> read_dats;
+  std::vector<int> write_dats;
+};
+
+/// Transport interface: refresh every halo slot of one dataset from its
+/// owning rank. Implementations are exchange mechanisms only — the dirty
+/// tracking and the decision of WHICH dats to refresh stay with the context
+/// and the loop's ExchangePlan.
+class Exchanger {
+ public:
+  virtual ~Exchanger() = default;
+
+  /// Fill halo slots [nowned, ntotal) of `view`'s dat on every rank from the
+  /// owner replica; returns the number of scalar values copied.
+  virtual std::int64_t exchange(const Partitioned& part, const DatHaloView& view) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The in-process transport: all rank replicas share one address space, so a
+/// halo slot is refreshed with a single memcpy from the owner's storage.
+class MemcpyExchanger final : public Exchanger {
+ public:
+  std::int64_t exchange(const Partitioned& part, const DatHaloView& view) override {
+    const std::size_t stride = view.value_bytes * static_cast<std::size_t>(view.dim);
+    std::int64_t copied = 0;
+    for (int r = 0; r < part.nranks(); ++r) {
+      const LocalLayout& L = part.layout(r, view.set);
+      unsigned char* dst = view.rank_base[static_cast<std::size_t>(r)];
+      const idx_t nhalo = L.ntotal - L.nowned;
+      for (idx_t i = 0; i < nhalo; ++i) {
+        const unsigned char* src =
+            view.rank_base[static_cast<std::size_t>(L.src_rank[i])] +
+            static_cast<std::size_t>(L.src_local[i]) * stride;
+        std::memcpy(dst + static_cast<std::size_t>(L.nowned + i) * stride, src, stride);
+        copied += view.dim;
+      }
+    }
+    return copied;
+  }
+
+  [[nodiscard]] const char* name() const override { return "memcpy"; }
+};
+
+}  // namespace opv::dist

@@ -1,0 +1,306 @@
+// dist::Loop: persistent distributed-loop handles — the dist analog of
+// opv::Loop (core/par_loop.hpp).
+//
+// The paper's execution model builds per-loop plans once and amortizes them
+// over thousands of timesteps (PPoPP'14 section 3); DistCtx::loop used to
+// re-derive the stale-dataset set, re-prep per-rank argument bindings and
+// re-resolve per-rank plans on every call. A dist::Loop pins all of it at
+// construction:
+//   * argument validation against the iteration set (direct dats must live
+//     on it, indirect maps must be FROM it);
+//   * the ExchangePlan: which dats the loop reads stale (refreshed through
+//     the context's Exchanger before the run, dirty ones only) and which it
+//     dirties (halo copies invalidated after the run);
+//   * per-rank argument bindings: every DistArg resolved to a typed opv::Arg
+//     on the rank's replica; globals bound to pinned per-rank scratch;
+//   * one opv::Loop per rank, so the per-rank conflict analysis, coloring
+//     plan and stats slot are pinned too.
+// Steady-state run() therefore performs no per-call derivation, prep or
+// lookup: refresh dirty halos, wake the rank pool, merge globals, flip dirty
+// bits. run() also records each rank's wall time (max/min/mean accumulated
+// in the loop's stats slot) so partition imbalance is visible (paper
+// section 6; perf::rank_imbalance).
+#pragma once
+
+#include "dist/context.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace opv::dist {
+
+namespace detail {
+
+/// The opv argument type a DistArg resolves to on each rank.
+template <class DA>
+struct rank_arg;
+template <class T, AccessMode A, bool Ind>
+struct rank_arg<DistArgDat<T, A, Ind>> {
+  using type = opv::Arg<T, A, Ind>;
+};
+template <class T, AccessMode A>
+struct rank_arg<DistArgGbl<T, A>> {
+  using type = opv::ArgGbl<T, A>;
+};
+template <class DA>
+using rank_arg_t = typename rank_arg<DA>::type;
+
+/// Pinned per-argument state: dat args need none (they are bound into the
+/// rank loops); globals get per-rank scratch merged after the rank barrier.
+struct NoPin {};
+template <class T, AccessMode A>
+struct GblPin {
+  T* target = nullptr;
+  int dim = 0;
+  aligned_vector<T> buf;  ///< nranks * dim, pinned for the Loop's lifetime
+};
+template <class DA>
+struct pin {
+  using type = NoPin;
+};
+template <class T, AccessMode A>
+struct pin<DistArgGbl<T, A>> {
+  using type = GblPin<T, A>;
+};
+template <class DA>
+using pin_t = typename pin<DA>::type;
+
+// Same conflict rule the core engine's arg_traits uses for coloring:
+// keeping them on one predicate keeps halo execution and plan coloring
+// in agreement.
+template <class... DA>
+inline constexpr bool dist_has_inc_v =
+    ((!DA::is_gbl && DA::indirect && access_conflicting(DA::access)) || ...);
+
+}  // namespace detail
+
+/// A distributed parallel loop bound to its kernel, iteration set and typed
+/// rank-addressable arguments.
+///
+///   dist::Loop loop(ctx, ResCalc<double>{consts}, "res_calc", edges, args...);
+///   for (int it = 0; it < 1000; ++it) loop.run();
+///
+/// Construction finalizes the context (first use partitions the mesh) and
+/// pins the exchange plan, the per-rank bindings and one opv::Loop per rank.
+/// Global argument pointers are captured at construction and must outlive
+/// the Loop.
+template <class Kernel, class... DArgs>
+class Loop {
+ public:
+  static constexpr bool has_inc = detail::dist_has_inc_v<DArgs...>;
+  using RankLoop = opv::Loop<Kernel, detail::rank_arg_t<DArgs>...>;
+
+  Loop(DistCtx& ctx, Kernel kernel, std::string name, DistCtx::SetHandle set, DArgs... dargs)
+      : ctx_(&ctx), name_(std::move(name)), set_(set) {
+    ctx.finalize();
+    global_size_ = ctx.spec_.sets[set].size;
+    (validate(dargs), ...);
+    (collect_read(dargs), ...);
+    (collect_write(dargs), ...);
+    setup_pins(std::index_sequence_for<DArgs...>{}, dargs...);
+    rank_secs_.assign(static_cast<std::size_t>(ctx.nranks_), 0.0);
+    rank_loops_.reserve(static_cast<std::size_t>(ctx.nranks_));
+    for (int r = 0; r < ctx.nranks_; ++r)
+      build_rank_loop(r, kernel, std::index_sequence_for<DArgs...>{}, dargs...);
+  }
+
+  /// Execute under the given per-rank configuration.
+  void run(const ExecConfig& cfg) {
+    DistCtx& ctx = *ctx_;
+
+    // 1. Lazy halo refresh of the pinned stale-read set, through the
+    //    context's Exchanger.
+    if (!plan_.read_dats.empty()) {
+      WallTimer ht;
+      const std::int64_t exchanged = ctx.refresh_halos(plan_.read_dats);
+      if (exchanged > 0 && cfg.collect_stats) {
+        if (!halo_stats_) halo_stats_ = &StatsRegistry::instance().slot(name_ + "/halo");
+        StatsRegistry::instance().record(*halo_stats_, ht.seconds(), exchanged);
+      }
+    }
+
+    // 2. Run the pinned per-rank loops concurrently; per-rank stats stay off
+    //    (this layer records loop stats itself), per-rank wall times are
+    //    captured for the imbalance accounting.
+    std::apply([&](auto&... p) { (reset_pin(p), ...); }, pins_);
+    WallTimer timer;
+    ExecConfig rank_cfg = cfg;
+    rank_cfg.collect_stats = false;
+    ctx.pool_.run([&](int r) {
+      WallTimer rt;
+      rank_loops_[static_cast<std::size_t>(r)].run(rank_cfg);
+      rank_secs_[static_cast<std::size_t>(r)] = rt.seconds();
+    });
+    std::apply([&](auto&... p) { (merge_pin(p), ...); }, pins_);
+    const double secs = timer.seconds();
+
+    // 3. Modified datasets now have stale halo copies everywhere.
+    ctx.mark_dirty(plan_.write_dats);
+
+    if (cfg.collect_stats) {
+      auto& reg = StatsRegistry::instance();
+      if (!stats_) stats_ = &reg.slot(name_);
+      reg.record(*stats_, secs, global_size_);
+      reg.record_ranks(*stats_, rank_secs_.data(), static_cast<int>(rank_secs_.size()));
+    }
+  }
+
+  /// Execute under the context's CURRENT configuration (mutations through
+  /// DistCtx::config() take effect, as they always did for DistCtx::loop).
+  void run() { run(ctx_->cfg_); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int nranks() const { return static_cast<int>(rank_loops_.size()); }
+
+  /// The pinned halo-exchange schedule — one object for the Loop's lifetime
+  /// (tests verify pinning through its address and contents).
+  [[nodiscard]] const ExchangePlan& exchange_plan() const { return plan_; }
+
+  /// The pinned per-rank engine handle (exposes the rank's coloring plan).
+  [[nodiscard]] RankLoop& rank_loop(int r) {
+    return rank_loops_[static_cast<std::size_t>(r)];
+  }
+
+  /// Per-rank wall seconds of the most recent run().
+  [[nodiscard]] const std::vector<double>& rank_seconds() const { return rank_secs_; }
+
+ private:
+  // ---- construction-time derivation ----------------------------------------
+
+  template <class T, AccessMode A, bool Ind>
+  void validate(const DistArgDat<T, A, Ind>& a) const {
+    const GlobalSpec& spec = ctx_->spec_;
+    if constexpr (Ind) {
+      OPV_REQUIRE(spec.maps[a.map].from == set_,
+                  "dist::Loop '" << name_ << "': map '" << spec.maps[a.map].name
+                                 << "' is not from the iteration set '" << spec.sets[set_].name
+                                 << "'");
+    } else {
+      OPV_REQUIRE(ctx_->dats_[a.dat]->set == set_,
+                  "dist::Loop '" << name_ << "': direct dat '" << ctx_->dats_[a.dat]->name
+                                 << "' does not live on the iteration set '"
+                                 << spec.sets[set_].name << "'");
+    }
+  }
+  template <class T, AccessMode A>
+  void validate(const DistArgGbl<T, A>&) const {}
+
+  /// Which datasets must have fresh halos before this loop: indirect reads
+  /// always; direct reads too when the loop redundantly executes the halo
+  /// (the kernel then consumes halo-element data to build owned increments).
+  template <class DA>
+  void collect_read(const DA& a) {
+    if constexpr (!DA::is_gbl) {
+      constexpr AccessMode A = DA::access;
+      if constexpr (DA::indirect ? access_reads(A)
+                                 : (has_inc && (access_reads(A) || A == AccessMode::INC))) {
+        if (std::find(plan_.read_dats.begin(), plan_.read_dats.end(), a.dat) ==
+            plan_.read_dats.end())
+          plan_.read_dats.push_back(a.dat);
+      }
+    }
+  }
+
+  template <class DA>
+  void collect_write(const DA& a) {
+    if constexpr (!DA::is_gbl && access_writes(DA::access)) {
+      if (std::find(plan_.write_dats.begin(), plan_.write_dats.end(), a.dat) ==
+          plan_.write_dats.end())
+        plan_.write_dats.push_back(a.dat);
+    }
+  }
+
+  template <std::size_t... Is>
+  void setup_pins(std::index_sequence<Is...>, const DArgs&... dargs) {
+    (setup_pin(std::get<Is>(pins_), dargs), ...);
+  }
+  template <class T, AccessMode A, bool Ind>
+  void setup_pin(detail::NoPin&, const DistArgDat<T, A, Ind>&) {}
+  template <class T, AccessMode A>
+  void setup_pin(detail::GblPin<T, A>& g, const DistArgGbl<T, A>& a) {
+    g.target = a.ptr;
+    g.dim = a.dim;
+    g.buf.assign(static_cast<std::size_t>(ctx_->nranks_) * a.dim, T{});
+  }
+
+  template <std::size_t... Is>
+  void build_rank_loop(int r, const Kernel& kernel, std::index_sequence<Is...>,
+                       const DArgs&... dargs) {
+    rank_loops_.emplace_back(kernel, name_, ctx_->part_->set(r, set_),
+                             bind_rank(r, dargs, std::get<Is>(pins_))...);
+  }
+  template <class T, AccessMode A, bool Ind>
+  auto bind_rank(int r, const DistArgDat<T, A, Ind>& a, detail::NoPin&) {
+    Dat<T>& d = ctx_->template entry<T>(a.dat).rank[static_cast<std::size_t>(r)];
+    if constexpr (Ind) return opv::arg<A>(d, a.idx, ctx_->part_->map(r, a.map));
+    else return opv::arg<A>(d);
+  }
+  template <class T, AccessMode A>
+  auto bind_rank(int r, const DistArgGbl<T, A>& a, detail::GblPin<T, A>& g) {
+    return opv::arg_gbl<A>(g.buf.data() + static_cast<std::size_t>(r) * a.dim, a.dim);
+  }
+
+  // ---- per-run global scratch ----------------------------------------------
+
+  void reset_pin(detail::NoPin&) {}
+  template <class T, AccessMode A>
+  void reset_pin(detail::GblPin<T, A>& g) {
+    for (int r = 0; r < ctx_->nranks_; ++r)
+      for (int c = 0; c < g.dim; ++c) {
+        T v{};
+        if constexpr (A == AccessMode::READ) v = g.target[c];
+        else if constexpr (A == AccessMode::INC) v = T(0);
+        else if constexpr (A == AccessMode::MIN) v = std::numeric_limits<T>::max();
+        else v = std::numeric_limits<T>::lowest();
+        g.buf[static_cast<std::size_t>(r) * g.dim + c] = v;
+      }
+  }
+
+  void merge_pin(detail::NoPin&) {}
+  template <class T, AccessMode A>
+  void merge_pin(detail::GblPin<T, A>& g) {
+    if constexpr (A == AccessMode::READ) return;
+    for (int r = 0; r < ctx_->nranks_; ++r)
+      for (int c = 0; c < g.dim; ++c) {
+        const T v = g.buf[static_cast<std::size_t>(r) * g.dim + c];
+        if constexpr (A == AccessMode::INC) g.target[c] += v;
+        else if constexpr (A == AccessMode::MIN)
+          g.target[c] = g.target[c] < v ? g.target[c] : v;
+        else g.target[c] = g.target[c] > v ? g.target[c] : v;
+      }
+  }
+
+  DistCtx* ctx_;
+  std::string name_;
+  DistCtx::SetHandle set_;
+  idx_t global_size_ = 0;
+  ExchangePlan plan_;
+  std::tuple<detail::pin_t<DArgs>...> pins_;
+  std::vector<RankLoop> rank_loops_;
+  std::vector<double> rank_secs_;
+  LoopRecord* stats_ = nullptr;
+  LoopRecord* halo_stats_ = nullptr;
+};
+
+template <class Kernel, class... DArgs>
+Loop(DistCtx&, Kernel, std::string, DistCtx::SetHandle, DArgs...) -> Loop<Kernel, DArgs...>;
+
+// ---- the one-shot wrapper ---------------------------------------------------
+
+/// Mirrors opv::par_loop over opv::Loop: identical call shape, throwaway
+/// handle. The nranks engine handles are built serially on the caller
+/// thread, so this path's per-call overhead grows with the rank count —
+/// steady-state iteration should construct the Loop once (the dispatch
+/// ablation bench measures the gap).
+template <class Kernel, class... DArgs>
+void DistCtx::loop(Kernel kernel, const char* name, SetHandle set, DArgs... dargs) {
+  Loop<Kernel, DArgs...> l(*this, std::move(kernel), name, set, dargs...);
+  l.run();
+}
+
+}  // namespace opv::dist

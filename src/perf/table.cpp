@@ -61,4 +61,31 @@ double useful_gflops(const KernelInfo& info, const LoopRecord& rec) {
   return info.flops * static_cast<double>(rec.elements) / rec.seconds / 1e9;
 }
 
+double rank_imbalance(const LoopRecord& rec) {
+  if (rec.nranks <= 0 || rec.rank_mean_seconds <= 0.0) return 0.0;
+  return rec.rank_max_seconds / rec.rank_mean_seconds;
+}
+
+Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records) {
+  bool any_ranks = false;
+  for (const auto& [name, rec] : records) any_ranks |= rec.nranks > 0;
+
+  std::vector<std::string> headers = {"loop", "calls", "seconds"};
+  if (any_ranks) {
+    headers.push_back("ranks");
+    headers.push_back("max/mean imb");
+  }
+  Table t(std::move(headers));
+  for (const auto& [name, rec] : records) {
+    std::vector<std::string> row = {name, std::to_string(rec.calls),
+                                    Table::num(rec.seconds, 4)};
+    if (any_ranks) {
+      row.push_back(rec.nranks > 0 ? std::to_string(rec.nranks) : "-");
+      row.push_back(rec.nranks > 0 ? Table::num(rank_imbalance(rec), 3) : "-");
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
 }  // namespace opv::perf

@@ -34,4 +34,14 @@ double useful_gbs(const KernelInfo& info, std::size_t value_bytes, const LoopRec
 /// Compute throughput in GFLOP/s for a recorded loop.
 double useful_gflops(const KernelInfo& info, const LoopRecord& rec);
 
+/// Aggregate max/mean per-rank time ratio for a distributed loop record:
+/// 1.0 = perfectly balanced partitions, larger = the slowest rank dominates
+/// (paper section 6). 0 when the record carries no per-rank data.
+double rank_imbalance(const LoopRecord& rec);
+
+/// Per-loop stats table over registry records (StatsRegistry::all()):
+/// loop / calls / seconds, plus ranks and a max/mean imbalance column when
+/// any record carries per-rank times (distributed runs).
+Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records);
+
 }  // namespace opv::perf

@@ -22,4 +22,42 @@ TuneResult tune_block_size(const std::function<double(int)>& workload,
                            std::vector<int> candidates = {128, 256, 512, 1024, 2048, 4096},
                            int reps = 3);
 
+/// Online variant backing ExecConfig::kAuto. A Loop handle asks propose()
+/// for the block size of its next run and reports the measured wall time
+/// through observe(); after `reps` timed passes over the candidate list the
+/// tuner settles on the fastest and propose() returns it forever after.
+/// Unlike tune_block_size, no extra kernel executions happen: every tuning
+/// sample is a real, correct run of the loop — only the block size varies
+/// across the first candidates*reps calls.
+class OnlineTuner {
+ public:
+  explicit OnlineTuner(std::vector<int> candidates = {128, 256, 512, 1024, 2048, 4096},
+                       int reps = 2);
+
+  /// Block size the next run should use (stable until observe()).
+  [[nodiscard]] int propose() const;
+
+  /// Record one run's wall time; ignored unless block_size is the current
+  /// candidate (a caller may interleave explicitly-sized runs).
+  void observe(int block_size, double seconds);
+
+  [[nodiscard]] bool settled() const { return settled_; }
+
+  /// Fastest candidate observed so far (0 before any observation).
+  [[nodiscard]] int best() const { return best_; }
+
+  /// (block size, best seconds) per candidate observed so far.
+  [[nodiscard]] const std::vector<std::pair<int, double>>& samples() const { return samples_; }
+
+ private:
+  std::vector<int> candidates_;
+  std::vector<double> best_seconds_;  ///< per candidate; +inf = unobserved
+  std::vector<std::pair<int, double>> samples_;
+  int reps_;
+  int pass_ = 0;
+  std::size_t cursor_ = 0;
+  int best_ = 0;
+  bool settled_ = false;
+};
+
 }  // namespace opv::perf

@@ -1,0 +1,286 @@
+// Tests for the persistent distributed-loop API (dist/loop.hpp): bitwise
+// equivalence of dist::Loop::run() with the one-shot DistCtx::loop on
+// airfoil-style loops, dirty-bit laziness across repeated runs (verified
+// through a counting Exchanger — the pluggable-transport seam), exchange-
+// plan pinning, per-rank imbalance stats, construction-time argument
+// validation, and negative-compile asserts for invalid dist arg/access
+// combinations.
+#include <gtest/gtest.h>
+
+#include "apps/airfoil/airfoil.hpp"
+#include "dist/context.hpp"
+#include "dist/loop.hpp"
+#include "mesh/generators.hpp"
+#include "perf/table.hpp"
+
+namespace {
+
+using namespace opv;
+using namespace opv::dist;
+
+// ---- compile-time access validation ----------------------------------------
+// Invalid dist arg/access combinations must fail to COMPILE, exactly like
+// the opv::arg builders they mirror.
+
+template <AccessMode A>
+concept DistDatDirectOk =
+    requires(DistCtx& c, DistCtx::DatHandle<double> d) { c.arg<A>(d); };
+template <AccessMode A>
+concept DistDatIndirectOk =
+    requires(DistCtx& c, DistCtx::DatHandle<double> d, DistCtx::MapHandle m) {
+      c.arg<A>(d, 0, m);
+    };
+template <AccessMode A>
+concept DistGblOk = requires(DistCtx& c, double* p) { c.arg_gbl<A>(p, 1); };
+
+static_assert(DistDatDirectOk<opv::READ> && DistDatDirectOk<opv::WRITE> &&
+              DistDatDirectOk<opv::RW> && DistDatDirectOk<opv::INC>);
+static_assert(!DistDatDirectOk<opv::MIN>, "MIN reductions are global-only");
+static_assert(!DistDatDirectOk<opv::MAX>, "MAX reductions are global-only");
+static_assert(!DistDatIndirectOk<opv::MIN> && !DistDatIndirectOk<opv::MAX>);
+static_assert(DistGblOk<opv::READ> && DistGblOk<opv::INC> && DistGblOk<opv::MIN> &&
+              DistGblOk<opv::MAX>);
+static_assert(!DistGblOk<opv::WRITE>, "globals cannot be element-wise written");
+static_assert(!DistGblOk<opv::RW>, "globals cannot be read-modify-written");
+
+// Compile-time conflict classification carries over to dist descriptors.
+static_assert(dist::Loop<int, DistArgDat<double, opv::INC, true>>::has_inc);
+static_assert(!dist::Loop<int, DistArgDat<double, opv::READ, true>,
+                          DistArgGbl<double, opv::INC>>::has_inc);
+
+// ---- fixture: airfoil-style edge/cell pipeline ------------------------------
+
+struct EdgeK {
+  template <class T>
+  void operator()(const T* x1, const T* x2, const T* w, T* c1, T* c2) const {
+    OPV_SIMD_MATH_USING;
+    const T d = sqrt(abs(x1[0] - x2[0]) + T(0.5)) * w[0];
+    c1[0] += d;
+    c2[0] -= d * T(0.5);
+  }
+};
+struct CellK {
+  template <class T>
+  void operator()(T* q, const T* a, T* gsum, T* gmin) const {
+    OPV_SIMD_MATH_USING;
+    q[0] = q[0] + a[0] * T(0.1);
+    gsum[0] += q[0];
+    gmin[0] = min(gmin[0], q[0]);
+  }
+};
+
+/// One DistCtx universe with the quad-box mesh: nodes/cells/edges, e2n/e2c
+/// maps, x (node coords), w (edge weight), q and acc (cell state).
+struct Universe {
+  mesh::UnstructuredMesh m;
+  DistCtx ctx;
+  DistCtx::SetHandle nodes, cells, edges;
+  DistCtx::MapHandle e2n, e2c;
+  DistCtx::DatHandle<double> x, w, acc, q;
+
+  Universe(int nranks, ExecConfig cfg, idx_t ni = 21, idx_t nj = 17)
+      : m(mesh::make_quad_box(ni, nj)), ctx(nranks, cfg) {
+    nodes = ctx.decl_set("nodes", m.nnodes);
+    cells = ctx.decl_set("cells", m.ncells);
+    edges = ctx.decl_set("edges", m.nedges);
+    const auto cent = airfoil::cell_centroids(m);
+    ctx.set_partition_coords(cells, cent.data());
+    e2n = ctx.decl_map("e2n", edges, nodes, 2, m.edge_nodes);
+    e2c = ctx.decl_map("e2c", edges, cells, 2, m.edge_cells);
+    x = ctx.decl_dat<double>("x", nodes, 2, m.node_xy);
+    w = ctx.decl_dat<double>("w", edges, 1, aligned_vector<double>(m.nedges, 0.7));
+    acc = ctx.decl_dat<double>("acc", cells, 1);
+    aligned_vector<double> qi(m.ncells);
+    for (idx_t c = 0; c < m.ncells; ++c) qi[c] = 0.01 * (c % 29);
+    q = ctx.decl_dat<double>("q", cells, 1, qi);
+    ctx.finalize();
+  }
+};
+
+// ---- equivalence with the one-shot path -------------------------------------
+
+class DistLoopEquivP : public ::testing::TestWithParam<std::tuple<int, Backend>> {};
+
+TEST_P(DistLoopEquivP, BitwiseMatchesOneShot) {
+  const auto [nranks, backend] = GetParam();
+  const ExecConfig cfg{.backend = backend, .nthreads = backend == Backend::Seq ? 1 : 2};
+
+  // Reference: the one-shot DistCtx::loop call shape, every iteration.
+  Universe a(nranks, cfg);
+  double gsum_a = 0, gmin_a = 0;
+  for (int it = 0; it < 4; ++it) {
+    a.ctx.loop(EdgeK{}, "dl_edge", a.edges, a.ctx.arg(a.x, 0, a.e2n, Access::READ),
+               a.ctx.arg(a.x, 1, a.e2n, Access::READ), a.ctx.arg(a.w, Access::READ),
+               a.ctx.arg(a.acc, 0, a.e2c, Access::INC), a.ctx.arg(a.acc, 1, a.e2c, Access::INC));
+    gsum_a = 0;
+    gmin_a = 1e300;
+    a.ctx.loop(CellK{}, "dl_cell", a.cells, a.ctx.arg(a.q, Access::RW),
+               a.ctx.arg(a.acc, Access::READ), a.ctx.arg_gbl(&gsum_a, 1, Access::INC),
+               a.ctx.arg_gbl(&gmin_a, 1, Access::MIN));
+  }
+
+  // Handles: constructed once, run every iteration.
+  Universe b(nranks, cfg);
+  double gsum_b = 0, gmin_b = 0;
+  dist::Loop edge(b.ctx, EdgeK{}, "dl_edge_h", b.edges, b.ctx.arg<opv::READ>(b.x, 0, b.e2n),
+                  b.ctx.arg<opv::READ>(b.x, 1, b.e2n), b.ctx.arg<opv::READ>(b.w),
+                  b.ctx.arg<opv::INC>(b.acc, 0, b.e2c), b.ctx.arg<opv::INC>(b.acc, 1, b.e2c));
+  dist::Loop cell(b.ctx, CellK{}, "dl_cell_h", b.cells, b.ctx.arg<opv::RW>(b.q),
+                  b.ctx.arg<opv::READ>(b.acc), b.ctx.arg_gbl<opv::INC>(&gsum_b, 1),
+                  b.ctx.arg_gbl<opv::MIN>(&gmin_b, 1));
+  static_assert(decltype(edge)::has_inc);
+  static_assert(!decltype(cell)::has_inc);
+  for (int it = 0; it < 4; ++it) {
+    edge.run();
+    gsum_b = 0;
+    gmin_b = 1e300;
+    cell.run();
+  }
+
+  // Same arithmetic in the same order: results must be bitwise identical.
+  aligned_vector<double> qa, qb, acca, accb;
+  a.ctx.fetch(a.q, qa);
+  b.ctx.fetch(b.q, qb);
+  a.ctx.fetch(a.acc, acca);
+  b.ctx.fetch(b.acc, accb);
+  ASSERT_EQ(qa.size(), qb.size());
+  for (std::size_t i = 0; i < qa.size(); ++i) ASSERT_EQ(qa[i], qb[i]) << "cell " << i;
+  for (std::size_t i = 0; i < acca.size(); ++i) ASSERT_EQ(acca[i], accb[i]) << "cell " << i;
+  EXPECT_EQ(gsum_a, gsum_b);
+  EXPECT_EQ(gmin_a, gmin_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndBackends, DistLoopEquivP,
+    ::testing::Combine(::testing::Values(1, 3, 6),
+                       ::testing::Values(Backend::Seq, Backend::OpenMP, Backend::Simd)));
+
+// ---- Exchanger seam: counting transport -------------------------------------
+
+/// Wraps the default transport and counts calls — the test double a real
+/// MPI transport would replace.
+struct CountingExchanger final : Exchanger {
+  MemcpyExchanger inner;
+  int calls = 0;
+  std::int64_t values = 0;
+  std::int64_t exchange(const Partitioned& part, const DatHaloView& view) override {
+    ++calls;
+    const std::int64_t n = inner.exchange(part, view);
+    values += n;
+    return n;
+  }
+  [[nodiscard]] const char* name() const override { return "counting"; }
+};
+
+struct GatherQ {
+  template <class T>
+  void operator()(const T* ql, const T* qr, T* a1, T* a2) const {
+    const T f = ql[0] - qr[0];
+    a1[0] += f;
+    a2[0] -= f;
+  }
+};
+struct BumpQ {
+  template <class T>
+  void operator()(T* q, const T* a) const {
+    q[0] = q[0] + a[0] * T(0.01);
+  }
+};
+
+TEST(DistLoop, DirtyBitsStayLazyAcrossRuns) {
+  Universe u(3, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  auto counter = std::make_unique<CountingExchanger>();
+  CountingExchanger* c = counter.get();
+  u.ctx.set_exchanger(std::move(counter));
+
+  dist::Loop edge(u.ctx, GatherQ{}, "lazy_edge", u.edges, u.ctx.arg<opv::READ>(u.q, 0, u.e2c),
+                  u.ctx.arg<opv::READ>(u.q, 1, u.e2c), u.ctx.arg<opv::INC>(u.acc, 0, u.e2c),
+                  u.ctx.arg<opv::INC>(u.acc, 1, u.e2c));
+  dist::Loop cell(u.ctx, BumpQ{}, "lazy_cell", u.cells, u.ctx.arg<opv::RW>(u.q),
+                  u.ctx.arg<opv::READ>(u.acc));
+
+  // Initial halos are fresh from materialize(): reads trigger no exchange.
+  edge.run();
+  EXPECT_EQ(c->calls, 0) << "clean dats must not be exchanged";
+  edge.run();
+  EXPECT_EQ(c->calls, 0) << "nothing written between runs: still no exchange";
+
+  // cell writes q -> the next edge run must refresh exactly one dat (q).
+  cell.run();
+  edge.run();
+  EXPECT_EQ(c->calls, 1);
+  EXPECT_GT(c->values, 0) << "halo traffic must flow through the Exchanger";
+  edge.run();
+  EXPECT_EQ(c->calls, 1) << "q not re-dirtied: no further exchange";
+}
+
+// ---- exchange-plan pinning --------------------------------------------------
+
+TEST(DistLoop, ExchangePlanAndRankPlansPinned) {
+  Universe u(2, ExecConfig{.backend = Backend::Simd, .simd_width = 4, .nthreads = 1});
+  dist::Loop edge(u.ctx, GatherQ{}, "pin_edge", u.edges, u.ctx.arg<opv::READ>(u.q, 0, u.e2c),
+                  u.ctx.arg<opv::READ>(u.q, 1, u.e2c), u.ctx.arg<opv::INC>(u.acc, 0, u.e2c),
+                  u.ctx.arg<opv::INC>(u.acc, 1, u.e2c));
+
+  // The plan is derived at construction, before any run.
+  const ExchangePlan* plan = &edge.exchange_plan();
+  ASSERT_EQ(plan->read_dats, std::vector<int>{u.q.id});
+  ASSERT_EQ(plan->write_dats, std::vector<int>{u.acc.id});
+
+  edge.run();
+  const Plan* rank_plan = edge.rank_loop(0).plan(u.ctx.config());
+  ASSERT_NE(rank_plan, nullptr);
+  edge.run();
+  edge.run();
+  EXPECT_EQ(&edge.exchange_plan(), plan) << "exchange plan must be pinned, not re-derived";
+  EXPECT_EQ(edge.exchange_plan().read_dats, std::vector<int>{u.q.id});
+  EXPECT_EQ(edge.rank_loop(0).plan(u.ctx.config()), rank_plan)
+      << "per-rank coloring plan must be pinned across runs";
+}
+
+// ---- per-rank imbalance stats -----------------------------------------------
+
+TEST(DistLoop, RecordsRankImbalance) {
+  StatsRegistry::instance().clear();
+  Universe u(4, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  dist::Loop edge(u.ctx, GatherQ{}, "imb_edge", u.edges, u.ctx.arg<opv::READ>(u.q, 0, u.e2c),
+                  u.ctx.arg<opv::READ>(u.q, 1, u.e2c), u.ctx.arg<opv::INC>(u.acc, 0, u.e2c),
+                  u.ctx.arg<opv::INC>(u.acc, 1, u.e2c));
+  for (int it = 0; it < 3; ++it) edge.run();
+
+  ASSERT_EQ(edge.rank_seconds().size(), 4u);
+  for (double s : edge.rank_seconds()) EXPECT_GE(s, 0.0);
+
+  const LoopRecord rec = StatsRegistry::instance().get("imb_edge");
+  EXPECT_EQ(rec.calls, 3);
+  EXPECT_EQ(rec.nranks, 4);
+  EXPECT_GT(rec.rank_max_seconds, 0.0);
+  EXPECT_GE(rec.rank_max_seconds, rec.rank_mean_seconds);
+  EXPECT_GE(rec.rank_mean_seconds, rec.rank_min_seconds);
+  EXPECT_GE(perf::rank_imbalance(rec), 1.0);
+
+  // The stats table grows the imbalance column when rank data is present.
+  const std::string table =
+      perf::loop_stats_table(StatsRegistry::instance().all()).to_string();
+  EXPECT_NE(table.find("max/mean imb"), std::string::npos);
+  EXPECT_NE(table.find("imb_edge"), std::string::npos);
+}
+
+// ---- construction-time validation -------------------------------------------
+
+TEST(DistLoop, ValidatesArgsAgainstIterationSet) {
+  Universe u(2, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  // Direct dat on the wrong set: q lives on cells, loop iterates edges.
+  EXPECT_THROW(dist::Loop(u.ctx, BumpQ{}, "bad_direct", u.edges, u.ctx.arg<opv::RW>(u.q),
+                          u.ctx.arg<opv::READ>(u.acc)),
+               Error);
+  // Indirect arg through a map that is not FROM the iteration set.
+  EXPECT_THROW(dist::Loop(u.ctx, GatherQ{}, "bad_map", u.cells,
+                          u.ctx.arg<opv::READ>(u.q, 0, u.e2c),
+                          u.ctx.arg<opv::READ>(u.q, 1, u.e2c),
+                          u.ctx.arg<opv::INC>(u.acc, 0, u.e2c),
+                          u.ctx.arg<opv::INC>(u.acc, 1, u.e2c)),
+               Error);
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 // the pre-bound slot.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hpp"
@@ -193,6 +194,63 @@ TEST(LoopHandle, StatsAccumulateAcrossRuns) {
   rec = StatsRegistry::instance().get("lh_stats");
   EXPECT_EQ(rec.calls, 1);
   EXPECT_EQ(rec.elements, f.edges.size());
+}
+
+// ---- online block-size autotuning (ExecConfig::kAuto) ----------------------
+
+TEST(LoopHandle, AutoBlockSizeSettlesAndStaysCorrect) {
+  Fixture a, b;
+  const ExecConfig fixed{.backend = Backend::OpenMP, .nthreads = 2};
+  const ExecConfig autob{.backend = Backend::OpenMP, .block_size = ExecConfig::kAuto,
+                         .nthreads = 2};
+
+  Loop ref(EdgeKernel{}, std::string("lh_fixed"), a.edges, arg<opv::READ>(a.q, 0, a.e2c),
+           arg<opv::READ>(a.q, 1, a.e2c), arg<opv::READ>(a.w), arg<opv::INC>(a.r, 0, a.e2c),
+           arg<opv::INC>(a.r, 1, a.e2c), arg_gbl<opv::INC>(&a.gsum, 1));
+  Loop tuned(EdgeKernel{}, std::string("lh_auto"), b.edges, arg<opv::READ>(b.q, 0, b.e2c),
+             arg<opv::READ>(b.q, 1, b.e2c), arg<opv::READ>(b.w), arg<opv::INC>(b.r, 0, b.e2c),
+             arg<opv::INC>(b.r, 1, b.e2c), arg_gbl<opv::INC>(&b.gsum, 1));
+
+  // Every tuning run is a real execution: after N runs both loops must have
+  // done identical work (same increments, different summation order only).
+  const int runs = 6 * 2 + 3;  // default candidates x reps, then settled
+  for (int it = 0; it < runs; ++it) {
+    ref.run(fixed);
+    tuned.run(autob);
+  }
+  for (idx_t c = 0; c < a.cells.size(); ++c)
+    ASSERT_NEAR(a.r.at(c), b.r.at(c), 1e-11 * (std::abs(a.r.at(c)) + 1)) << "cell " << c;
+  EXPECT_NEAR(a.gsum, b.gsum, 1e-11 * (std::abs(a.gsum) + 1));
+
+  // The tuner has swept all candidates and pinned a winner.
+  const int bs = tuned.tuned_block_size();
+  const std::vector<int> candidates = {128, 256, 512, 1024, 2048, 4096};
+  EXPECT_NE(bs, 0) << "tuner should have settled after " << runs << " runs";
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), bs), candidates.end());
+
+  // Once settled the pinned plan matches the winning block size and stays
+  // stable across further runs.
+  const Plan* p = tuned.plan(autob);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->block_size, bs);
+  tuned.run(autob);
+  EXPECT_EQ(tuned.plan(autob), p);
+
+  // A fixed block size never engages the tuner.
+  EXPECT_EQ(ref.tuned_block_size(), 0);
+}
+
+TEST(LoopHandle, AutoBlockSizeWithoutPlanFallsBack) {
+  Fixture f;
+  Loop loop([](const auto* a, auto* b) { b[0] = a[0]; }, std::string("lh_auto_direct"),
+            f.cells, arg<opv::READ>(f.q), arg<opv::WRITE>(f.r));
+  const ExecConfig cfg{.backend = Backend::OpenMP, .block_size = ExecConfig::kAuto};
+  loop.run(cfg);
+  loop.run(cfg);
+  // Direct loops need no plan, so block size is meaningless: no tuning.
+  EXPECT_EQ(loop.tuned_block_size(), 0);
+  EXPECT_EQ(loop.plan(cfg), nullptr);
+  for (idx_t c = 0; c < f.cells.size(); ++c) ASSERT_EQ(f.r.at(c), f.q.at(c));
 }
 
 // ---- legacy call-shape compatibility ---------------------------------------
