@@ -2,10 +2,12 @@
 //
 // OP2 is a *code generator*: every parallel loop gets a specialized stub
 // with literal constants, fixed arities and no per-argument control flow
-// (paper section 5). opvec's par_loop is a runtime-flexible template engine
-// — same algorithms, but map-presence/arity decisions ride along at run
-// time. This bench quantifies that gap on the paper's hottest kernel by
-// comparing, single-threaded:
+// (paper section 5). opvec's engine reaches the same specialization via
+// templates; here the loops deliberately use RUNTIME-dim descriptors (the
+// compatibility spelling), so arity decisions ride along at run time —
+// the typed-Dim counterpart is measured by ablation_static_dim. This bench
+// quantifies the remaining abstraction gap on the paper's hottest kernel
+// by comparing, single-threaded:
 //   1. a hand-written scalar loop   (what OP2's MPI stub compiles to)
 //   2. a hand-written Fig-3b vector loop (what OP2's AVX stub compiles to)
 //   3. the engine's Seq backend

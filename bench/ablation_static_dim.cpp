@@ -1,0 +1,115 @@
+// Ablation: compile-time Dim vs runtime-dim argument descriptors, on the
+// paper's hottest kernel shape (res_calc: dim-2 coordinate gathers, dim-4
+// state gathers, dim-4 colored scatters, dim-1 direct reads).
+//
+// OP2's generator substitutes literal arities into every stub (paper
+// section 5); opvec gets the same effect from the descriptor's Dim template
+// parameter (core/arg.hpp) — every per-component gather/scatter loop is an
+// index-sequence expansion with literal strides. The runtime-dim spelling
+// (`arg<opv::READ>` with no Dim) keeps looped per-component accesses whose
+// trip counts and strides live in registers, not in the instruction stream.
+// This bench runs the SAME kernel through both descriptor spellings and
+// reports the gap per backend — the cost of leaving arities to runtime.
+
+#include <cstdlib>
+
+#include "bench_common.hpp"
+
+using namespace opv;
+using namespace opv::bench;
+
+namespace {
+
+double time_reps(int reps, const std::function<void()>& fn) {
+  fn();  // warmup (plan construction, first touch)
+  WallTimer t;
+  for (int r = 0; r < reps; ++r) fn();
+  return t.seconds() / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  print_header("Ablation: compile-time Dim vs runtime-dim descriptors (res_calc)",
+               "Reguly et al., section 5 (literal-constant substitution)");
+
+  auto m = mesh::make_airfoil_omesh(
+      static_cast<idx_t>(cli.get_int("ni", 1200)), static_cast<idx_t>(cli.get_int("nj", 600)));
+  const int reps = static_cast<int>(cli.get_int("iters", 8));
+  const int nthreads = static_cast<int>(cli.get_int("threads", 1));
+  const idx_t ne = m.nedges;
+
+  Set nodes("nodes", m.nnodes), cells("cells", m.ncells), edges("edges", ne);
+  Map pedge("pedge", edges, nodes, 2, m.edge_nodes);
+  Map pecell("pecell", edges, cells, 2, m.edge_cells);
+
+  const auto consts = airfoil::Consts<double>::standard();
+  aligned_vector<double> q0(static_cast<std::size_t>(m.ncells) * 4);
+  for (idx_t c = 0; c < m.ncells; ++c)
+    for (int k = 0; k < 4; ++k) q0[static_cast<std::size_t>(c) * 4 + k] = consts.qinf[k];
+  Dat<double> xd("x", nodes, 2, m.node_xy);
+  Dat<double> qd("q", cells, 4, q0);
+  Dat<double> ad("adt", cells, 1, aligned_vector<double>(m.ncells, 1.0));
+  Dat<double> rd_rt("res_rt", cells, 4);
+  Dat<double> rd_st("res_st", cells, 4);
+  airfoil::ResCalc<double> K{consts};
+
+  // The SAME kernel and data through the two descriptor spellings. Dim is
+  // part of the Loop type: these are two distinct instantiations of the
+  // engine, which is exactly the point.
+  Loop rt(K, std::string("res_calc_rtdim"), edges, arg<opv::READ>(xd, 0, pedge),
+          arg<opv::READ>(xd, 1, pedge), arg<opv::READ>(qd, 0, pecell),
+          arg<opv::READ>(qd, 1, pecell), arg<opv::READ>(ad, 0, pecell),
+          arg<opv::READ>(ad, 1, pecell), arg<opv::INC>(rd_rt, 0, pecell),
+          arg<opv::INC>(rd_rt, 1, pecell));
+  Loop st(K, std::string("res_calc_staticdim"), edges, arg<opv::READ, 2>(xd, 0, pedge),
+          arg<opv::READ, 2>(xd, 1, pedge), arg<opv::READ, 4>(qd, 0, pecell),
+          arg<opv::READ, 4>(qd, 1, pecell), arg<opv::READ, 1>(ad, 0, pecell),
+          arg<opv::READ, 1>(ad, 1, pecell), arg<opv::INC, 4>(rd_st, 0, pecell),
+          arg<opv::INC, 4>(rd_st, 1, pecell));
+  static_assert(!std::is_same_v<decltype(rt), decltype(st)>);
+  static_assert(decltype(st)::all_static_dim && !decltype(rt)::all_static_dim,
+                "the two loops must sit on opposite sides of the ablation");
+
+  perf::Table t({"backend", "runtime-dim (s)", "static-dim (s)", "static speedup"});
+  auto row = [&](const char* name, const ExecConfig& cfg) {
+    rd_rt.fill(0.0);
+    rd_st.fill(0.0);
+    const double t_rt = time_reps(reps, [&] { rt.run(cfg); });
+    const double t_st = time_reps(reps, [&] { st.run(cfg); });
+    // Same arithmetic order: the two spellings must agree bitwise.
+    for (idx_t c = 0; c < cells.size(); ++c)
+      for (int k = 0; k < 4; ++k)
+        if (rd_rt.at(c, k) != rd_st.at(c, k)) {
+          std::fprintf(stderr, "MISMATCH at cell %ld comp %d: %g vs %g\n",
+                       static_cast<long>(c), k, rd_rt.at(c, k), rd_st.at(c, k));
+          std::exit(1);
+        }
+    t.add_row({name, perf::Table::num(t_rt, 4), perf::Table::num(t_st, 4),
+               perf::Table::num(t_rt / t_st, 2) + "x"});
+  };
+
+  row("Seq", {.backend = Backend::Seq, .nthreads = 1, .collect_stats = false});
+  row("OpenMP",
+      {.backend = Backend::OpenMP, .nthreads = nthreads, .collect_stats = false});
+  row("Simd/TwoLevel W=4",
+      {.backend = Backend::Simd, .simd_width = 4, .nthreads = nthreads,
+       .collect_stats = false});
+  row("Simd/BlockPermute W=4",
+      {.backend = Backend::Simd, .coloring = ColoringStrategy::BlockPermute, .simd_width = 4,
+       .nthreads = nthreads, .collect_stats = false});
+  row("Simt W=4",
+      {.backend = Backend::Simt, .simd_width = 4, .nthreads = nthreads,
+       .collect_stats = false});
+  t.print();
+
+  std::printf("\nReadings:\n"
+              " * static-dim descriptors let every gather/scatter unroll with\n"
+              "   literal component counts and strides (paper section 5's\n"
+              "   \"substituting literal constants\"); runtime-dim keeps looped\n"
+              "   per-component accesses — the compatibility spelling's cost,\n"
+              " * results are checked bitwise identical: Dim changes code\n"
+              "   shape, never arithmetic order.\n");
+  return 0;
+}

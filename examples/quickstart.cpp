@@ -71,16 +71,17 @@ int main(int argc, char** argv) {
     // Each loop is a reusable handle: conflict analysis happens once here,
     // the coloring plan and stats slot are pinned on the first run(), and
     // the steady-state iterations below do zero per-call setup. The access
-    // modes are template parameters (opv::READ, ...), so the engine's
-    // gather/scatter code is specialized per argument at compile time.
+    // mode AND the arity are template parameters (opv::READ, 1), so the
+    // engine's gather/scatter code is specialized — and fully unrolled per
+    // component — for each argument at compile time.
     double change = 0.0;
-    opv::Loop smooth(Smooth{}, "smooth", *edges, opv::arg<opv::READ>(*q, 0, *e2c),
-                     opv::arg<opv::READ>(*q, 1, *e2c), opv::arg<opv::READ>(*w),
-                     opv::arg<opv::INC>(*r, 0, *e2c), opv::arg<opv::INC>(*r, 1, *e2c));
-    opv::Loop apply(Apply{}, "apply", *cells, opv::arg<opv::RW>(*q), opv::arg<opv::READ>(*r),
-                    opv::arg_gbl<opv::MAX>(&change, 1));
+    opv::Loop smooth(Smooth{}, "smooth", *edges, opv::arg<opv::READ, 1>(*q, 0, *e2c),
+                     opv::arg<opv::READ, 1>(*q, 1, *e2c), opv::arg<opv::READ, 1>(*w),
+                     opv::arg<opv::INC, 1>(*r, 0, *e2c), opv::arg<opv::INC, 1>(*r, 1, *e2c));
+    opv::Loop apply(Apply{}, "apply", *cells, opv::arg<opv::RW, 1>(*q),
+                    opv::arg<opv::READ, 1>(*r), opv::arg_gbl<opv::MAX>(&change, 1));
     opv::Loop clear([](auto* rr) { rr[0] = std::decay_t<decltype(rr[0])>(0.0); }, "clear",
-                    *cells, opv::arg<opv::WRITE>(*r));
+                    *cells, opv::arg<opv::WRITE, 1>(*r));
     opv::WallTimer t;
     for (int it = 0; it < iters; ++it) {
       smooth.run(cfg);

@@ -3,21 +3,70 @@
 # smoke run of the dispatch-path microbench, so regressions in the par_loop
 # dispatch path are caught before review.
 #
-# Usage: scripts/check.sh [--dist] [build-dir]
-#   --dist   also smoke-run the distributed dispatch bench
-#            (ablation_dist_dispatch: DistCtx::loop vs dist::Loop::run)
+# Usage: scripts/check.sh [--dist] [--docs] [--docs-only] [build-dir]
+#   --dist       also smoke-run the distributed dispatch bench
+#                (ablation_dist_dispatch: DistCtx::loop vs dist::Loop::run)
+#   --docs       also validate the documentation map: every bench/ target
+#                and every src/ subsystem must appear in docs/ARCHITECTURE.md
+#   --docs-only  run only the documentation check (no configure/build/test)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 DIST=0
+DOCS=0
+DOCS_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --dist) DIST=1 ;;
+    --docs) DOCS=1 ;;
+    --docs-only) DOCS=1; DOCS_ONLY=1 ;;
     -*) echo "unknown flag: $arg" >&2; exit 1 ;;
     *) BUILD="$arg" ;;
   esac
 done
+
+check_docs() {
+  echo "== docs map (docs/ARCHITECTURE.md) =="
+  local map="$ROOT/docs/ARCHITECTURE.md"
+  local failed=0
+  for f in "$ROOT"/README.md "$map"; do
+    if [ ! -f "$f" ]; then
+      echo "MISSING: ${f#"$ROOT"/}" >&2
+      failed=1
+    fi
+  done
+  [ "$failed" = 0 ] || exit 1
+  # Every bench binary must be mapped to a paper figure/table or ablation.
+  for src in "$ROOT"/bench/*.cpp; do
+    local name
+    name="$(basename "$src" .cpp)"
+    if ! grep -q "\`$name\`" "$map"; then
+      echo "UNDOCUMENTED bench target: $name (add it to the map table in docs/ARCHITECTURE.md)" >&2
+      failed=1
+    fi
+  done
+  # Every src/ subsystem must appear in the paper-to-code map.
+  for d in "$ROOT"/src/*/; do
+    local sub
+    sub="$(basename "$d")"
+    if ! grep -q "src/$sub" "$map"; then
+      echo "UNDOCUMENTED src subsystem: src/$sub (add it to docs/ARCHITECTURE.md)" >&2
+      failed=1
+    fi
+  done
+  if [ "$failed" != 0 ]; then
+    echo "docs check FAILED" >&2
+    exit 1
+  fi
+  echo "docs map OK"
+}
+
+if [ "$DOCS_ONLY" = 1 ]; then
+  check_docs
+  echo "== OK =="
+  exit 0
+fi
 
 echo "== configure =="
 cmake -B "$BUILD" -S "$ROOT"
@@ -44,6 +93,10 @@ if [ "$DIST" = 1 ]; then
   else
     echo "ablation_dist_dispatch not built (Google Benchmark missing) - skipped"
   fi
+fi
+
+if [ "$DOCS" = 1 ]; then
+  check_docs
 fi
 
 echo "== OK =="

@@ -63,36 +63,47 @@ class Airfoil {
 
   /// Run niter outer iterations; records sqrt(rms/ncells) every rms_every.
   void run(int niter, int rms_every = 100) {
-    // A::READ etc. are compile-time access tags: every ctx.arg(...) below
-    // builds a typed Arg<S, A, Indirect> descriptor, so the engine's
-    // gather/scatter paths are specialized per argument (docs/API.md).
-    using A = Access;
+    // Every argument is spelled with its compile-time arity
+    // (ctx.arg<mode, Dim>) — the airfoil arities are all statically known
+    // (x:2, q/qold/res:4, adt/bound:1), so the engine's gather/scatter
+    // paths fully unroll per argument at instantiation time (docs/API.md,
+    // "compile-time Dim").
     for (int iter = 1; iter <= niter; ++iter) {
-      ctx_.loop(SaveSoln<Real>{}, "save_soln", cells_, ctx_.arg(q_, A::READ),
-                ctx_.arg(qold_, A::WRITE));
+      ctx_.loop(SaveSoln<Real>{}, "save_soln", cells_,
+                ctx_.template arg<opv::READ, 4>(q_), ctx_.template arg<opv::WRITE, 4>(qold_));
 
       Real rms = Real(0);
       for (int k = 0; k < 2; ++k) {
         ctx_.loop(AdtCalc<Real>{consts_}, "adt_calc", cells_,
-                  ctx_.arg(x_, 0, pcell_, A::READ), ctx_.arg(x_, 1, pcell_, A::READ),
-                  ctx_.arg(x_, 2, pcell_, A::READ), ctx_.arg(x_, 3, pcell_, A::READ),
-                  ctx_.arg(q_, A::READ), ctx_.arg(adt_, A::WRITE));
+                  ctx_.template arg<opv::READ, 2>(x_, 0, pcell_),
+                  ctx_.template arg<opv::READ, 2>(x_, 1, pcell_),
+                  ctx_.template arg<opv::READ, 2>(x_, 2, pcell_),
+                  ctx_.template arg<opv::READ, 2>(x_, 3, pcell_),
+                  ctx_.template arg<opv::READ, 4>(q_), ctx_.template arg<opv::WRITE, 1>(adt_));
 
         ctx_.loop(ResCalc<Real>{consts_}, "res_calc", edges_,
-                  ctx_.arg(x_, 0, pedge_, A::READ), ctx_.arg(x_, 1, pedge_, A::READ),
-                  ctx_.arg(q_, 0, pecell_, A::READ), ctx_.arg(q_, 1, pecell_, A::READ),
-                  ctx_.arg(adt_, 0, pecell_, A::READ), ctx_.arg(adt_, 1, pecell_, A::READ),
-                  ctx_.arg(res_, 0, pecell_, A::INC), ctx_.arg(res_, 1, pecell_, A::INC));
+                  ctx_.template arg<opv::READ, 2>(x_, 0, pedge_),
+                  ctx_.template arg<opv::READ, 2>(x_, 1, pedge_),
+                  ctx_.template arg<opv::READ, 4>(q_, 0, pecell_),
+                  ctx_.template arg<opv::READ, 4>(q_, 1, pecell_),
+                  ctx_.template arg<opv::READ, 1>(adt_, 0, pecell_),
+                  ctx_.template arg<opv::READ, 1>(adt_, 1, pecell_),
+                  ctx_.template arg<opv::INC, 4>(res_, 0, pecell_),
+                  ctx_.template arg<opv::INC, 4>(res_, 1, pecell_));
 
         ctx_.loop(BresCalc<Real>{consts_}, "bres_calc", bedges_,
-                  ctx_.arg(x_, 0, pbedge_, A::READ), ctx_.arg(x_, 1, pbedge_, A::READ),
-                  ctx_.arg(q_, 0, pbecell_, A::READ), ctx_.arg(adt_, 0, pbecell_, A::READ),
-                  ctx_.arg(res_, 0, pbecell_, A::INC), ctx_.arg(bound_, A::READ));
+                  ctx_.template arg<opv::READ, 2>(x_, 0, pbedge_),
+                  ctx_.template arg<opv::READ, 2>(x_, 1, pbedge_),
+                  ctx_.template arg<opv::READ, 4>(q_, 0, pbecell_),
+                  ctx_.template arg<opv::READ, 1>(adt_, 0, pbecell_),
+                  ctx_.template arg<opv::INC, 4>(res_, 0, pbecell_),
+                  ctx_.template arg<opv::READ, 1>(bound_));
 
         rms = Real(0);
-        ctx_.loop(Update<Real>{}, "update", cells_, ctx_.arg(qold_, A::READ),
-                  ctx_.arg(q_, A::WRITE), ctx_.arg(res_, A::RW), ctx_.arg(adt_, A::READ),
-                  ctx_.arg_gbl(&rms, 1, A::INC));
+        ctx_.loop(Update<Real>{}, "update", cells_, ctx_.template arg<opv::READ, 4>(qold_),
+                  ctx_.template arg<opv::WRITE, 4>(q_), ctx_.template arg<opv::RW, 4>(res_),
+                  ctx_.template arg<opv::READ, 1>(adt_),
+                  ctx_.template arg_gbl<opv::INC>(&rms, 1));
       }
       last_rms_ = std::sqrt(static_cast<double>(rms) / ncells_);
       if (rms_every > 0 && iter % rms_every == 0) rms_history_.push_back(last_rms_);

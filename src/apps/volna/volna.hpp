@@ -70,42 +70,59 @@ class Volna {
 
   /// Advance nsteps timesteps (adaptive dt from the CFL reduction).
   void run(int nsteps) {
-    // A::READ etc. are compile-time access tags (typed Arg descriptors).
-    using A = Access;
+    // Arguments carry their compile-time arity (u/uold/utmp/res/egeom:4,
+    // flux:5, cgeom:2, cdt:1) so every gather/scatter unrolls at
+    // instantiation time (docs/API.md, "compile-time Dim").
     for (int step = 0; step < nsteps; ++step) {
-      ctx_.loop(Sim1<Real>{}, "sim_1", cells_, ctx_.arg(u_, A::READ), ctx_.arg(uold_, A::WRITE));
+      ctx_.loop(Sim1<Real>{}, "sim_1", cells_, ctx_.template arg<opv::READ, 4>(u_),
+                ctx_.template arg<opv::WRITE, 4>(uold_));
 
       ctx_.loop(ComputeFlux<Real>{params_}, "compute_flux", edges_,
-                ctx_.arg(u_, 0, e2c_, A::READ), ctx_.arg(u_, 1, e2c_, A::READ),
-                ctx_.arg(egeom_, A::READ), ctx_.arg(flux_, A::WRITE));
+                ctx_.template arg<opv::READ, 4>(u_, 0, e2c_),
+                ctx_.template arg<opv::READ, 4>(u_, 1, e2c_),
+                ctx_.template arg<opv::READ, 4>(egeom_),
+                ctx_.template arg<opv::WRITE, 5>(flux_));
 
       Real dtmin = std::numeric_limits<Real>::max();
       ctx_.loop(NumericalFlux<Real>{params_}, "numerical_flux", cells_,
-                ctx_.arg(flux_, 0, c2e_, A::READ), ctx_.arg(flux_, 1, c2e_, A::READ),
-                ctx_.arg(flux_, 2, c2e_, A::READ), ctx_.arg(cgeom_, A::READ),
-                ctx_.arg(cdt_, A::WRITE), ctx_.arg_gbl(&dtmin, 1, A::MIN));
+                ctx_.template arg<opv::READ, 5>(flux_, 0, c2e_),
+                ctx_.template arg<opv::READ, 5>(flux_, 1, c2e_),
+                ctx_.template arg<opv::READ, 5>(flux_, 2, c2e_),
+                ctx_.template arg<opv::READ, 2>(cgeom_),
+                ctx_.template arg<opv::WRITE, 1>(cdt_),
+                ctx_.template arg_gbl<opv::MIN>(&dtmin, 1));
       dt_ = static_cast<double>(dtmin);
 
       Real dt = dtmin;
-      ctx_.loop(SpaceDisc<Real>{}, "space_disc", edges_, ctx_.arg(flux_, A::READ),
-                ctx_.arg(egeom_, A::READ), ctx_.arg(cgeom_, 0, e2c_, A::READ),
-                ctx_.arg(cgeom_, 1, e2c_, A::READ), ctx_.arg(res_, 0, e2c_, A::INC),
-                ctx_.arg(res_, 1, e2c_, A::INC));
+      ctx_.loop(SpaceDisc<Real>{}, "space_disc", edges_,
+                ctx_.template arg<opv::READ, 5>(flux_),
+                ctx_.template arg<opv::READ, 4>(egeom_),
+                ctx_.template arg<opv::READ, 2>(cgeom_, 0, e2c_),
+                ctx_.template arg<opv::READ, 2>(cgeom_, 1, e2c_),
+                ctx_.template arg<opv::INC, 4>(res_, 0, e2c_),
+                ctx_.template arg<opv::INC, 4>(res_, 1, e2c_));
 
-      ctx_.loop(RK1<Real>{}, "RK_1", cells_, ctx_.arg(u_, A::READ), ctx_.arg(res_, A::RW),
-                ctx_.arg(utmp_, A::WRITE), ctx_.arg_gbl(&dt, 1, A::READ));
+      ctx_.loop(RK1<Real>{}, "RK_1", cells_, ctx_.template arg<opv::READ, 4>(u_),
+                ctx_.template arg<opv::RW, 4>(res_), ctx_.template arg<opv::WRITE, 4>(utmp_),
+                ctx_.template arg_gbl<opv::READ>(&dt, 1));
 
       ctx_.loop(ComputeFlux<Real>{params_}, "compute_flux", edges_,
-                ctx_.arg(utmp_, 0, e2c_, A::READ), ctx_.arg(utmp_, 1, e2c_, A::READ),
-                ctx_.arg(egeom_, A::READ), ctx_.arg(flux_, A::WRITE));
+                ctx_.template arg<opv::READ, 4>(utmp_, 0, e2c_),
+                ctx_.template arg<opv::READ, 4>(utmp_, 1, e2c_),
+                ctx_.template arg<opv::READ, 4>(egeom_),
+                ctx_.template arg<opv::WRITE, 5>(flux_));
 
-      ctx_.loop(SpaceDisc<Real>{}, "space_disc", edges_, ctx_.arg(flux_, A::READ),
-                ctx_.arg(egeom_, A::READ), ctx_.arg(cgeom_, 0, e2c_, A::READ),
-                ctx_.arg(cgeom_, 1, e2c_, A::READ), ctx_.arg(res_, 0, e2c_, A::INC),
-                ctx_.arg(res_, 1, e2c_, A::INC));
+      ctx_.loop(SpaceDisc<Real>{}, "space_disc", edges_,
+                ctx_.template arg<opv::READ, 5>(flux_),
+                ctx_.template arg<opv::READ, 4>(egeom_),
+                ctx_.template arg<opv::READ, 2>(cgeom_, 0, e2c_),
+                ctx_.template arg<opv::READ, 2>(cgeom_, 1, e2c_),
+                ctx_.template arg<opv::INC, 4>(res_, 0, e2c_),
+                ctx_.template arg<opv::INC, 4>(res_, 1, e2c_));
 
-      ctx_.loop(RK2<Real>{}, "RK_2", cells_, ctx_.arg(uold_, A::READ), ctx_.arg(utmp_, A::READ),
-                ctx_.arg(res_, A::RW), ctx_.arg(u_, A::WRITE), ctx_.arg_gbl(&dt, 1, A::READ));
+      ctx_.loop(RK2<Real>{}, "RK_2", cells_, ctx_.template arg<opv::READ, 4>(uold_),
+                ctx_.template arg<opv::READ, 4>(utmp_), ctx_.template arg<opv::RW, 4>(res_),
+                ctx_.template arg<opv::WRITE, 4>(u_), ctx_.template arg_gbl<opv::READ>(&dt, 1));
     }
   }
 

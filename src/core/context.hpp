@@ -56,15 +56,18 @@ class LocalCtx {
   /// No-op locally; the distributed context partitions here.
   void finalize() {}
 
-  // Typed argument builders: the access mode travels as a template
-  // parameter, via explicit template argument or deduced from the tag.
-  template <AccessMode A, class T>
+  // Typed argument builders: the access mode (and optionally the arity Dim)
+  // travel as template parameters, via explicit template argument or
+  // deduced from the tag. `ctx.arg<opv::READ, 4>(d, ...)` builds a
+  // compile-time-Dim descriptor (checked against the dat's declared dim);
+  // omitting Dim keeps the runtime-dim compatibility descriptor.
+  template <AccessMode A, int Dim = kDynDim, class T>
   auto arg(DatHandle<T> d, int idx, MapHandle m) {
-    return opv::arg<A>(*d, idx, *m);
+    return opv::arg<A, Dim>(*d, idx, *m);
   }
-  template <AccessMode A, class T>
+  template <AccessMode A, int Dim = kDynDim, class T>
   auto arg(DatHandle<T> d) {
-    return opv::arg<A>(*d);
+    return opv::arg<A, Dim>(*d);
   }
   template <AccessMode A, class T>
   auto arg_gbl(T* p, int dim) {

@@ -13,12 +13,18 @@
 
 namespace opv {
 
+/// Largest per-element arity the engine supports (scratch buffers in the
+/// vector paths are sized to it; compile-time Dim descriptors are bounded
+/// by it at the type level).
+inline constexpr int kMaxDim = 8;
+
 /// Type-erased base so plan/halo machinery can handle datasets generically.
 class DatBase {
  public:
   DatBase(std::string name, const Set& set, int dim)
       : name_(std::move(name)), set_(&set), dim_(dim) {
-    OPV_REQUIRE(dim_ >= 1 && dim_ <= 8, "dat '" << name_ << "': dim must be in [1,8]");
+    OPV_REQUIRE(dim_ >= 1 && dim_ <= kMaxDim,
+                "dat '" << name_ << "': dim must be in [1," << kMaxDim << "]");
   }
   virtual ~DatBase() = default;
   DatBase(const DatBase&) = delete;
@@ -39,8 +45,10 @@ class DatBase {
 
 /// Typed dataset: total_size()*dim values of T in 64-byte-aligned storage.
 template <class T>
-class Dat final : public DatBase {
+class Dat : public DatBase {
  public:
+  using value_type = T;
+
   Dat(std::string name, const Set& set, int dim)
       : DatBase(std::move(name), set, dim),
         data_(static_cast<std::size_t>(set.total_size()) * dim, T{}) {}
@@ -72,5 +80,28 @@ class Dat final : public DatBase {
  private:
   aligned_vector<T> data_;
 };
+
+/// Dataset whose arity is part of the TYPE. `arg<A>(fixed)` deduces the
+/// descriptor's compile-time Dim from it, and `arg<A, D>(fixed)` with
+/// D != N is rejected at compile time — the static counterpart of the
+/// runtime dim check plain Dat arguments get at descriptor construction.
+template <class T, int N>
+class FixedDat final : public Dat<T> {
+  static_assert(N >= 1 && N <= kMaxDim, "FixedDat: dim must be in [1,kMaxDim]");
+
+ public:
+  static constexpr int static_dim = N;
+
+  FixedDat(std::string name, const Set& set) : Dat<T>(std::move(name), set, N) {}
+  FixedDat(std::string name, const Set& set, aligned_vector<T> init)
+      : Dat<T>(std::move(name), set, N, std::move(init)) {}
+};
+
+/// Compile-time arity of a dataset TYPE: N for FixedDat<T, N>, 0 (unknown
+/// until runtime) for plain Dat<T>.
+template <class D>
+inline constexpr int dat_static_dim_v = 0;
+template <class T, int N>
+inline constexpr int dat_static_dim_v<FixedDat<T, N>> = N;
 
 }  // namespace opv

@@ -1,4 +1,11 @@
 // op_map: connectivity from one set to another with fixed arity.
+//
+// Arity model (see core/arg.hpp): a typed argument descriptor addresses
+// exactly ONE of the map's slots (map_idx), so the DAT arity travels as the
+// descriptor's compile-time Dim while the MAP arity stays a runtime stride
+// (it only scales the index gather, never a per-component loop). A
+// descriptor's map_idx is validated against dim() when the descriptor is
+// constructed — the map-side half of the Dim/dat construction-time check.
 #pragma once
 
 #include <string>

@@ -3,10 +3,13 @@
 // OP2 uses source-to-source code generation to produce one specialized stub
 // per parallel loop (paper Fig. 2b for MPI, Fig. 3a for OpenCL, Fig. 3b for
 // AVX). This engine obtains the same specializations by template
-// instantiation: every argument descriptor carries its access mode and
-// directness as template parameters (core/arg.hpp), so each gather/scatter
-// below is an `if constexpr` — per instantiation the compiler sees exactly
+// instantiation: every argument descriptor carries its access mode, its
+// arity (Dim) and directness as template parameters (core/arg.hpp), so each
+// gather/scatter below is an `if constexpr` and each per-component loop an
+// index-sequence expansion — per instantiation the compiler sees exactly
 // the branch-free straight-line code OP2's generator would have emitted.
+// Runtime-dim descriptors (the compatibility spelling) keep looped
+// gathers/scatters; bench/ablation_static_dim.cpp measures the gap.
 // The user kernel is a functor templated over its value type: instantiating
 // with T = double produces the scalar loops; with T = simd::Vec<double,W>
 // exactly the gather / vector-kernel / colored-scatter structure of Fig. 3b,
@@ -55,21 +58,37 @@ namespace opv {
 
 namespace detail {
 
-inline constexpr int kMaxDim = 8;
-
 inline int resolve_threads(int requested) {
   return requested > 0 ? requested : omp_get_max_threads();
 }
 
+/// Per-component expansion. A compile-time Dim expands as an
+/// index-sequence fold — every f(c) is a distinct statement with a literal
+/// component index, so gathers/scatters fully unroll at instantiation time
+/// (the engine's analog of OP2's generator "substituting literal constants",
+/// paper section 5). Runtime-dim descriptors (Dim == kDynDim) keep a plain
+/// loop over the bound arity — the measured-slower compatibility path
+/// (bench/ablation_static_dim.cpp).
+template <int Dim, class F>
+inline void for_each_dim(int rdim, F&& f) {
+  if constexpr (Dim != kDynDim) {
+    [&]<int... Cs>(std::integer_sequence<int, Cs...>) {
+      (f(Cs), ...);
+    }(std::make_integer_sequence<int, Dim>{});
+  } else {
+    for (int c = 0; c < rdim; ++c) f(c);
+  }
+}
+
 // ===== bound scalar arguments ==============================================
 
-template <class S, AccessMode A, bool Ind>
+template <class S, AccessMode A, int Dim, bool Ind>
 struct BoundDat {
   S* data = nullptr;
   const idx_t* map = nullptr;
   int map_dim = 0;
   int map_idx = 0;
-  int dim = 0;
+  int dim = 0;  ///< == Dim when Dim != kDynDim (addressing then constant-folds)
 };
 
 template <class S, AccessMode A>
@@ -79,8 +98,8 @@ struct BoundGbl {
   S scratch[kMaxDim] = {};
 };
 
-template <class S, AccessMode A, bool Ind>
-inline BoundDat<S, A, Ind> bind(const Arg<S, A, Ind>& a) {
+template <class S, AccessMode A, int Dim, bool Ind>
+inline BoundDat<S, A, Dim, Ind> bind(const Arg<S, A, Dim, Ind>& a) {
   if constexpr (Ind) {
     return {a.dat->data(), a.map->data(), a.map->dim(), a.map_idx, a.dat->dim()};
   } else {
@@ -92,8 +111,8 @@ inline BoundGbl<S, A> bind(const ArgGbl<S, A>& a) {
   return {a.ptr, a.dim, {}};
 }
 
-template <class S, AccessMode A, bool Ind>
-inline void thread_init(BoundDat<S, A, Ind>&) {}
+template <class S, AccessMode A, int Dim, bool Ind>
+inline void thread_init(BoundDat<S, A, Dim, Ind>&) {}
 template <class S, AccessMode A>
 inline void thread_init(BoundGbl<S, A>& g) {
   if constexpr (A == AccessMode::READ) return;
@@ -104,8 +123,8 @@ inline void thread_init(BoundGbl<S, A>& g) {
   }
 }
 
-template <class S, AccessMode A, bool Ind>
-inline void thread_merge(BoundDat<S, A, Ind>&) {}
+template <class S, AccessMode A, int Dim, bool Ind>
+inline void thread_merge(BoundDat<S, A, Dim, Ind>&) {}
 template <class S, AccessMode A>
 inline void thread_merge(BoundGbl<S, A>& g) {
   if constexpr (A == AccessMode::READ) return;
@@ -126,14 +145,16 @@ inline void thread_merge_all(Tuple& t, std::index_sequence<Is...>) {
   (thread_merge(std::get<Is>(t)), ...);
 }
 
-/// Pointer handed to the scalar kernel for element e.
-template <class S, AccessMode A, bool Ind>
-inline S* kptr(BoundDat<S, A, Ind>& b, idx_t e) {
+/// Pointer handed to the scalar kernel for element e. With a compile-time
+/// Dim the element stride is a literal, so the multiply strength-reduces.
+template <class S, AccessMode A, int Dim, bool Ind>
+inline S* kptr(BoundDat<S, A, Dim, Ind>& b, idx_t e) {
+  const int dim = Dim != kDynDim ? Dim : b.dim;
   if constexpr (Ind) {
     const idx_t tgt = b.map[static_cast<std::size_t>(e) * b.map_dim + b.map_idx];
-    return b.data + static_cast<std::size_t>(tgt) * b.dim;
+    return b.data + static_cast<std::size_t>(tgt) * dim;
   } else {
-    return b.data + static_cast<std::size_t>(e) * b.dim;
+    return b.data + static_cast<std::size_t>(e) * dim;
   }
 }
 template <class S, AccessMode A>
@@ -192,7 +213,7 @@ inline void run_perm_simd_hint(Kernel& k, Tuple& t, const idx_t* perm, idx_t beg
 
 // ===== vector-path argument state ==========================================
 
-template <class S, int W, AccessMode A, bool Ind>
+template <class S, int W, AccessMode A, int Dim, bool Ind>
 struct VDat {
   using V = simd::Vec<S, W>;
   using IV = simd::Vec<std::int32_t, W>;
@@ -200,7 +221,7 @@ struct VDat {
   const idx_t* map = nullptr;
   int map_dim = 0;
   int map_idx = 0;
-  int dim = 0;
+  int dim = 0;  ///< == Dim when Dim != kDynDim
   V buf[kMaxDim];
   IV sidx;  ///< scaled target index (target*dim), kept for scatters
 };
@@ -213,9 +234,9 @@ struct VGbl {
   V buf[kMaxDim];
 };
 
-template <int W, class S, AccessMode A, bool Ind>
-inline VDat<S, W, A, Ind> vbind(const Arg<S, A, Ind>& a) {
-  VDat<S, W, A, Ind> v;
+template <int W, class S, AccessMode A, int Dim, bool Ind>
+inline VDat<S, W, A, Dim, Ind> vbind(const Arg<S, A, Dim, Ind>& a) {
+  VDat<S, W, A, Dim, Ind> v;
   v.data = a.dat->data();
   if constexpr (Ind) {
     v.map = a.map->data();
@@ -233,8 +254,8 @@ inline VGbl<S, W, A> vbind(const ArgGbl<S, A>& a) {
   return v;
 }
 
-template <class S, int W, AccessMode A, bool Ind>
-inline void vthread_init(VDat<S, W, A, Ind>&) {}
+template <class S, int W, AccessMode A, int Dim, bool Ind>
+inline void vthread_init(VDat<S, W, A, Dim, Ind>&) {}
 template <class S, int W, AccessMode A>
 inline void vthread_init(VGbl<S, W, A>& g) {
   using V = simd::Vec<S, W>;
@@ -246,8 +267,8 @@ inline void vthread_init(VGbl<S, W, A>& g) {
   }
 }
 
-template <class S, int W, AccessMode A, bool Ind>
-inline void vthread_merge(VDat<S, W, A, Ind>&) {}
+template <class S, int W, AccessMode A, int Dim, bool Ind>
+inline void vthread_merge(VDat<S, W, A, Dim, Ind>&) {}
 template <class S, int W, AccessMode A>
 inline void vthread_merge(VGbl<S, W, A>& g) {
   if constexpr (A == AccessMode::READ) return;
@@ -274,8 +295,8 @@ inline void vthread_merge_all(Tuple& t, std::index_sequence<Is...>) {
 }
 
 /// Pointer handed to the vector kernel instantiation.
-template <class S, int W, AccessMode A, bool Ind>
-inline simd::Vec<S, W>* vkptr(VDat<S, W, A, Ind>& a) {
+template <class S, int W, AccessMode A, int Dim, bool Ind>
+inline simd::Vec<S, W>* vkptr(VDat<S, W, A, Dim, Ind>& a) {
   return a.buf;
 }
 template <class S, int W, AccessMode A>
@@ -284,56 +305,36 @@ inline simd::Vec<S, W>* vkptr(VGbl<S, W, A>& a) {
 }
 
 // ---- gather phase (Fig. 3b "gather data to registers") ---------------------
+// Every access-mode decision below is `if constexpr`, and every
+// per-component loop goes through for_each_dim<Dim>: descriptors with a
+// compile-time Dim get fully unrolled straight-line gathers/scatters with
+// literal strides; runtime-dim descriptors keep a looped compatibility path.
 
-/// Dispatch a runtime dim (1..kMaxDim) to a compile-time constant so the
-/// per-component gather/scatter loops fully unroll — together with the
-/// compile-time access mode this is the engine's analog of OP2's code
-/// generator "substituting literal constants" (paper section 5).
-template <class F>
-inline void for_dim(int dim, F&& f) {
-  switch (dim) {
-    case 1: f(std::integral_constant<int, 1>{}); break;
-    case 2: f(std::integral_constant<int, 2>{}); break;
-    case 3: f(std::integral_constant<int, 3>{}); break;
-    case 4: f(std::integral_constant<int, 4>{}); break;
-    case 5: f(std::integral_constant<int, 5>{}); break;
-    case 6: f(std::integral_constant<int, 6>{}); break;
-    case 7: f(std::integral_constant<int, 7>{}); break;
-    default: f(std::integral_constant<int, 8>{}); break;
-  }
-}
-
-/// Load a contiguous chunk of W elements starting at n. Every access-mode
-/// decision below is `if constexpr`: each instantiation is branch-free.
-template <class S, int W, AccessMode A, bool Ind>
-inline void vload(VDat<S, W, A, Ind>& a, idx_t n) {
+/// Load a contiguous chunk of W elements starting at n.
+template <class S, int W, AccessMode A, int Dim, bool Ind>
+inline void vload(VDat<S, W, A, Dim, Ind>& a, idx_t n) {
   using V = simd::Vec<S, W>;
   using IV = simd::Vec<std::int32_t, W>;
   if constexpr (Ind) {
     const IV tgt = IV::strided(a.map + static_cast<std::size_t>(n) * a.map_dim + a.map_idx,
                                a.map_dim);
-    a.sidx = tgt * IV(a.dim);
+    a.sidx = tgt * IV(Dim != kDynDim ? Dim : a.dim);
     if constexpr (A == AccessMode::READ || A == AccessMode::RW) {
-      for_dim(a.dim, [&](auto D) {
-        for (int c = 0; c < D(); ++c) a.buf[c] = V::gather(a.data + c, a.sidx);
-      });
+      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V::gather(a.data + c, a.sidx); });
     } else {  // INC (indirect WRITE is also accumulated then scattered)
-      for_dim(a.dim, [&](auto D) {
-        for (int c = 0; c < D(); ++c) a.buf[c] = V(S(0));
-      });
+      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V(S(0)); });
     }
   } else {
     if constexpr (A == AccessMode::INC) {
-      for_dim(a.dim, [&](auto D) {
-        for (int c = 0; c < D(); ++c) a.buf[c] = V(S(0));
-      });
+      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V(S(0)); });
     } else if constexpr (A != AccessMode::WRITE) {
-      if (a.dim == 1) {
+      // d is a literal for static Dim, so the dim==1 test folds away.
+      const int d = Dim != kDynDim ? Dim : a.dim;
+      if (d == 1) {
         a.buf[0] = V::loadu(a.data + n);
       } else {
-        for_dim(a.dim, [&](auto D) {
-          for (int c = 0; c < D(); ++c)
-            a.buf[c] = V::strided(a.data + static_cast<std::size_t>(n) * D() + c, D());
+        for_each_dim<Dim>(d, [&](int c) {
+          a.buf[c] = V::strided(a.data + static_cast<std::size_t>(n) * d + c, d);
         });
       }
     }
@@ -343,26 +344,26 @@ template <class S, int W, AccessMode A>
 inline void vload(VGbl<S, W, A>&, idx_t) {}
 
 /// Load a chunk of W permuted elements whose ids are in eidx.
-template <class S, int W, AccessMode A, bool Ind>
-inline void vload_perm(VDat<S, W, A, Ind>& a, simd::Vec<std::int32_t, W> eidx) {
+template <class S, int W, AccessMode A, int Dim, bool Ind>
+inline void vload_perm(VDat<S, W, A, Dim, Ind>& a, simd::Vec<std::int32_t, W> eidx) {
   using V = simd::Vec<S, W>;
   using IV = simd::Vec<std::int32_t, W>;
   if constexpr (Ind) {
     const IV tgt = IV::gather(a.map + a.map_idx, eidx * IV(a.map_dim));
-    a.sidx = tgt * IV(a.dim);
+    a.sidx = tgt * IV(Dim != kDynDim ? Dim : a.dim);
     if constexpr (A == AccessMode::READ || A == AccessMode::RW) {
-      for (int c = 0; c < a.dim; ++c) a.buf[c] = V::gather(a.data + c, a.sidx);
+      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V::gather(a.data + c, a.sidx); });
     } else {
-      for (int c = 0; c < a.dim; ++c) a.buf[c] = V(S(0));
+      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V(S(0)); });
     }
   } else {
-    a.sidx = eidx * IV(a.dim);
+    a.sidx = eidx * IV(Dim != kDynDim ? Dim : a.dim);
     if constexpr (A == AccessMode::INC) {
-      for (int c = 0; c < a.dim; ++c) a.buf[c] = V(S(0));
+      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V(S(0)); });
     } else if constexpr (A != AccessMode::WRITE) {
       // Formerly-direct data must now be gathered (paper section 4: the
       // cost the permute colorings add).
-      for (int c = 0; c < a.dim; ++c) a.buf[c] = V::gather(a.data + c, a.sidx);
+      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V::gather(a.data + c, a.sidx); });
     }
   }
 }
@@ -373,43 +374,40 @@ inline void vload_perm(VGbl<S, W, A>&, simd::Vec<std::int32_t, W>) {}
 
 /// Flush a contiguous chunk. `hw_scatter` selects the hardware scatter
 /// (legal only when lane targets are independent, i.e. permute colorings).
-template <class S, int W, AccessMode A, bool Ind>
-inline void vflush(VDat<S, W, A, Ind>& a, idx_t n, bool hw_scatter) {
+template <class S, int W, AccessMode A, int Dim, bool Ind>
+inline void vflush(VDat<S, W, A, Dim, Ind>& a, idx_t n, bool hw_scatter) {
   using V = simd::Vec<S, W>;
   if constexpr (Ind) {
     if constexpr (A == AccessMode::INC) {
-      for_dim(a.dim, [&](auto D) {
-        for (int c = 0; c < D(); ++c) {
-          if (hw_scatter) simd::scatter_add_hw(a.data + c, a.sidx, a.buf[c]);
-          else simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
-        }
+      for_each_dim<Dim>(a.dim, [&](int c) {
+        if (hw_scatter) simd::scatter_add_hw(a.data + c, a.sidx, a.buf[c]);
+        else simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
       });
     } else if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
-      for_dim(a.dim, [&](auto D) {
-        for (int c = 0; c < D(); ++c) simd::scatter_serial(a.data + c, a.sidx, a.buf[c]);
-      });
+      for_each_dim<Dim>(a.dim,
+                        [&](int c) { simd::scatter_serial(a.data + c, a.sidx, a.buf[c]); });
     }
   } else {
+    // d is a literal for static Dim, so the dim==1 tests fold away
+    // (unused when a direct READ argument needs no flush at all).
+    [[maybe_unused]] const int d = Dim != kDynDim ? Dim : a.dim;
     if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
-      if (a.dim == 1) {
+      if (d == 1) {
         simd::storeu(a.data + n, a.buf[0]);
       } else {
-        for_dim(a.dim, [&](auto D) {
-          for (int c = 0; c < D(); ++c)
-            simd::store_strided(a.data + static_cast<std::size_t>(n) * D() + c, D(), a.buf[c]);
+        for_each_dim<Dim>(d, [&](int c) {
+          simd::store_strided(a.data + static_cast<std::size_t>(n) * d + c, d, a.buf[c]);
         });
       }
     } else if constexpr (A == AccessMode::INC) {
-      if (a.dim == 1) {
+      if (d == 1) {
         const V cur = V::loadu(a.data + n);
         simd::storeu(a.data + n, cur + a.buf[0]);
       } else {
-        for_dim(a.dim, [&](auto D) {
-          for (int c = 0; c < D(); ++c) {
-            S* p = a.data + static_cast<std::size_t>(n) * D() + c;
-            const V cur = V::strided(p, D());
-            simd::store_strided(p, D(), cur + a.buf[c]);
-          }
+        for_each_dim<Dim>(d, [&](int c) {
+          S* p = a.data + static_cast<std::size_t>(n) * d + c;
+          const V cur = V::strided(p, d);
+          simd::store_strided(p, d, cur + a.buf[c]);
         });
       }
     }
@@ -420,22 +418,25 @@ inline void vflush(VGbl<S, W, A>&, idx_t, bool) {}
 
 /// Flush a permuted chunk. Element ids are distinct, so direct writes may
 /// scatter; indirect increments use the hardware scatter iff requested.
-template <class S, int W, AccessMode A, bool Ind>
-inline void vflush_perm(VDat<S, W, A, Ind>& a, bool hw_scatter) {
+template <class S, int W, AccessMode A, int Dim, bool Ind>
+inline void vflush_perm(VDat<S, W, A, Dim, Ind>& a, bool hw_scatter) {
   if constexpr (Ind) {
     if constexpr (A == AccessMode::INC) {
-      for (int c = 0; c < a.dim; ++c) {
+      for_each_dim<Dim>(a.dim, [&](int c) {
         if (hw_scatter) simd::scatter_add_hw(a.data + c, a.sidx, a.buf[c]);
         else simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
-      }
+      });
     } else if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
-      for (int c = 0; c < a.dim; ++c) simd::scatter_serial(a.data + c, a.sidx, a.buf[c]);
+      for_each_dim<Dim>(a.dim,
+                        [&](int c) { simd::scatter_serial(a.data + c, a.sidx, a.buf[c]); });
     }
   } else {
     if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
-      for (int c = 0; c < a.dim; ++c) simd::scatter_serial(a.data + c, a.sidx, a.buf[c]);
+      for_each_dim<Dim>(a.dim,
+                        [&](int c) { simd::scatter_serial(a.data + c, a.sidx, a.buf[c]); });
     } else if constexpr (A == AccessMode::INC) {
-      for (int c = 0; c < a.dim; ++c) simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
+      for_each_dim<Dim>(a.dim,
+                        [&](int c) { simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]); });
     }
   }
 }
@@ -445,8 +446,8 @@ inline void vflush_perm(VGbl<S, W, A>&, bool) {}
 /// SIMT colored increment (Fig. 3a): indirect increments are applied
 /// color-by-color with a lane mask, serializing conflicting work-items
 /// exactly like the generated OpenCL kernel does.
-template <class S, int W, AccessMode A, bool Ind>
-inline void vflush_simt(VDat<S, W, A, Ind>& a, idx_t n, const std::int32_t* elem_color,
+template <class S, int W, AccessMode A, int Dim, bool Ind>
+inline void vflush_simt(VDat<S, W, A, Dim, Ind>& a, idx_t n, const std::int32_t* elem_color,
                         int ncolors) {
   using V = simd::Vec<S, W>;
   using IV = simd::Vec<std::int32_t, W>;
@@ -456,8 +457,9 @@ inline void vflush_simt(VDat<S, W, A, Ind>& a, idx_t n, const std::int32_t* elem
       const auto imask = (cv == IV(col));
       const auto vmask = simd::MaskConvert<V>::from(imask);
       if (!simd::any(imask)) continue;
-      for (int c = 0; c < a.dim; ++c)
+      for_each_dim<Dim>(a.dim, [&](int c) {
         simd::scatter_add_serial_masked(a.data + c, a.sidx, a.buf[c], vmask);
+      });
     }
   } else {
     vflush(a, n, /*hw_scatter=*/false);
@@ -517,8 +519,8 @@ template <class... Args>
 struct first_real {
   using type = double;
 };
-template <class S, AccessMode A, bool Ind, class... Rest>
-struct first_real<Arg<S, A, Ind>, Rest...> {
+template <class S, AccessMode A, int Dim, bool Ind, class... Rest>
+struct first_real<Arg<S, A, Dim, Ind>, Rest...> {
   using type = std::conditional_t<std::is_floating_point_v<S>, S,
                                   typename first_real<Rest...>::type>;
 };
@@ -845,6 +847,11 @@ class Loop {
  public:
   static constexpr bool has_inc = has_conflicts_v<Args...>;
   static constexpr bool has_gbl_reduction = has_gbl_reduction_v<Args...>;
+  /// True when every dataset argument carries a compile-time Dim — the
+  /// fully-specialized state where no gather/scatter loops over a runtime
+  /// arity (assert it on hot loops to guard against a spelling regressing
+  /// to the runtime-dim compatibility path).
+  static constexpr bool all_static_dim = all_static_dim_v<Args...>;
 
   Loop(Kernel kernel, std::string name, const Set& set, Args... args)
       : kernel_(std::move(kernel)), name_(std::move(name)), set_(&set), args_(args...) {
@@ -1029,7 +1036,13 @@ class Loop {
   std::vector<IncRef> conflicts_;
   LoopRecord* stats_ = nullptr;
   PlanSlot plans_[3];
-  std::unique_ptr<perf::OnlineTuner> tuner_;  ///< allocated on first kAuto run
+  /// Allocated on the first kAuto run. The tuned block size is pinned per
+  /// Loop INSTANCE, never shared through any global registry: re-templating
+  /// a loop (e.g. migrating its args from runtime-dim to compile-time-Dim
+  /// descriptors changes the Loop type and the generated code) yields a
+  /// fresh handle that re-tunes from scratch rather than inheriting a pin
+  /// measured on different code (test: RetypedHandleReTunes).
+  std::unique_ptr<perf::OnlineTuner> tuner_;
 };
 
 template <class Kernel, class... Args>

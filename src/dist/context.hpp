@@ -130,12 +130,13 @@ class WorkerPool {
 // ---- rank-addressable argument descriptors ---------------------------------
 
 /// Dataset argument by handle: resolved to a typed opv::Arg on each rank's
-/// replica when a dist::Loop is constructed. Access/directness are
-/// compile-time, like opv::Arg.
-template <class T, AccessMode A, bool Ind>
+/// replica when a dist::Loop is constructed. Access/arity/directness are
+/// compile-time, like opv::Arg (Dim == opv::kDynDim = runtime arity).
+template <class T, AccessMode A, int Dim, bool Ind>
 struct DistArgDat {
   using scalar_type = T;
   static constexpr AccessMode access = A;
+  static constexpr int dim = Dim;
   static constexpr bool indirect = Ind;
   static constexpr bool is_gbl = false;
   int dat = -1;
@@ -254,26 +255,29 @@ class DistCtx {
 
   // ---- typed argument builders --------------------------------------------
 
-  template <AccessMode A, class T>
-    requires(dat_access_ok(A))
-  DistArgDat<T, A, true> arg(DatHandle<T> d, int idx, MapHandle m) {
+  template <AccessMode A, int Dim = kDynDim, class T>
+    requires(dat_access_ok(A) && arg_dim_ok(Dim))
+  DistArgDat<T, A, Dim, true> arg(DatHandle<T> d, int idx, MapHandle m) {
     OPV_REQUIRE(idx >= 0 && idx < spec_.maps[m].dim,
                 "arg: map index " << idx << " out of range for map '" << spec_.maps[m].name
                                   << "'");
     OPV_REQUIRE(spec_.maps[m].to == dats_[d.id]->set,
                 "arg: map '" << spec_.maps[m].name << "' does not target dat '"
                              << dats_[d.id]->name << "'s set");
+    check_dim<Dim>(d);
     return {d.id, m, idx};
   }
-  template <AccessMode A, class T>
-    requires(dat_access_ok(A))
-  DistArgDat<T, A, false> arg(DatHandle<T> d) {
+  template <AccessMode A, int Dim = kDynDim, class T>
+    requires(dat_access_ok(A) && arg_dim_ok(Dim))
+  DistArgDat<T, A, Dim, false> arg(DatHandle<T> d) {
+    check_dim<Dim>(d);
     return {d.id, -1, -1};
   }
   template <AccessMode A, class T>
     requires(gbl_access_ok(A))
   DistArgGbl<T, A> arg_gbl(T* p, int dim) {
-    OPV_REQUIRE(dim >= 1 && dim <= 8, "arg_gbl: dim must be in [1,8]");
+    OPV_REQUIRE(dim >= 1 && dim <= kMaxDim,
+                "arg_gbl: dim must be in [1," << kMaxDim << "]");
     return {p, dim};
   }
 
@@ -317,6 +321,16 @@ class DistCtx {
  private:
   template <class Kernel, class... DArgs>
   friend class Loop;
+
+  /// Construction-time check that a compile-time descriptor Dim matches the
+  /// declared dat (the dist analog of opv::arg's check against dat.dim()).
+  template <int Dim, class T>
+  void check_dim(DatHandle<T> d) const {
+    if constexpr (Dim != kDynDim)
+      OPV_REQUIRE(dats_[d.id]->dim == Dim, "arg: descriptor Dim "
+                                               << Dim << " != dat '" << dats_[d.id]->name
+                                               << "' dim " << dats_[d.id]->dim);
+  }
 
   // ---- dataset storage -----------------------------------------------------
 

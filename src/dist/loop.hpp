@@ -36,12 +36,15 @@ namespace opv::dist {
 
 namespace detail {
 
-/// The opv argument type a DistArg resolves to on each rank.
+/// The opv argument type a DistArg resolves to on each rank. The
+/// compile-time Dim carries straight through, so every rank's engine loop
+/// gets the same fully-unrolled gather/scatter instantiations a local
+/// opv::Loop would.
 template <class DA>
 struct rank_arg;
-template <class T, AccessMode A, bool Ind>
-struct rank_arg<DistArgDat<T, A, Ind>> {
-  using type = opv::Arg<T, A, Ind>;
+template <class T, AccessMode A, int Dim, bool Ind>
+struct rank_arg<DistArgDat<T, A, Dim, Ind>> {
+  using type = opv::Arg<T, A, Dim, Ind>;
 };
 template <class T, AccessMode A>
 struct rank_arg<DistArgGbl<T, A>> {
@@ -172,8 +175,8 @@ class Loop {
  private:
   // ---- construction-time derivation ----------------------------------------
 
-  template <class T, AccessMode A, bool Ind>
-  void validate(const DistArgDat<T, A, Ind>& a) const {
+  template <class T, AccessMode A, int Dim, bool Ind>
+  void validate(const DistArgDat<T, A, Dim, Ind>& a) const {
     const GlobalSpec& spec = ctx_->spec_;
     if constexpr (Ind) {
       OPV_REQUIRE(spec.maps[a.map].from == set_,
@@ -219,8 +222,8 @@ class Loop {
   void setup_pins(std::index_sequence<Is...>, const DArgs&... dargs) {
     (setup_pin(std::get<Is>(pins_), dargs), ...);
   }
-  template <class T, AccessMode A, bool Ind>
-  void setup_pin(detail::NoPin&, const DistArgDat<T, A, Ind>&) {}
+  template <class T, AccessMode A, int Dim, bool Ind>
+  void setup_pin(detail::NoPin&, const DistArgDat<T, A, Dim, Ind>&) {}
   template <class T, AccessMode A>
   void setup_pin(detail::GblPin<T, A>& g, const DistArgGbl<T, A>& a) {
     g.target = a.ptr;
@@ -234,11 +237,11 @@ class Loop {
     rank_loops_.emplace_back(kernel, name_, ctx_->part_->set(r, set_),
                              bind_rank(r, dargs, std::get<Is>(pins_))...);
   }
-  template <class T, AccessMode A, bool Ind>
-  auto bind_rank(int r, const DistArgDat<T, A, Ind>& a, detail::NoPin&) {
+  template <class T, AccessMode A, int Dim, bool Ind>
+  auto bind_rank(int r, const DistArgDat<T, A, Dim, Ind>& a, detail::NoPin&) {
     Dat<T>& d = ctx_->template entry<T>(a.dat).rank[static_cast<std::size_t>(r)];
-    if constexpr (Ind) return opv::arg<A>(d, a.idx, ctx_->part_->map(r, a.map));
-    else return opv::arg<A>(d);
+    if constexpr (Ind) return opv::arg<A, Dim>(d, a.idx, ctx_->part_->map(r, a.map));
+    else return opv::arg<A, Dim>(d);
   }
   template <class T, AccessMode A>
   auto bind_rank(int r, const DistArgGbl<T, A>& a, detail::GblPin<T, A>& g) {

@@ -29,6 +29,15 @@ TuneResult tune_block_size(const std::function<double(int)>& workload,
 /// Unlike tune_block_size, no extra kernel executions happen: every tuning
 /// sample is a real, correct run of the loop — only the block size varies
 /// across the first candidates*reps calls.
+///
+/// Lifetime: each opv::Loop INSTANCE owns its tuner; the pinned winner is
+/// never shared across handles or stored under a kernel/set key. That is
+/// deliberate: the optimal block size depends on the generated code, and
+/// re-templating a loop — e.g. migrating its arguments from runtime-dim to
+/// compile-time-Dim descriptors (core/arg.hpp) — changes the instantiation.
+/// A retyped handle therefore starts untuned and re-tunes from scratch
+/// instead of inheriting a pin measured on different code
+/// (test_loop_handle: RetypedHandleReTunes).
 class OnlineTuner {
  public:
   explicit OnlineTuner(std::vector<int> candidates = {128, 256, 512, 1024, 2048, 4096},

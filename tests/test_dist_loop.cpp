@@ -7,6 +7,8 @@
 // combinations.
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 #include "apps/airfoil/airfoil.hpp"
 #include "dist/context.hpp"
 #include "dist/loop.hpp"
@@ -44,9 +46,19 @@ static_assert(!DistGblOk<opv::WRITE>, "globals cannot be element-wise written");
 static_assert(!DistGblOk<opv::RW>, "globals cannot be read-modify-written");
 
 // Compile-time conflict classification carries over to dist descriptors.
-static_assert(dist::Loop<int, DistArgDat<double, opv::INC, true>>::has_inc);
-static_assert(!dist::Loop<int, DistArgDat<double, opv::READ, true>,
+static_assert(dist::Loop<int, DistArgDat<double, opv::INC, kDynDim, true>>::has_inc);
+static_assert(!dist::Loop<int, DistArgDat<double, opv::READ, kDynDim, true>,
                           DistArgGbl<double, opv::INC>>::has_inc);
+
+// Compile-time Dim carries through the dist descriptors into the per-rank
+// opv::Arg bindings, and an out-of-range Dim fails to compile.
+static_assert(std::is_same_v<dist::detail::rank_arg_t<DistArgDat<double, opv::INC, 4, true>>,
+                             opv::Arg<double, opv::INC, 4, true>>);
+template <int Dim>
+concept DistDimOk =
+    requires(DistCtx& c, DistCtx::DatHandle<double> d) { c.arg<opv::READ, Dim>(d); };
+static_assert(DistDimOk<kDynDim> && DistDimOk<1> && DistDimOk<kMaxDim>);
+static_assert(!DistDimOk<-2> && !DistDimOk<kMaxDim + 1>, "Dim bounded by [1,kMaxDim]");
 
 // ---- fixture: airfoil-style edge/cell pipeline ------------------------------
 
@@ -264,6 +276,48 @@ TEST(DistLoop, RecordsRankImbalance) {
       perf::loop_stats_table(StatsRegistry::instance().all()).to_string();
   EXPECT_NE(table.find("max/mean imb"), std::string::npos);
   EXPECT_NE(table.find("imb_edge"), std::string::npos);
+}
+
+// ---- compile-time Dim through the dist layer --------------------------------
+
+/// A dist loop mixing typed-Dim and runtime-dim descriptors must match the
+/// all-runtime baseline bitwise: Dim only changes the generated code shape
+/// (unrolled vs looped per-component accesses), never arithmetic order.
+TEST(DistLoop, MixedDimSpellingsBitwiseMatchRuntimeBaseline) {
+  const ExecConfig cfg{.backend = Backend::Simd, .simd_width = 4, .nthreads = 2};
+
+  Universe a(3, cfg);
+  dist::Loop rt(a.ctx, EdgeK{}, "mixdim_rt", a.edges, a.ctx.arg<opv::READ>(a.x, 0, a.e2n),
+                a.ctx.arg<opv::READ>(a.x, 1, a.e2n), a.ctx.arg<opv::READ>(a.w),
+                a.ctx.arg<opv::INC>(a.acc, 0, a.e2c), a.ctx.arg<opv::INC>(a.acc, 1, a.e2c));
+
+  Universe b(3, cfg);
+  dist::Loop mix(b.ctx, EdgeK{}, "mixdim_mixed", b.edges,
+                 b.ctx.arg<opv::READ, 2>(b.x, 0, b.e2n), b.ctx.arg<opv::READ>(b.x, 1, b.e2n),
+                 b.ctx.arg<opv::READ, 1>(b.w), b.ctx.arg<opv::INC>(b.acc, 0, b.e2c),
+                 b.ctx.arg<opv::INC, 1>(b.acc, 1, b.e2c));
+  static_assert(!std::is_same_v<decltype(rt), decltype(mix)>,
+                "Dim is part of the dist::Loop type");
+
+  for (int it = 0; it < 3; ++it) {
+    rt.run();
+    mix.run();
+  }
+  aligned_vector<double> ra, rb;
+  a.ctx.fetch(a.acc, ra);
+  b.ctx.fetch(b.acc, rb);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) ASSERT_EQ(ra[i], rb[i]) << "cell " << i;
+}
+
+/// A compile-time descriptor Dim contradicting the declared dat throws at
+/// descriptor construction (the dist analog of opv::arg's runtime check).
+TEST(DistLoop, DimMismatchThrowsAtConstruction) {
+  Universe u(2, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  EXPECT_THROW((u.ctx.arg<opv::READ, 3>(u.x, 0, u.e2n)), Error);  // x has dim 2
+  EXPECT_THROW((u.ctx.arg<opv::RW, 4>(u.q)), Error);              // q has dim 1
+  EXPECT_NO_THROW((u.ctx.arg<opv::READ, 2>(u.x, 0, u.e2n)));
+  EXPECT_NO_THROW((u.ctx.arg<opv::RW, 1>(u.q)));
 }
 
 // ---- construction-time validation -------------------------------------------

@@ -1,12 +1,16 @@
 // Tests for the typed-argument API and the reusable Loop handle:
-// compile-time rejection of invalid access/argument combinations,
-// Loop::run() equivalence with one-shot par_loop across backends, plan
-// pinning (pointer stability across runs), and stats accumulation through
-// the pre-bound slot.
+// compile-time rejection of invalid access/argument combinations and of
+// Dim/dat mismatches, Loop::run() equivalence with one-shot par_loop across
+// backends (including loops mixing compile-time-Dim and runtime-dim
+// descriptors), plan pinning (pointer stability across runs), stats
+// accumulation through the pre-bound slot, and kAuto tuner lifetime across
+// re-templated handles.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "core/op2.hpp"
@@ -47,13 +51,43 @@ static_assert(!DatTagArgOk<decltype(Access::MIN)>);
 static_assert(GblTagArgOk<decltype(Access::MAX)>);
 static_assert(!GblTagArgOk<decltype(Access::WRITE)>);
 
+// ---- compile-time Dim validation -------------------------------------------
+// A descriptor Dim outside [1,kMaxDim] (other than the kDynDim sentinel) or
+// contradicting a statically-dimensioned dat must fail to COMPILE.
+
+template <int Dim, class D = Dat<double>>
+concept DimArgOk = requires(D& d) { opv::arg<opv::READ, Dim>(d); };
+static_assert(DimArgOk<kDynDim> && DimArgOk<1> && DimArgOk<4> && DimArgOk<kMaxDim>);
+static_assert(!DimArgOk<-1> && !DimArgOk<kMaxDim + 1>, "Dim bounded by [1,kMaxDim]");
+static_assert(DimArgOk<4, FixedDat<double, 4>>, "matching explicit Dim is fine");
+static_assert(!DimArgOk<3, FixedDat<double, 4>>,
+              "Dim mismatching the dat's static arity must not compile");
+static_assert(!DimArgOk<1, FixedDat<double, 4>>);
+
+// A FixedDat deduces its Dim with no explicit spelling; a plain Dat stays
+// runtime-dimensioned under the same spelling.
+static_assert(std::is_same_v<decltype(opv::arg<opv::READ>(std::declval<FixedDat<double, 4>&>())),
+                             Arg<double, opv::READ, 4, false>>);
+static_assert(std::is_same_v<decltype(opv::arg<opv::READ>(std::declval<Dat<double>&>())),
+                             Arg<double, opv::READ, kDynDim, false>>);
+// ...including through the tag spelling.
+static_assert(
+    std::is_same_v<decltype(opv::arg(std::declval<FixedDat<double, 2>&>(), Access::WRITE)),
+                   Arg<double, opv::WRITE, 2, false>>);
+
 // ---- compile-time conflict classification ----------------------------------
 
-using DirectRead = Arg<double, opv::READ, false>;
-using IndirectInc = Arg<double, opv::INC, true>;
-using IndirectRead = Arg<double, opv::READ, true>;
+using DirectRead = Arg<double, opv::READ, kDynDim, false>;
+using IndirectInc = Arg<double, opv::INC, kDynDim, true>;
+using IndirectRead = Arg<double, opv::READ, kDynDim, true>;
+using StaticInc = Arg<double, opv::INC, 4, true>;
 using GblSum = ArgGbl<double, opv::INC>;
 using GblCoef = ArgGbl<double, opv::READ>;
+
+static_assert(arg_traits<StaticInc>::dim == 4 && arg_traits<IndirectInc>::dim == kDynDim);
+static_assert(arg_traits<StaticInc>::conflicting, "Dim does not change conflict class");
+static_assert(all_static_dim_v<StaticInc, GblSum>);
+static_assert(!all_static_dim_v<StaticInc, IndirectRead>);
 
 static_assert(!arg_traits<DirectRead>::conflicting);
 static_assert(arg_traits<IndirectInc>::conflicting);
@@ -273,6 +307,117 @@ TEST(LoopHandle, RuntimeValidationStillThrows) {
   EXPECT_THROW(arg<opv::READ>(f.w, 0, f.e2c), Error);   // dat not on target set
   EXPECT_THROW(arg_gbl<opv::INC>(&f.gsum, 0), Error);   // dim < 1
   EXPECT_THROW(arg_gbl<opv::INC>(&f.gsum, 9), Error);   // dim > 8
+  // Descriptor Dim vs a runtime-dimensioned dat is checked at construction.
+  EXPECT_THROW((arg<opv::READ, 2>(f.q)), Error);           // q has dim 1
+  EXPECT_THROW((arg<opv::READ, 3>(f.q, 0, f.e2c)), Error);
+  EXPECT_NO_THROW((arg<opv::READ, 1>(f.q)));
+}
+
+// ---- compile-time Dim: mixed spellings ---------------------------------------
+
+/// Multi-component kernel (dim-2 endpoint coords, dim-1 weight/result) so
+/// the per-component unrolling actually has components to unroll.
+struct MixKernel {
+  template <class T>
+  void operator()(const T* xl, const T* xr, const T* w, T* rl, T* rr) const {
+    OPV_SIMD_MATH_USING;
+    const T f = w[0] * ((xr[0] - xl[0]) + T(0.5) * (xr[1] - xl[1]));
+    rl[0] += f;
+    rr[0] -= f;
+  }
+};
+
+struct MixFixture {
+  mesh::UnstructuredMesh m = mesh::make_quad_box(19, 13);
+  Set nodes{"nodes", m.nnodes};
+  Set cells{"cells", m.ncells};
+  Set edges{"edges", m.nedges};
+  Map e2n{"e2n", edges, nodes, 2, m.edge_nodes};
+  Map e2c{"e2c", edges, cells, 2, m.edge_cells};
+  Dat<double> x{"x", nodes, 2, m.node_xy};
+  Dat<double> r{"r", cells, 1};
+  Dat<double> w{"w", edges, 1};
+
+  MixFixture() {
+    Rng rng(7);
+    for (idx_t e = 0; e < edges.size(); ++e) w.at(e) = rng.uniform(0.1, 1.0);
+  }
+};
+
+/// One loop mixing typed-Dim and runtime-dim descriptors must produce
+/// results bitwise identical to the all-runtime baseline: Dim changes code
+/// shape (unrolled vs looped), never arithmetic order.
+TEST(LoopHandle, MixedDimSpellingsBitwiseMatchRuntimeBaseline) {
+  const std::vector<ExecConfig> cfgs = {
+      {.backend = Backend::Seq},
+      {.backend = Backend::OpenMP, .nthreads = 2},
+      {.backend = Backend::Simd, .simd_width = 4},
+      {.backend = Backend::Simd, .coloring = ColoringStrategy::BlockPermute, .simd_width = 4},
+      {.backend = Backend::Simt, .simd_width = 4},
+  };
+  for (const auto& cfg : cfgs) {
+    SCOPED_TRACE(cfg.to_string());
+    MixFixture a, b, c;
+
+    // Baseline: every descriptor runtime-dim.
+    Loop rt(MixKernel{}, std::string("mix_rt"), a.edges, arg<opv::READ>(a.x, 0, a.e2n),
+            arg<opv::READ>(a.x, 1, a.e2n), arg<opv::READ>(a.w), arg<opv::INC>(a.r, 0, a.e2c),
+            arg<opv::INC>(a.r, 1, a.e2c));
+
+    // Mixed: typed Dim on some args, runtime on the rest.
+    Loop mix(MixKernel{}, std::string("mix_mixed"), b.edges, arg<opv::READ, 2>(b.x, 0, b.e2n),
+             arg<opv::READ>(b.x, 1, b.e2n), arg<opv::READ, 1>(b.w),
+             arg<opv::INC>(b.r, 0, b.e2c), arg<opv::INC, 1>(b.r, 1, b.e2c));
+
+    // Fully typed: every descriptor compile-time-Dim.
+    Loop st(MixKernel{}, std::string("mix_static"), c.edges, arg<opv::READ, 2>(c.x, 0, c.e2n),
+            arg<opv::READ, 2>(c.x, 1, c.e2n), arg<opv::READ, 1>(c.w),
+            arg<opv::INC, 1>(c.r, 0, c.e2c), arg<opv::INC, 1>(c.r, 1, c.e2c));
+
+    static_assert(!std::is_same_v<decltype(rt), decltype(mix)> &&
+                      !std::is_same_v<decltype(mix), decltype(st)>,
+                  "Dim is part of the Loop type");
+
+    for (int it = 0; it < 3; ++it) {
+      rt.run(cfg);
+      mix.run(cfg);
+      st.run(cfg);
+    }
+    for (idx_t i = 0; i < a.cells.size(); ++i) {
+      ASSERT_EQ(a.r.at(i), b.r.at(i)) << "mixed vs runtime, cell " << i;
+      ASSERT_EQ(a.r.at(i), c.r.at(i)) << "static vs runtime, cell " << i;
+    }
+  }
+}
+
+// ---- kAuto tuning is pinned per handle, not per kernel/set -------------------
+
+/// Re-templating a loop (here: migrating its args to typed Dim, which
+/// changes the Loop type and the generated code) must yield a handle that
+/// re-tunes from scratch — a stale block-size pin measured on the old
+/// instantiation must not be inherited.
+TEST(LoopHandle, RetypedHandleReTunes) {
+  MixFixture a, b;
+  const ExecConfig autob{.backend = Backend::OpenMP, .block_size = ExecConfig::kAuto,
+                         .nthreads = 2};
+
+  Loop rt(MixKernel{}, std::string("retune_rt"), a.edges, arg<opv::READ>(a.x, 0, a.e2n),
+          arg<opv::READ>(a.x, 1, a.e2n), arg<opv::READ>(a.w), arg<opv::INC>(a.r, 0, a.e2c),
+          arg<opv::INC>(a.r, 1, a.e2c));
+  const int settle_runs = 6 * 2 + 1;  // candidates x reps, then settled
+  for (int it = 0; it < settle_runs; ++it) rt.run(autob);
+  ASSERT_NE(rt.tuned_block_size(), 0) << "baseline handle should have settled";
+
+  // The retyped handle starts untuned: no pin carries over.
+  Loop st(MixKernel{}, std::string("retune_st"), b.edges, arg<opv::READ, 2>(b.x, 0, b.e2n),
+          arg<opv::READ, 2>(b.x, 1, b.e2n), arg<opv::READ, 1>(b.w),
+          arg<opv::INC, 1>(b.r, 0, b.e2c), arg<opv::INC, 1>(b.r, 1, b.e2c));
+  static_assert(!std::is_same_v<decltype(rt), decltype(st)>);
+  EXPECT_EQ(st.tuned_block_size(), 0) << "fresh (retyped) handle must not inherit a pin";
+  st.run(autob);
+  EXPECT_EQ(st.tuned_block_size(), 0) << "one run cannot have settled the tuner";
+  for (int it = 1; it < settle_runs; ++it) st.run(autob);
+  EXPECT_NE(st.tuned_block_size(), 0) << "retyped handle re-tunes independently";
 }
 
 }  // namespace
