@@ -4,8 +4,11 @@
 # dispatch path are caught before review.
 #
 # Usage: scripts/check.sh [--dist] [--docs] [--docs-only] [build-dir]
-#   --dist       also smoke-run the distributed dispatch bench
-#                (ablation_dist_dispatch: DistCtx::loop vs dist::Loop::run)
+#   --dist       also smoke-run the distributed benches: the dispatch-path
+#                micro (ablation_dist_dispatch: DistCtx::loop vs
+#                dist::Loop::run) and the exchange-overlap ablation
+#                (ablation_overlap on a small mesh; fails if overlapped
+#                execution is not bitwise-identical to blocking phased)
 #   --docs       also validate the documentation map: every bench/ target
 #                and every src/ subsystem must appear in docs/ARCHITECTURE.md
 #   --docs-only  run only the documentation check (no configure/build/test)
@@ -92,6 +95,16 @@ if [ "$DIST" = 1 ]; then
     "$BUILD/ablation_dist_dispatch" --benchmark_min_time=0.05
   else
     echo "ablation_dist_dispatch not built (Google Benchmark missing) - skipped"
+  fi
+
+  echo "== exchange-overlap smoke =="
+  # Small mesh, few iterations: exercises the phased begin/interior/wait/
+  # boundary pipeline end to end and exits non-zero if overlapped results
+  # diverge bitwise from the blocking phased schedule.
+  if [ -x "$BUILD/ablation_overlap" ]; then
+    "$BUILD/ablation_overlap" --n=64 --iters=3 --ranks=4
+  else
+    echo "ablation_overlap not built (OPV_BUILD_BENCH=OFF?) - skipped"
   fi
 fi
 

@@ -4,7 +4,11 @@
 #pragma once
 
 #include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "apps/volna/volna_kernels.hpp"
@@ -66,64 +70,18 @@ class Volna {
     cgeom_ = ctx_.template decl_dat<Real>("cgeom", cells_, 2, cast_vec<Real>(cell_geometry(m)));
     flux_ = ctx_.template decl_dat<Real>("flux", edges_, 5);
     ctx_.finalize();
+    build_loops();
   }
 
-  /// Advance nsteps timesteps (adaptive dt from the CFL reduction).
+  // The step closure captures `this` (the dt reduction targets).
+  Volna(const Volna&) = delete;
+  Volna& operator=(const Volna&) = delete;
+
+  /// Advance nsteps timesteps (adaptive dt from the CFL reduction). Each
+  /// step runs the persistent loop handles built at construction (ROADMAP
+  /// "driver migration to handles").
   void run(int nsteps) {
-    // Arguments carry their compile-time arity (u/uold/utmp/res/egeom:4,
-    // flux:5, cgeom:2, cdt:1) so every gather/scatter unrolls at
-    // instantiation time (docs/API.md, "compile-time Dim").
-    for (int step = 0; step < nsteps; ++step) {
-      ctx_.loop(Sim1<Real>{}, "sim_1", cells_, ctx_.template arg<opv::READ, 4>(u_),
-                ctx_.template arg<opv::WRITE, 4>(uold_));
-
-      ctx_.loop(ComputeFlux<Real>{params_}, "compute_flux", edges_,
-                ctx_.template arg<opv::READ, 4>(u_, 0, e2c_),
-                ctx_.template arg<opv::READ, 4>(u_, 1, e2c_),
-                ctx_.template arg<opv::READ, 4>(egeom_),
-                ctx_.template arg<opv::WRITE, 5>(flux_));
-
-      Real dtmin = std::numeric_limits<Real>::max();
-      ctx_.loop(NumericalFlux<Real>{params_}, "numerical_flux", cells_,
-                ctx_.template arg<opv::READ, 5>(flux_, 0, c2e_),
-                ctx_.template arg<opv::READ, 5>(flux_, 1, c2e_),
-                ctx_.template arg<opv::READ, 5>(flux_, 2, c2e_),
-                ctx_.template arg<opv::READ, 2>(cgeom_),
-                ctx_.template arg<opv::WRITE, 1>(cdt_),
-                ctx_.template arg_gbl<opv::MIN>(&dtmin, 1));
-      dt_ = static_cast<double>(dtmin);
-
-      Real dt = dtmin;
-      ctx_.loop(SpaceDisc<Real>{}, "space_disc", edges_,
-                ctx_.template arg<opv::READ, 5>(flux_),
-                ctx_.template arg<opv::READ, 4>(egeom_),
-                ctx_.template arg<opv::READ, 2>(cgeom_, 0, e2c_),
-                ctx_.template arg<opv::READ, 2>(cgeom_, 1, e2c_),
-                ctx_.template arg<opv::INC, 4>(res_, 0, e2c_),
-                ctx_.template arg<opv::INC, 4>(res_, 1, e2c_));
-
-      ctx_.loop(RK1<Real>{}, "RK_1", cells_, ctx_.template arg<opv::READ, 4>(u_),
-                ctx_.template arg<opv::RW, 4>(res_), ctx_.template arg<opv::WRITE, 4>(utmp_),
-                ctx_.template arg_gbl<opv::READ>(&dt, 1));
-
-      ctx_.loop(ComputeFlux<Real>{params_}, "compute_flux", edges_,
-                ctx_.template arg<opv::READ, 4>(utmp_, 0, e2c_),
-                ctx_.template arg<opv::READ, 4>(utmp_, 1, e2c_),
-                ctx_.template arg<opv::READ, 4>(egeom_),
-                ctx_.template arg<opv::WRITE, 5>(flux_));
-
-      ctx_.loop(SpaceDisc<Real>{}, "space_disc", edges_,
-                ctx_.template arg<opv::READ, 5>(flux_),
-                ctx_.template arg<opv::READ, 4>(egeom_),
-                ctx_.template arg<opv::READ, 2>(cgeom_, 0, e2c_),
-                ctx_.template arg<opv::READ, 2>(cgeom_, 1, e2c_),
-                ctx_.template arg<opv::INC, 4>(res_, 0, e2c_),
-                ctx_.template arg<opv::INC, 4>(res_, 1, e2c_));
-
-      ctx_.loop(RK2<Real>{}, "RK_2", cells_, ctx_.template arg<opv::READ, 4>(uold_),
-                ctx_.template arg<opv::READ, 4>(utmp_), ctx_.template arg<opv::RW, 4>(res_),
-                ctx_.template arg<opv::WRITE, 4>(u_), ctx_.template arg_gbl<opv::READ>(&dt, 1));
-    }
+    for (int step = 0; step < nsteps; ++step) step_();
   }
 
   /// Fetch the state vector in global cell order.
@@ -145,11 +103,83 @@ class Volna {
   Params<Real> params_;
   aligned_vector<double> centroids_;
   double dt_ = 0.0;
+  Real dtmin_ = Real(0);  ///< numerical_flux's MIN reduction target
+  Real dt_arg_ = Real(0); ///< RK_1/RK_2's READ global, set from dtmin_
 
   typename Ctx::SetHandle cells_{}, edges_{};
   typename Ctx::MapHandle e2c_{}, c2e_{};
   typename Ctx::template DatHandle<Real> u_{}, uold_{}, utmp_{}, res_{}, cdt_{}, egeom_{},
       cgeom_{}, flux_{};
+
+  /// One persistent handle per kernel call site (compute_flux and
+  /// space_disc each appear twice in a step, so twice here). Arguments
+  /// carry their compile-time arity (u/uold/utmp/res/egeom:4, flux:5,
+  /// cgeom:2, cdt:1) so every gather/scatter unrolls at instantiation time
+  /// (docs/API.md, "compile-time Dim").
+  auto make_loops() {
+    auto space_disc = [this] {
+      return ctx_.make_loop(SpaceDisc<Real>{}, "space_disc", edges_,
+                            ctx_.template arg<opv::READ, 5>(flux_),
+                            ctx_.template arg<opv::READ, 4>(egeom_),
+                            ctx_.template arg<opv::READ, 2>(cgeom_, 0, e2c_),
+                            ctx_.template arg<opv::READ, 2>(cgeom_, 1, e2c_),
+                            ctx_.template arg<opv::INC, 4>(res_, 0, e2c_),
+                            ctx_.template arg<opv::INC, 4>(res_, 1, e2c_));
+    };
+    return std::make_tuple(
+        ctx_.make_loop(Sim1<Real>{}, "sim_1", cells_, ctx_.template arg<opv::READ, 4>(u_),
+                       ctx_.template arg<opv::WRITE, 4>(uold_)),
+        ctx_.make_loop(ComputeFlux<Real>{params_}, "compute_flux", edges_,
+                       ctx_.template arg<opv::READ, 4>(u_, 0, e2c_),
+                       ctx_.template arg<opv::READ, 4>(u_, 1, e2c_),
+                       ctx_.template arg<opv::READ, 4>(egeom_),
+                       ctx_.template arg<opv::WRITE, 5>(flux_)),
+        ctx_.make_loop(NumericalFlux<Real>{params_}, "numerical_flux", cells_,
+                       ctx_.template arg<opv::READ, 5>(flux_, 0, c2e_),
+                       ctx_.template arg<opv::READ, 5>(flux_, 1, c2e_),
+                       ctx_.template arg<opv::READ, 5>(flux_, 2, c2e_),
+                       ctx_.template arg<opv::READ, 2>(cgeom_),
+                       ctx_.template arg<opv::WRITE, 1>(cdt_),
+                       ctx_.template arg_gbl<opv::MIN>(&dtmin_, 1)),
+        space_disc(),
+        ctx_.make_loop(RK1<Real>{}, "RK_1", cells_, ctx_.template arg<opv::READ, 4>(u_),
+                       ctx_.template arg<opv::RW, 4>(res_),
+                       ctx_.template arg<opv::WRITE, 4>(utmp_),
+                       ctx_.template arg_gbl<opv::READ>(&dt_arg_, 1)),
+        ctx_.make_loop(ComputeFlux<Real>{params_}, "compute_flux", edges_,
+                       ctx_.template arg<opv::READ, 4>(utmp_, 0, e2c_),
+                       ctx_.template arg<opv::READ, 4>(utmp_, 1, e2c_),
+                       ctx_.template arg<opv::READ, 4>(egeom_),
+                       ctx_.template arg<opv::WRITE, 5>(flux_)),
+        space_disc(),
+        ctx_.make_loop(RK2<Real>{}, "RK_2", cells_, ctx_.template arg<opv::READ, 4>(uold_),
+                       ctx_.template arg<opv::READ, 4>(utmp_),
+                       ctx_.template arg<opv::RW, 4>(res_),
+                       ctx_.template arg<opv::WRITE, 4>(u_),
+                       ctx_.template arg_gbl<opv::READ>(&dt_arg_, 1)));
+  }
+
+  /// Pin the handles in a type-erased per-step closure (see the Airfoil
+  /// driver for the pattern).
+  void build_loops() {
+    auto loops = std::make_shared<decltype(make_loops())>(make_loops());
+    step_ = [this, loops] {
+      auto& [sim1, flux_u, numflux, space1, rk1, flux_ut, space2, rk2] = *loops;
+      sim1.run();
+      flux_u.run();
+      dtmin_ = std::numeric_limits<Real>::max();
+      numflux.run();
+      dt_ = static_cast<double>(dtmin_);
+      dt_arg_ = dtmin_;
+      space1.run();
+      rk1.run();
+      flux_ut.run();
+      space2.run();
+      rk2.run();
+    };
+  }
+
+  std::function<void()> step_;  ///< one timestep over the handles
 };
 
 /// Total water volume sum(h*area): conserved exactly by the scheme (up to

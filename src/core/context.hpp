@@ -15,6 +15,30 @@
 
 namespace opv {
 
+class LocalCtx;
+
+/// Context-bound persistent loop handle: an opv::Loop whose run() executes
+/// under the owning LocalCtx's CURRENT configuration — the local analog of
+/// dist::Loop::run(), so drivers templated over the context concept can
+/// hold `auto loop = ctx.make_loop(...)` and call loop.run() each timestep
+/// on either context.
+template <class Kernel, class... Args>
+class CtxLoop {
+ public:
+  CtxLoop(LocalCtx& ctx, Kernel kernel, const char* name, const Set& set, Args... args)
+      : ctx_(&ctx), loop_(std::move(kernel), name, set, args...) {}
+
+  /// Execute under the context's current configuration.
+  void run();
+
+  /// The underlying engine handle (plan/tuner introspection).
+  [[nodiscard]] Loop<Kernel, Args...>& inner() { return loop_; }
+
+ private:
+  LocalCtx* ctx_;
+  Loop<Kernel, Args...> loop_;
+};
+
 class LocalCtx {
  public:
   using SetHandle = Set*;
@@ -91,6 +115,15 @@ class LocalCtx {
     par_loop(std::move(k), name, *set, cfg_, args...);
   }
 
+  /// Build a persistent loop handle bound to this context (the Context-
+  /// concept spelling shared with DistCtx::make_loop): conflict analysis at
+  /// construction, plan and stats slot pinned on first run, and run()
+  /// follows the context's current configuration.
+  template <class Kernel, class... Args>
+  CtxLoop<Kernel, Args...> make_loop(Kernel k, const char* name, SetHandle set, Args... args) {
+    return CtxLoop<Kernel, Args...>(*this, std::move(k), name, *set, args...);
+  }
+
   /// Copy a dataset's owned values into a global-order array.
   template <class T>
   void fetch(DatHandle<T> d, aligned_vector<T>& out) const {
@@ -103,5 +136,10 @@ class LocalCtx {
   std::deque<std::unique_ptr<Map>> maps_;
   std::deque<std::unique_ptr<DatBase>> dats_;
 };
+
+template <class Kernel, class... Args>
+void CtxLoop<Kernel, Args...>::run() {
+  loop_.run(ctx_->config());
+}
 
 }  // namespace opv

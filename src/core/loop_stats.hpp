@@ -24,6 +24,15 @@ struct LoopRecord {
   double rank_max_seconds = 0.0;   ///< sum over calls of the slowest rank
   double rank_min_seconds = 0.0;   ///< sum over calls of the fastest rank
   double rank_mean_seconds = 0.0;  ///< sum over calls of the rank mean
+
+  // Halo-exchange accounting (distributed loops; paper section 6.5): wall
+  // time spent moving halo bytes for this loop (begin+wait of the
+  // non-blocking pair, or the blocking exchange) and the number of scalar
+  // values moved. Both accumulate across calls; `seconds` above is compute
+  // only, so exchange_seconds / (seconds + exchange_seconds) is the loop's
+  // communication fraction.
+  double exchange_seconds = 0.0;
+  std::int64_t exchanged_values = 0;
 };
 
 class StatsRegistry {
@@ -43,6 +52,11 @@ class StatsRegistry {
   /// max/min/mean are summed across calls so max/mean exposes the aggregate
   /// partition imbalance (perf::rank_imbalance).
   void record_ranks(LoopRecord& slot, const double* seconds, int nranks);
+
+  /// Accumulate one distributed call's halo-exchange wall time and moved
+  /// scalar-value count into a slot (perf::loop_stats_table's exchange
+  /// column).
+  void record_exchange(LoopRecord& slot, double seconds, std::int64_t values);
 
   /// Accumulate by name (one-shot callers; does the lookup every time).
   void record(const std::string& loop, double seconds, std::int64_t elements);

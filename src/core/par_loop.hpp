@@ -37,6 +37,7 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 #include <memory>
@@ -585,10 +586,13 @@ void exec_omp_colored(Kernel& k, const Tuple& proto, const Plan& plan, int nthre
   }
 }
 
-/// AutoVec with increments: iterate independent (same-color) elements via
-/// the permutation and ask the compiler to vectorize.
+/// Scalar execution over a FullPermute schedule. With `simd_hint` this is
+/// the paper's auto-vectorization experiment (iterate independent
+/// same-color elements and ask the compiler to vectorize); without it, the
+/// plain scalar permuted path used for subset (slice) execution.
 template <class Kernel, class Tuple>
-void exec_autovec_fullperm(Kernel& k, const Tuple& proto, const Plan& plan, int nthreads) {
+void exec_perm_fullperm(Kernel& k, const Tuple& proto, const Plan& plan, int nthreads,
+                        bool simd_hint) {
   constexpr auto seq = std::make_index_sequence<std::tuple_size_v<Tuple>>{};
 #pragma omp parallel num_threads(nthreads)
   {
@@ -602,7 +606,8 @@ void exec_autovec_fullperm(Kernel& k, const Tuple& proto, const Plan& plan, int 
       const idx_t chunk = (span + nth - 1) / nth;
       const idx_t b = std::min<idx_t>(hi, lo + tid * chunk);
       const idx_t e = std::min<idx_t>(hi, b + chunk);
-      run_perm_simd_hint(k, t, plan.permute.data(), b, e, seq);
+      if (simd_hint) run_perm_simd_hint(k, t, plan.permute.data(), b, e, seq);
+      else run_perm(k, t, plan.permute.data(), b, e, seq);
 #pragma omp barrier
     }
 #pragma omp critical(opv_reduction)
@@ -610,8 +615,11 @@ void exec_autovec_fullperm(Kernel& k, const Tuple& proto, const Plan& plan, int 
   }
 }
 
+/// Scalar execution over a BlockPermute schedule (see exec_perm_fullperm
+/// for the simd_hint semantics).
 template <class Kernel, class Tuple>
-void exec_autovec_blockperm(Kernel& k, const Tuple& proto, const Plan& plan, int nthreads) {
+void exec_perm_blockperm(Kernel& k, const Tuple& proto, const Plan& plan, int nthreads,
+                         bool simd_hint) {
   constexpr auto seq = std::make_index_sequence<std::tuple_size_v<Tuple>>{};
 #pragma omp parallel num_threads(nthreads)
   {
@@ -624,10 +632,36 @@ void exec_autovec_blockperm(Kernel& k, const Tuple& proto, const Plan& plan, int
       for (idx_t bi = 0; bi < nb; ++bi) {
         const idx_t b = blocks[bi];
         const idx_t* off = plan.bcol_off.data() + plan.bcol_base[b];
-        for (int c = 0; c < plan.block_nelem_colors[b]; ++c)
-          run_perm_simd_hint(k, t, plan.block_permute.data(), off[c], off[c + 1], seq);
+        for (int c = 0; c < plan.block_nelem_colors[b]; ++c) {
+          if (simd_hint)
+            run_perm_simd_hint(k, t, plan.block_permute.data(), off[c], off[c + 1], seq);
+          else
+            run_perm(k, t, plan.block_permute.data(), off[c], off[c + 1], seq);
+        }
       }
     }
+#pragma omp critical(opv_reduction)
+    thread_merge_all(t, seq);
+  }
+}
+
+/// Race-free permuted scalar execution (subset of a loop with no indirect
+/// conflicts): threads sweep chunks of the element-id list directly.
+template <class Kernel, class Tuple>
+void exec_perm_direct(Kernel& k, const Tuple& proto, const idx_t* perm, idx_t n, int nthreads,
+                      bool simd_hint) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<Tuple>>{};
+#pragma omp parallel num_threads(nthreads)
+  {
+    Tuple t = proto;
+    thread_init_all(t, seq);
+    const int tid = omp_get_thread_num();
+    const int nth = omp_get_num_threads();
+    const idx_t chunk = (n + nth - 1) / nth;
+    const idx_t lo = std::min<idx_t>(n, tid * chunk);
+    const idx_t hi = std::min<idx_t>(n, lo + chunk);
+    if (simd_hint) run_perm_simd_hint(k, t, perm, lo, hi, seq);
+    else run_perm(k, t, perm, lo, hi, seq);
 #pragma omp critical(opv_reduction)
     thread_merge_all(t, seq);
   }
@@ -660,6 +694,42 @@ void exec_simd_direct(Kernel& k, const STuple& sproto, const VTuple& vproto, idx
       vflush_all(vt, i, /*hw=*/false, seq);
     }
     if (tid == nth - 1) run_range(k, st, nvec * W, n, seq);  // post-sweep
+#pragma omp critical(opv_reduction)
+    {
+      vthread_merge_all(vt, seq);
+      thread_merge_all(st, seq);
+    }
+  }
+}
+
+/// Race-free permuted vector execution (subset of a loop with no indirect
+/// conflicts): W-wide chunks of the element-id list are gathered, computed
+/// and scattered per lane (element ids are distinct, so direct writes are
+/// safe); the ragged tail runs scalar.
+template <int W, class Kernel, class STuple, class VTuple>
+void exec_simd_perm_direct(Kernel& k, const STuple& sproto, const VTuple& vproto,
+                           const idx_t* perm, idx_t n, int nthreads) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<STuple>>{};
+  using IV = simd::Vec<std::int32_t, W>;
+#pragma omp parallel num_threads(nthreads)
+  {
+    STuple st = sproto;
+    VTuple vt = vproto;
+    thread_init_all(st, seq);
+    vthread_init_all(vt, seq);
+    const int tid = omp_get_thread_num();
+    const int nth = omp_get_num_threads();
+    const idx_t nvec = n / W;
+    const idx_t per = (nvec + nth - 1) / nth;
+    const idx_t lo = std::min<idx_t>(nvec, tid * per) * W;
+    const idx_t hi = std::min<idx_t>(nvec, (tid * per) + per) * W;
+    for (idx_t j = lo; j < hi; j += W) {
+      const IV eidx = IV::loadu(perm + j);
+      vload_perm_all(vt, eidx, seq);
+      vcall(k, vt, seq);
+      vflush_perm_all(vt, /*hw=*/false, seq);
+    }
+    if (tid == nth - 1) run_perm(k, st, perm, nvec * W, n, seq);  // post-sweep
 #pragma omp critical(opv_reduction)
     {
       vthread_merge_all(vt, seq);
@@ -894,9 +964,9 @@ class Loop {
         } else {
           const Plan& plan = plan_for(*strat, bs);
           if (*strat == ColoringStrategy::FullPermute)
-            detail::exec_autovec_fullperm(kernel_, proto, plan, nth);
+            detail::exec_perm_fullperm(kernel_, proto, plan, nth, /*simd_hint=*/true);
           else
-            detail::exec_autovec_blockperm(kernel_, proto, plan, nth);
+            detail::exec_perm_blockperm(kernel_, proto, plan, nth, /*simd_hint=*/true);
         }
         break;
       }
@@ -926,6 +996,100 @@ class Loop {
 
   /// Execute under the process-wide default configuration.
   void run() { run(default_config()); }
+
+  /// A pinned element-index view of this loop's iteration space, executable
+  /// with the loop's kernel instantiations and a colored schedule derived
+  /// from the same conflict analysis (paper section 6.5's interior/boundary
+  /// phases: the distributed layer runs one Slice per phase). The schedule
+  /// (a subset coloring plan for loops with conflicts) is built lazily on
+  /// the first run_slice and pinned for the Slice's lifetime.
+  class Slice {
+   public:
+    Slice() = default;
+    [[nodiscard]] idx_t size() const { return static_cast<idx_t>(elems_.size()); }
+    [[nodiscard]] bool empty() const { return elems_.empty(); }
+    [[nodiscard]] const aligned_vector<idx_t>& elems() const { return elems_; }
+    /// The pinned subset plan (nullptr until a conflicted run builds it).
+    [[nodiscard]] const Plan* plan() const { return plan_.get(); }
+
+   private:
+    friend class Loop;
+    aligned_vector<idx_t> elems_;
+    std::shared_ptr<const Plan> plan_;
+    int block_size_ = -1;
+    ColoringStrategy strat_ = ColoringStrategy::TwoLevel;
+  };
+
+  /// Pin a subset of this loop's iteration space for phased execution.
+  /// Element ids must lie inside the range run() would execute — except
+  /// that loops combining indirect increments with a global reduction are
+  /// capped at the owned range: halo elements would contribute to the
+  /// reduction on every executing rank (the slice analog of run()'s
+  /// exec_size==size guard, enforced per element instead of per loop).
+  [[nodiscard]] Slice make_slice(aligned_vector<idx_t> elems) const {
+    const idx_t limit =
+        has_inc && !has_gbl_reduction ? set_->exec_size() : set_->size();
+    for (idx_t e : elems)
+      OPV_REQUIRE(e >= 0 && e < limit, "loop '" << name_ << "': slice element " << e
+                                                << " outside the executed range [0," << limit
+                                                << ")");
+    Slice s;
+    s.elems_ = std::move(elems);
+    return s;
+  }
+
+  /// Execute only the slice's elements. Race-handling mirrors run(): loops
+  /// with indirect conflicts go through a subset coloring plan (BlockPermute
+  /// by default, FullPermute if cfg asks for it — TwoLevel has no contiguous
+  /// blocks to offer a subset, and the Simt queue model likewise executes
+  /// its slice through the BlockPermute schedule). Global reductions
+  /// init/merge per call, so running a loop as interior + boundary slices
+  /// accumulates exactly like one full run. Stats are the caller's business
+  /// (a phased caller owns the aggregate timing), so nothing is recorded.
+  void run_slice(const ExecConfig& cfg, Slice& s) {
+    const idx_t n = s.size();
+    if (n == 0) return;
+    const idx_t* perm = s.elems_.data();
+    constexpr auto iseq = std::index_sequence_for<Args...>{};
+    const int nth = detail::resolve_threads(cfg.nthreads);
+    switch (cfg.backend) {
+      case Backend::Seq: {
+        auto t = std::apply([](const auto&... a) { return std::make_tuple(detail::bind(a)...); },
+                            args_);
+        detail::thread_init_all(t, iseq);
+        detail::run_perm(kernel_, t, perm, 0, n, iseq);
+        detail::thread_merge_all(t, iseq);
+        break;
+      }
+      case Backend::OpenMP:
+      case Backend::AutoVec: {
+        const bool hint = cfg.backend == Backend::AutoVec;
+        auto proto = std::apply(
+            [](const auto&... a) { return std::make_tuple(detail::bind(a)...); }, args_);
+        if constexpr (!has_inc) {
+          detail::exec_perm_direct(kernel_, proto, perm, n, nth, hint);
+        } else {
+          const Plan& plan = slice_plan(s, cfg);
+          if (plan.strategy == ColoringStrategy::FullPermute)
+            detail::exec_perm_fullperm(kernel_, proto, plan, nth, hint);
+          else
+            detail::exec_perm_blockperm(kernel_, proto, plan, nth, hint);
+        }
+        break;
+      }
+      case Backend::Simd:
+      case Backend::Simt: {
+        if constexpr (detail::vector_callable<Kernel, Args...>) {
+          run_slice_vectorized(cfg, s, n, nth);
+        } else {
+          OPV_REQUIRE(false, "loop '" << name_
+                                      << "': kernel has no vector instantiation (scalar-only "
+                                         "callable); use Seq/OpenMP/AutoVec");
+        }
+        break;
+      }
+    }
+  }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Set& set() const { return *set_; }
@@ -981,6 +1145,59 @@ class Loop {
       s.block_size = block_size;
     }
     return *s.plan;
+  }
+
+  /// Subset plan for a Slice, built once and pinned (slices are per-handle
+  /// state, so they bypass the process-wide PlanCache). Subsets have no
+  /// contiguous blocks, so TwoLevel/Simt requests resolve to BlockPermute —
+  /// the same block-color / element-color structure, iterated through a
+  /// permutation. kAuto block sizes fall back to the default: the online
+  /// tuner measures full runs, and varying a pinned phase schedule per call
+  /// would make overlapped and blocking executions diverge.
+  const Plan& slice_plan(Slice& s, const ExecConfig& cfg) {
+    const ColoringStrategy strat = cfg.backend != Backend::Simt &&
+                                           cfg.coloring == ColoringStrategy::FullPermute
+                                       ? ColoringStrategy::FullPermute
+                                       : ColoringStrategy::BlockPermute;
+    const int bs =
+        cfg.block_size != ExecConfig::kAuto ? cfg.block_size : ExecConfig::kDefaultBlockSize;
+    if (!s.plan_ || s.block_size_ != bs || s.strat_ != strat) {
+      std::vector<IncRef> sorted = conflicts_;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      s.plan_ = build_plan(s.size(), sorted, bs, strat, s.elems_.data());
+      s.block_size_ = bs;
+      s.strat_ = strat;
+    }
+    return *s.plan_;
+  }
+
+  /// Vector-width dispatch for slice execution (mirrors run_vectorized).
+  void run_slice_vectorized(const ExecConfig& cfg, Slice& s, idx_t n, int nth) {
+    using Real = typename detail::first_real<Args...>::type;
+    auto dispatch = [&]<int W>() {
+      auto sproto = std::apply(
+          [](const auto&... a) { return std::make_tuple(detail::bind(a)...); }, args_);
+      auto vproto = std::apply(
+          [](const auto&... a) { return std::make_tuple(detail::vbind<W>(a)...); }, args_);
+      if constexpr (!has_inc) {
+        detail::exec_simd_perm_direct<W>(kernel_, sproto, vproto, s.elems_.data(), n, nth);
+      } else {
+        const Plan& plan = slice_plan(s, cfg);
+        if (plan.strategy == ColoringStrategy::FullPermute)
+          detail::exec_simd_fullperm<W>(kernel_, sproto, vproto, plan, nth);
+        else
+          detail::exec_simd_blockperm<W>(kernel_, sproto, vproto, plan, nth);
+      }
+    };
+    const int w = cfg.simd_width > 0 ? cfg.simd_width : simd::max_lanes<Real>;
+    switch (w) {
+      case 4: dispatch.template operator()<4>(); break;
+      case 8: dispatch.template operator()<8>(); break;
+      case 16: dispatch.template operator()<16>(); break;
+      default:
+        OPV_REQUIRE(false, "unsupported simd width " << w << " (use 4, 8 or 16)");
+    }
   }
 
   /// Vector-width dispatch: instantiate the engine for the requested W.

@@ -90,8 +90,10 @@ struct BlockColorer {
       : work(static_cast<std::size_t>(nslots), 0), epoch(static_cast<std::size_t>(nslots), -1) {}
 
   /// Colors elements [begin,end); writes into elem_color; returns #colors.
+  /// `subset` maps positions to element ids (nullptr = identity).
   int color_block(idx_t begin, idx_t end, const std::vector<IncRef>& conflicts,
-                  const SlotSpace& space, aligned_vector<std::int32_t>& elem_color) {
+                  const SlotSpace& space, aligned_vector<std::int32_t>& elem_color,
+                  const idx_t* subset) {
     int ncolors = 0;
     int base = 0;
     idx_t remaining = end - begin;
@@ -102,7 +104,7 @@ struct BlockColorer {
         if (elem_color[e] >= 0) continue;
         std::uint32_t mask = 0;
         for (const IncRef& c : conflicts) {
-          const idx_t s = space.slot(c, e);
+          const idx_t s = space.slot(c, subset ? subset[e] : e);
           if (epoch[s] == cur_epoch) mask |= work[s];
         }
         const std::uint32_t avail = ~mask;
@@ -111,7 +113,7 @@ struct BlockColorer {
         elem_color[e] = base + bit;
         ncolors = std::max(ncolors, elem_color[e] + 1);
         for (const IncRef& c : conflicts) {
-          const idx_t s = space.slot(c, e);
+          const idx_t s = space.slot(c, subset ? subset[e] : e);
           if (epoch[s] != cur_epoch) {
             epoch[s] = cur_epoch;
             work[s] = 0;
@@ -130,7 +132,8 @@ struct BlockColorer {
 }  // namespace
 
 std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& conflicts,
-                                       int block_size, ColoringStrategy strategy) {
+                                       int block_size, ColoringStrategy strategy,
+                                       const idx_t* subset) {
   OPV_REQUIRE(block_size >= 16 && block_size % 16 == 0,
               "block size must be a positive multiple of 16, got " << block_size);
   auto plan = std::make_shared<Plan>();
@@ -141,6 +144,9 @@ std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& 
   p.nblocks = (nelems + block_size - 1) / block_size;
 
   const SlotSpace space(conflicts);
+  // Position -> element id (identity without a subset). Coloring runs in
+  // position space; conflict slots are resolved through the actual ids.
+  const auto elem_of = [subset](idx_t e) { return subset ? subset[e] : e; };
 
   // ---- block coloring (TwoLevel & BlockPermute; trivial without conflicts)
   if (conflicts.empty() || strategy == ColoringStrategy::FullPermute) {
@@ -149,7 +155,7 @@ std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& 
   } else {
     auto block_slots = [&](idx_t b, std::vector<idx_t>& out) {
       for (idx_t e = p.block_begin(b); e < p.block_end(b); ++e)
-        for (const IncRef& c : conflicts) out.push_back(space.slot(c, e));
+        for (const IncRef& c : conflicts) out.push_back(space.slot(c, elem_of(e)));
     };
     p.nblock_colors = greedy_color(p.nblocks, space.total(), block_slots, p.block_color);
   }
@@ -163,8 +169,8 @@ std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& 
     if (!conflicts.empty()) {
       BlockColorer bc(space.total());
       for (idx_t b = 0; b < p.nblocks; ++b) {
-        const int nc =
-            bc.color_block(p.block_begin(b), p.block_end(b), conflicts, space, p.elem_color);
+        const int nc = bc.color_block(p.block_begin(b), p.block_end(b), conflicts, space,
+                                      p.elem_color, subset);
         p.block_nelem_colors[b] = nc;
         p.max_elem_colors = std::max(p.max_elem_colors, nc);
       }
@@ -181,7 +187,7 @@ std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& 
       p.nglobal_colors = nelems > 0 ? 1 : 0;
     } else {
       auto elem_slots = [&](idx_t e, std::vector<idx_t>& out) {
-        for (const IncRef& c : conflicts) out.push_back(space.slot(c, e));
+        for (const IncRef& c : conflicts) out.push_back(space.slot(c, elem_of(e)));
       };
       p.nglobal_colors = greedy_color(nelems, space.total(), elem_slots, gcolor);
     }
@@ -212,6 +218,12 @@ std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& 
       std::vector<idx_t> cursor(off, off + nc);
       for (idx_t e = begin; e < end; ++e) p.block_permute[cursor[p.elem_color[e]]++] = e;
     }
+  }
+
+  // ---- subset translation: permutations carry element ids, not positions --
+  if (subset) {
+    for (idx_t& e : p.permute) e = subset[e];
+    for (idx_t& e : p.block_permute) e = subset[e];
   }
 
   return plan;

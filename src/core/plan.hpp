@@ -81,8 +81,17 @@ struct Plan {
 /// Build a plan from scratch (exposed for tests; normal use goes through
 /// PlanCache). `conflicts` lists every (map, idx) the loop increments
 /// through; an empty list yields a trivially parallel plan (one color).
+///
+/// `subset`, when non-null, points at `nelems` element ids: the plan then
+/// schedules exactly those elements (conflict slots are looked up through
+/// the subset ids, and the produced `permute`/`block_permute` arrays contain
+/// subset ids, so the permuted executors run them unchanged). Blocks and
+/// `elem_color` stay in subset-position space — subset plans are only valid
+/// for the permuted strategies (FullPermute/BlockPermute), which is what
+/// opv::Loop's slice execution uses (phased interior/boundary runs).
 std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& conflicts,
-                                       int block_size, ColoringStrategy strategy);
+                                       int block_size, ColoringStrategy strategy,
+                                       const idx_t* subset = nullptr);
 
 /// Process-wide plan cache keyed by (set, conflicts, block size, strategy).
 /// Plans are immutable and shared; construction happens once per key.

@@ -71,6 +71,12 @@ void StatsRegistry::record_ranks(LoopRecord& slot, const double* seconds, int nr
   slot.rank_mean_seconds += sum / nranks;
 }
 
+void StatsRegistry::record_exchange(LoopRecord& slot, double seconds, std::int64_t values) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  slot.exchange_seconds += seconds;
+  slot.exchanged_values += values;
+}
+
 void StatsRegistry::record(const std::string& loop, double seconds, std::int64_t elements) {
   record(slot(loop), seconds, elements);
 }

@@ -19,6 +19,11 @@
 //     modified the dataset (exchanges are recorded as "<loop>/halo" in the
 //     stats registry). The bytes move through a pluggable Exchanger
 //     (exchange.hpp); the default is the in-process MemcpyExchanger;
+//   * interior/boundary phased execution (paper section 6.5): loops whose
+//     exchange can legally overlap compute run begin_exchange -> interior
+//     elements -> wait_exchange -> boundary elements, hiding exchange
+//     latency behind the halo-independent majority of each rank's work
+//     (set_exchange_mode selects Overlap / Phased / Blocking);
 //   * cross-rank global reductions merged after the rank barrier.
 #pragma once
 
@@ -253,6 +258,15 @@ class DistCtx {
   }
   [[nodiscard]] Exchanger& exchanger() { return *exchanger_; }
 
+  /// How loops schedule their exchange relative to compute (paper section
+  /// 6.5). The default is Overlap: loops whose ExchangePlan permits it run
+  /// begin -> interior -> wait -> boundary; loops that cannot legally
+  /// overlap always fall back to Blocking regardless of this setting.
+  /// Phased keeps the two-phase schedule but exchanges up front — the
+  /// bitwise-identical control for measuring what the overlap buys.
+  void set_exchange_mode(ExchangeMode m) { exchange_mode_ = m; }
+  [[nodiscard]] ExchangeMode exchange_mode() const { return exchange_mode_; }
+
   // ---- typed argument builders --------------------------------------------
 
   template <AccessMode A, int Dim = kDynDim, class T>
@@ -302,6 +316,14 @@ class DistCtx {
   /// loop.hpp.
   template <class Kernel, class... DArgs>
   void loop(Kernel kernel, const char* name, SetHandle set, DArgs... dargs);
+
+  /// Build a persistent dist::Loop handle (the Context-concept spelling
+  /// shared with LocalCtx::make_loop, so drivers templated over the context
+  /// construct their handles once and run() them every timestep). Defined
+  /// in loop.hpp.
+  template <class Kernel, class... DArgs>
+  Loop<Kernel, DArgs...> make_loop(Kernel kernel, const char* name, SetHandle set,
+                                   DArgs... dargs);
 
   /// Copy a dataset's owned values into a global-order array.
   template <class T>
@@ -389,6 +411,30 @@ class DistCtx {
     return exchanged;
   }
 
+  /// Start a non-blocking refresh of the listed datasets' halos (dirty ones
+  /// only), appending each started dat to `pending` for the matching
+  /// wait_halos call.
+  void begin_halos(const std::vector<int>& dat_ids, std::vector<int>& pending) {
+    for (int id : dat_ids) {
+      DatEntryBase& d = *dats_[id];
+      if (!d.dirty) continue;
+      exchanger_->begin(*part_, d.view);
+      pending.push_back(id);
+    }
+  }
+
+  /// Complete the refreshes started by begin_halos; clears the dirty bits
+  /// and returns the number of scalar values moved.
+  std::int64_t wait_halos(const std::vector<int>& pending) {
+    std::int64_t exchanged = 0;
+    for (int id : pending) {
+      DatEntryBase& d = *dats_[id];
+      exchanged += exchanger_->wait(*part_, d.view);
+      d.dirty = false;
+    }
+    return exchanged;
+  }
+
   void mark_dirty(const std::vector<int>& dat_ids) {
     for (int id : dat_ids) dats_[id]->dirty = true;
   }
@@ -406,6 +452,7 @@ class DistCtx {
   std::vector<std::unique_ptr<DatEntryBase>> dats_;
   std::unique_ptr<Partitioned> part_;
   std::unique_ptr<Exchanger> exchanger_ = std::make_unique<MemcpyExchanger>();
+  ExchangeMode exchange_mode_ = ExchangeMode::Overlap;
   bool finalized_ = false;
 };
 

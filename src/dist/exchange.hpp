@@ -2,19 +2,31 @@
 //
 // The paper's MPI results (section 6.5) hinge on making halo exchange cheap
 // and overlappable; the first step is separating WHAT a loop exchanges from
-// HOW the bytes move. A dist::Loop pins an ExchangePlan at construction
-// (which dats it reads stale, which it dirties); all traffic then flows
-// through the context's Exchanger. The in-tree transport is MemcpyExchanger
-// (every rank replica lives in one address space, so halo slots are filled
-// by direct memcpy from the owner); a real MPI transport implements the same
-// two-method interface and drops in via DistCtx::set_exchanger without
-// touching the loop API.
+// HOW the bytes move, the second is splitting WHEN: a dist::Loop pins an
+// ExchangePlan at construction (which dats it reads stale, which it
+// dirties, and the per-rank interior/boundary element classification), and
+// all traffic flows through the context's Exchanger as a non-blocking
+// begin()/wait() pair so interior compute can run while the bytes move.
+// Blocking-only transports implement exchange() alone and inherit the
+// default adapter (begin = no-op, wait = exchange). In-tree transports:
+//   * MemcpyExchanger — every rank replica lives in one address space, so a
+//     halo slot is refreshed by direct memcpy from the owner;
+//   * StagedExchanger — packs per-neighbor send buffers at begin() and
+//     unpacks them into halo slots at wait(), the two-sided staging shape a
+//     real MPI transport (Isend/Irecv + Wait) needs; optionally does the
+//     copy on a background thread so the overlap is real.
+// A real MPI transport implements the same interface and drops in via
+// DistCtx::set_exchanger without touching the loop API.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <future>
+#include <unordered_map>
 #include <vector>
 
+#include "common/error.hpp"
 #include "dist/halo.hpp"
 
 namespace opv::dist {
@@ -31,6 +43,15 @@ struct DatHaloView {
   std::vector<unsigned char*> rank_base;  ///< per-rank replica base pointer
 };
 
+/// One rank's pinned interior/boundary classification (paper section 6.5):
+/// interior elements touch no halo slot through any indirect argument of
+/// the loop and may execute while an exchange is in flight; boundary
+/// elements may read or write halo slots and run only after wait().
+struct RankPhases {
+  aligned_vector<idx_t> interior;  ///< owned elements, halo-independent
+  aligned_vector<idx_t> boundary;  ///< owned remainder (+ execute halo)
+};
+
 /// A loop's pinned halo-exchange schedule, derived once at dist::Loop
 /// construction from the argument types (compile-time access modes) and the
 /// runtime dat identities:
@@ -38,11 +59,38 @@ struct DatHaloView {
 ///     reads always; direct reads/increments too when the loop redundantly
 ///     executes the import halo), refreshed before the run if dirty;
 ///   * write_dats — datasets the loop modifies, whose halo copies are
-///     invalidated after the run.
+///     invalidated after the run;
+///   * can_overlap / phases — whether the exchange may legally overlap
+///     interior compute, and the per-rank element classification that makes
+///     the overlap possible. can_overlap is false (and phases stays empty)
+///     when the loop has nothing to exchange, or when a dat appears in both
+///     lists: the transport may read owner values any time between begin()
+///     and wait(), so a loop writing what it reads stale must take the
+///     blocking path.
 struct ExchangePlan {
   std::vector<int> read_dats;
   std::vector<int> write_dats;
+  bool can_overlap = false;
+  std::vector<RankPhases> phases;  ///< per rank; empty unless can_overlap
 };
+
+/// How a dist::Loop schedules its halo exchange relative to compute.
+enum class ExchangeMode {
+  Blocking,  ///< exchange, then one contiguous full run (the classic path)
+  Phased,    ///< exchange, then interior slice, then boundary slice —
+             ///< the overlapped schedule with a blocking exchange (its
+             ///< bitwise-identical control)
+  Overlap,   ///< begin exchange, interior slice, wait, boundary slice
+};
+
+constexpr const char* exchange_mode_name(ExchangeMode m) {
+  switch (m) {
+    case ExchangeMode::Blocking: return "Blocking";
+    case ExchangeMode::Phased: return "Phased";
+    case ExchangeMode::Overlap: return "Overlap";
+  }
+  return "?";
+}
 
 /// Transport interface: refresh every halo slot of one dataset from its
 /// owning rank. Implementations are exchange mechanisms only — the dirty
@@ -52,9 +100,25 @@ class Exchanger {
  public:
   virtual ~Exchanger() = default;
 
-  /// Fill halo slots [nowned, ntotal) of `view`'s dat on every rank from the
-  /// owner replica; returns the number of scalar values copied.
+  /// Blocking: fill halo slots [nowned, ntotal) of `view`'s dat on every
+  /// rank from the owner replica; returns the number of scalar values
+  /// copied.
   virtual std::int64_t exchange(const Partitioned& part, const DatHaloView& view) = 0;
+
+  /// Non-blocking pair. Contract: every begin(view) is matched by exactly
+  /// one wait(view) before any consumer reads the halo slots; between the
+  /// two calls the transport may read owner slots and write halo slots of
+  /// the dat at any time. The default adapter keeps blocking-only
+  /// transports working: begin is a no-op and wait performs the blocking
+  /// exchange.
+  virtual void begin(const Partitioned& part, const DatHaloView& view) {
+    (void)part;
+    (void)view;
+  }
+  /// Complete the exchange started by begin(); returns values copied.
+  virtual std::int64_t wait(const Partitioned& part, const DatHaloView& view) {
+    return exchange(part, view);
+  }
 
   [[nodiscard]] virtual const char* name() const = 0;
 };
@@ -82,6 +146,144 @@ class MemcpyExchanger final : public Exchanger {
   }
 
   [[nodiscard]] const char* name() const override { return "memcpy"; }
+};
+
+/// Two-sided staging transport: begin() packs each destination rank's halo
+/// values into per-neighbor send buffers (halo slots grouped by owning
+/// rank — one contiguous run per (owner, destination) pair, exactly the
+/// message an MPI_Isend would carry) and wait() unpacks them into the halo
+/// slots. exchange() is begin()+wait(). With `async`, begin() hands the
+/// pack+unpack to a background task and wait() joins it, so the copy truly
+/// runs while interior compute proceeds — legal because an overlapping loop
+/// never writes a dat it reads stale (ExchangePlan::can_overlap) and its
+/// interior elements touch no halo slot.
+class StagedExchanger final : public Exchanger {
+ public:
+  explicit StagedExchanger(bool async = false) : async_(async) {}
+
+  void begin(const Partitioned& part, const DatHaloView& view) override {
+    Pending& p = pending_[view.dat];
+    OPV_REQUIRE(!p.active, "StagedExchanger: begin() without a matching wait() for dat "
+                               << view.dat);
+    p.active = true;
+    const Staging& st = staging(part, view.set);
+    auto job = [this, &part, view, &st, &p] { return transfer(part, view, st, p); };
+    if (async_) p.task = std::async(std::launch::async, job);
+    else p.copied = job();
+  }
+
+  std::int64_t wait(const Partitioned& part, const DatHaloView& view) override {
+    (void)part;
+    auto it = pending_.find(view.dat);
+    OPV_REQUIRE(it != pending_.end() && it->second.active,
+                "StagedExchanger: wait() without a matching begin() for dat " << view.dat);
+    Pending& p = it->second;
+    const std::int64_t copied = p.task.valid() ? p.task.get() : p.copied;
+    p.active = false;
+    return copied;
+  }
+
+  std::int64_t exchange(const Partitioned& part, const DatHaloView& view) override {
+    begin(part, view);
+    return wait(part, view);
+  }
+
+  [[nodiscard]] const char* name() const override { return async_ ? "staged-async" : "staged"; }
+
+  /// Number of point-to-point messages one exchange of a dat on `set`
+  /// would need (the (owner, destination) pairs with a non-empty halo run).
+  [[nodiscard]] int message_count(const Partitioned& part, int set) {
+    return staging(part, set).nmessages;
+  }
+
+ private:
+  /// Pinned per-set pack order: for each destination rank, its halo slot
+  /// indices grouped by owning rank (ascending), with one run per owner.
+  struct Staging {
+    struct Dest {
+      aligned_vector<idx_t> order;    ///< halo slot indices, grouped by owner
+      std::vector<idx_t> run_offset;  ///< per-owner run bounds into `order`
+      std::vector<int> run_owner;     ///< owning rank of each run
+    };
+    std::vector<Dest> dest;  ///< per destination rank
+    int nmessages = 0;
+  };
+
+  struct Pending {
+    bool active = false;
+    std::int64_t copied = 0;
+    std::vector<unsigned char> buf;  ///< packed send data, all destinations
+    std::future<std::int64_t> task;
+  };
+
+  const Staging& staging(const Partitioned& part, int set) {
+    auto it = staging_.find(set);
+    if (it != staging_.end()) return it->second;
+    Staging st;
+    st.dest.resize(static_cast<std::size_t>(part.nranks()));
+    for (int r = 0; r < part.nranks(); ++r) {
+      const LocalLayout& L = part.layout(r, set);
+      const idx_t nhalo = L.ntotal - L.nowned;
+      Staging::Dest& d = st.dest[static_cast<std::size_t>(r)];
+      d.order.resize(static_cast<std::size_t>(nhalo));
+      for (idx_t i = 0; i < nhalo; ++i) d.order[i] = i;
+      std::stable_sort(d.order.begin(), d.order.end(),
+                       [&](idx_t a, idx_t b) { return L.src_rank[a] < L.src_rank[b]; });
+      for (idx_t j = 0; j < nhalo; ++j) {
+        const int owner = L.src_rank[d.order[j]];
+        if (d.run_owner.empty() || d.run_owner.back() != owner) {
+          d.run_owner.push_back(owner);
+          d.run_offset.push_back(j);
+          ++st.nmessages;
+        }
+      }
+      d.run_offset.push_back(nhalo);
+    }
+    return staging_.emplace(set, std::move(st)).first->second;
+  }
+
+  /// Pack every (owner -> destination) message, then unpack into the halo
+  /// slots — the Isend/Irecv payload round-trip, collapsed in-process.
+  std::int64_t transfer(const Partitioned& part, const DatHaloView& view, const Staging& st,
+                        Pending& p) {
+    const std::size_t stride = view.value_bytes * static_cast<std::size_t>(view.dim);
+    std::size_t total = 0;
+    for (const auto& d : st.dest) total += d.order.size() * stride;
+    p.buf.resize(total);
+
+    std::size_t off = 0;
+    for (int r = 0; r < part.nranks(); ++r) {  // pack (the send side)
+      const LocalLayout& L = part.layout(r, view.set);
+      const Staging::Dest& d = st.dest[static_cast<std::size_t>(r)];
+      for (idx_t j = 0; j < static_cast<idx_t>(d.order.size()); ++j) {
+        const idx_t i = d.order[j];
+        const unsigned char* src =
+            view.rank_base[static_cast<std::size_t>(L.src_rank[i])] +
+            static_cast<std::size_t>(L.src_local[i]) * stride;
+        std::memcpy(p.buf.data() + off, src, stride);
+        off += stride;
+      }
+    }
+
+    std::int64_t copied = 0;
+    off = 0;
+    for (int r = 0; r < part.nranks(); ++r) {  // unpack (the receive side)
+      const LocalLayout& L = part.layout(r, view.set);
+      unsigned char* dst = view.rank_base[static_cast<std::size_t>(r)];
+      const Staging::Dest& d = st.dest[static_cast<std::size_t>(r)];
+      for (idx_t j = 0; j < static_cast<idx_t>(d.order.size()); ++j) {
+        std::memcpy(dst + static_cast<std::size_t>(L.nowned + d.order[j]) * stride,
+                    p.buf.data() + off, stride);
+        off += stride;
+        copied += view.dim;
+      }
+    }
+    return copied;
+  }
+
+  bool async_;
+  std::unordered_map<int, Staging> staging_;   ///< per set, pinned
+  std::unordered_map<int, Pending> pending_;   ///< per dat
 };
 
 }  // namespace opv::dist

@@ -19,7 +19,22 @@
 // lookup: refresh dirty halos, wake the rank pool, merge globals, flip dirty
 // bits. run() also records each rank's wall time (max/min/mean accumulated
 // in the loop's stats slot) so partition imbalance is visible (paper
-// section 6; perf::rank_imbalance).
+// section 6; perf::rank_imbalance), plus the exchange wall time and value
+// count (the section 6.5 communication share).
+//
+// Phased execution (paper section 6.5): construction also classifies each
+// rank's owned elements into INTERIOR (no indirect argument reaches a halo
+// slot — safe to execute while an exchange is in flight) and BOUNDARY (may
+// read or write halo slots — must wait), pinned as one opv::Loop::Slice per
+// phase per rank. Under ExchangeMode::Overlap (the default) run() does
+//   begin_exchange -> interior slices -> wait_exchange -> boundary slices
+// hiding exchange latency behind the halo-independent majority of the
+// work; ExchangeMode::Phased runs the same slices after a blocking exchange
+// (bitwise-identical results, no overlap — the measurement control), and
+// loops that cannot legally overlap (nothing to exchange, or a dat both
+// read stale and written, whose owner values the in-flight transport could
+// observe mid-write) automatically fall back to the Blocking contiguous
+// path.
 #pragma once
 
 #include "dist/context.hpp"
@@ -96,6 +111,8 @@ template <class Kernel, class... DArgs>
 class Loop {
  public:
   static constexpr bool has_inc = detail::dist_has_inc_v<DArgs...>;
+  static constexpr bool has_gbl_reduction =
+      ((DArgs::is_gbl && DArgs::access != AccessMode::READ) || ...);
   using RankLoop = opv::Loop<Kernel, detail::rank_arg_t<DArgs>...>;
 
   Loop(DistCtx& ctx, Kernel kernel, std::string name, DistCtx::SetHandle set, DArgs... dargs)
@@ -105,44 +122,87 @@ class Loop {
     (validate(dargs), ...);
     (collect_read(dargs), ...);
     (collect_write(dargs), ...);
+    (collect_ind(dargs), ...);
     setup_pins(std::index_sequence_for<DArgs...>{}, dargs...);
     rank_secs_.assign(static_cast<std::size_t>(ctx.nranks_), 0.0);
     rank_loops_.reserve(static_cast<std::size_t>(ctx.nranks_));
     for (int r = 0; r < ctx.nranks_; ++r)
       build_rank_loop(r, kernel, std::index_sequence_for<DArgs...>{}, dargs...);
+    build_phases();
   }
 
-  /// Execute under the given per-rank configuration.
+  /// Execute under the given per-rank configuration. The exchange schedule
+  /// follows the context's ExchangeMode; loops whose plan cannot legally
+  /// overlap always take the Blocking path.
   void run(const ExecConfig& cfg) {
     DistCtx& ctx = *ctx_;
+    const ExchangeMode mode = effective_mode();
 
-    // 1. Lazy halo refresh of the pinned stale-read set, through the
-    //    context's Exchanger.
-    if (!plan_.read_dats.empty()) {
-      WallTimer ht;
-      const std::int64_t exchanged = ctx.refresh_halos(plan_.read_dats);
-      if (exchanged > 0 && cfg.collect_stats) {
-        if (!halo_stats_) halo_stats_ = &StatsRegistry::instance().slot(name_ + "/halo");
-        StatsRegistry::instance().record(*halo_stats_, ht.seconds(), exchanged);
-      }
-    }
-
-    // 2. Run the pinned per-rank loops concurrently; per-rank stats stay off
-    //    (this layer records loop stats itself), per-rank wall times are
-    //    captured for the imbalance accounting.
     std::apply([&](auto&... p) { (reset_pin(p), ...); }, pins_);
-    WallTimer timer;
     ExecConfig rank_cfg = cfg;
-    rank_cfg.collect_stats = false;
-    ctx.pool_.run([&](int r) {
-      WallTimer rt;
-      rank_loops_[static_cast<std::size_t>(r)].run(rank_cfg);
-      rank_secs_[static_cast<std::size_t>(r)] = rt.seconds();
-    });
-    std::apply([&](auto&... p) { (merge_pin(p), ...); }, pins_);
-    const double secs = timer.seconds();
+    rank_cfg.collect_stats = false;  // this layer records loop stats itself
 
-    // 3. Modified datasets now have stale halo copies everywhere.
+    double secs = 0.0;       // compute wall time (both phases)
+    double exch_secs = 0.0;  // exchange wall time (begin + wait, or blocking)
+    std::int64_t exchanged = 0;
+
+    if (mode == ExchangeMode::Blocking) {
+      // 1. Lazy blocking halo refresh of the pinned stale-read set.
+      if (!plan_.read_dats.empty()) {
+        WallTimer ht;
+        exchanged = ctx.refresh_halos(plan_.read_dats);
+        exch_secs = ht.seconds();
+      }
+      // 2. One contiguous run of the pinned per-rank loops; per-rank wall
+      //    times are captured for the imbalance accounting.
+      WallTimer timer;
+      ctx.pool_.run([&](int r) {
+        WallTimer rt;
+        rank_loops_[static_cast<std::size_t>(r)].run(rank_cfg);
+        rank_secs_[static_cast<std::size_t>(r)] = rt.seconds();
+      });
+      secs = timer.seconds();
+    } else {
+      // 1. Start (Overlap) or complete (Phased) the refresh of dirty
+      //    stale-read dats.
+      pending_.clear();
+      WallTimer ht;
+      if (mode == ExchangeMode::Overlap) ctx.begin_halos(plan_.read_dats, pending_);
+      else exchanged = ctx.refresh_halos(plan_.read_dats);
+      exch_secs += ht.seconds();
+
+      // 2. Interior elements: touch no halo slot, safe while the exchange
+      //    is in flight.
+      WallTimer ti;
+      ctx.pool_.run([&](int r) {
+        WallTimer rt;
+        rank_loops_[static_cast<std::size_t>(r)].run_slice(
+            rank_cfg, interior_slices_[static_cast<std::size_t>(r)]);
+        rank_secs_[static_cast<std::size_t>(r)] = rt.seconds();
+      });
+      secs += ti.seconds();
+
+      // 3. Every begin is completed by exactly one wait before any boundary
+      //    element (which may read halo slots) executes.
+      if (mode == ExchangeMode::Overlap) {
+        WallTimer wt;
+        exchanged = ctx.wait_halos(pending_);
+        exch_secs += wt.seconds();
+      }
+
+      // 4. Boundary elements (plus the execute halo for INC loops).
+      WallTimer tb;
+      ctx.pool_.run([&](int r) {
+        WallTimer rt;
+        rank_loops_[static_cast<std::size_t>(r)].run_slice(
+            rank_cfg, boundary_slices_[static_cast<std::size_t>(r)]);
+        rank_secs_[static_cast<std::size_t>(r)] += rt.seconds();
+      });
+      secs += tb.seconds();
+    }
+    std::apply([&](auto&... p) { (merge_pin(p), ...); }, pins_);
+
+    // Modified datasets now have stale halo copies everywhere.
     ctx.mark_dirty(plan_.write_dats);
 
     if (cfg.collect_stats) {
@@ -150,6 +210,11 @@ class Loop {
       if (!stats_) stats_ = &reg.slot(name_);
       reg.record(*stats_, secs, global_size_);
       reg.record_ranks(*stats_, rank_secs_.data(), static_cast<int>(rank_secs_.size()));
+      if (exchanged > 0) {
+        reg.record_exchange(*stats_, exch_secs, exchanged);
+        if (!halo_stats_) halo_stats_ = &reg.slot(name_ + "/halo");
+        reg.record(*halo_stats_, exch_secs, exchanged);
+      }
     }
   }
 
@@ -161,8 +226,29 @@ class Loop {
   [[nodiscard]] int nranks() const { return static_cast<int>(rank_loops_.size()); }
 
   /// The pinned halo-exchange schedule — one object for the Loop's lifetime
-  /// (tests verify pinning through its address and contents).
+  /// (tests verify pinning through its address and contents). Includes the
+  /// per-rank interior/boundary classification when the loop can overlap.
   [[nodiscard]] const ExchangePlan& exchange_plan() const { return plan_; }
+
+  /// The schedule the next run() will actually use: the context's
+  /// ExchangeMode, demoted to Blocking when the plan cannot legally
+  /// overlap.
+  [[nodiscard]] ExchangeMode effective_mode() const {
+    return plan_.can_overlap ? ctx_->exchange_mode() : ExchangeMode::Blocking;
+  }
+
+  /// Fraction of owned elements (across all ranks) classified interior —
+  /// the share of work available to hide the exchange behind (0 when the
+  /// loop is not phased).
+  [[nodiscard]] double interior_fraction() const {
+    if (!plan_.can_overlap) return 0.0;
+    double interior = 0.0, owned = 0.0;
+    for (int r = 0; r < ctx_->nranks_; ++r) {
+      interior += static_cast<double>(plan_.phases[static_cast<std::size_t>(r)].interior.size());
+      owned += static_cast<double>(ctx_->part_->set(r, set_).size());
+    }
+    return owned > 0.0 ? interior / owned : 0.0;
+  }
 
   /// The pinned per-rank engine handle (exposes the rank's coloring plan).
   [[nodiscard]] RankLoop& rank_loop(int r) {
@@ -215,6 +301,64 @@ class Loop {
       if (std::find(plan_.write_dats.begin(), plan_.write_dats.end(), a.dat) ==
           plan_.write_dats.end())
         plan_.write_dats.push_back(a.dat);
+    }
+  }
+
+  /// Indirect references (map, slot, target set) — the classification walks
+  /// these to decide which owned elements can reach a halo slot.
+  struct IndRef {
+    int map = -1;
+    int idx = -1;
+    int to = -1;
+  };
+  template <class DA>
+  void collect_ind(const DA& a) {
+    if constexpr (!DA::is_gbl && DA::indirect)
+      ind_refs_.push_back({a.map, a.idx, ctx_->spec_.maps[a.map].to});
+  }
+
+  /// Derive the pinned interior/boundary classification (paper section
+  /// 6.5). An owned element is interior iff every indirect argument maps it
+  /// to an owned slot of the target set — it then neither reads values the
+  /// exchange delivers nor touches slots the exchange writes, so it can run
+  /// while the exchange is in flight. Everything else (including the
+  /// execute halo of INC loops) is boundary. Loops with nothing to exchange
+  /// or with a dat both read stale and written stay unphased.
+  void build_phases() {
+    bool disjoint = true;
+    for (int d : plan_.read_dats)
+      disjoint &= std::find(plan_.write_dats.begin(), plan_.write_dats.end(), d) ==
+                  plan_.write_dats.end();
+    // has_inc + global reduction stays unphased: the blocking path's
+    // per-rank engine guard (exec_size == size) is what correctly rejects
+    // halo-executed reductions, which would double-count across ranks.
+    plan_.can_overlap =
+        !plan_.read_dats.empty() && disjoint && !(has_inc && has_gbl_reduction);
+    if (!plan_.can_overlap) return;
+
+    const DistCtx& ctx = *ctx_;
+    plan_.phases.resize(static_cast<std::size_t>(ctx.nranks_));
+    interior_slices_.reserve(static_cast<std::size_t>(ctx.nranks_));
+    boundary_slices_.reserve(static_cast<std::size_t>(ctx.nranks_));
+    for (int r = 0; r < ctx.nranks_; ++r) {
+      const Set& iter = ctx.part_->set(r, set_);
+      const idx_t nowned = iter.size();
+      const idx_t nexec = has_inc ? iter.exec_size() : nowned;
+      RankPhases& ph = plan_.phases[static_cast<std::size_t>(r)];
+      for (idx_t e = 0; e < nowned; ++e) {
+        bool interior = true;
+        for (const IndRef& ref : ind_refs_) {
+          if (ctx.part_->map(r, ref.map)(e, ref.idx) >= ctx.part_->set(r, ref.to).size()) {
+            interior = false;
+            break;
+          }
+        }
+        (interior ? ph.interior : ph.boundary).push_back(e);
+      }
+      for (idx_t e = nowned; e < nexec; ++e) ph.boundary.push_back(e);
+      RankLoop& rl = rank_loops_[static_cast<std::size_t>(r)];
+      interior_slices_.push_back(rl.make_slice(ph.interior));
+      boundary_slices_.push_back(rl.make_slice(ph.boundary));
     }
   }
 
@@ -283,8 +427,13 @@ class Loop {
   DistCtx::SetHandle set_;
   idx_t global_size_ = 0;
   ExchangePlan plan_;
+  std::vector<IndRef> ind_refs_;
   std::tuple<detail::pin_t<DArgs>...> pins_;
   std::vector<RankLoop> rank_loops_;
+  /// Per-rank pinned phase schedules (empty unless plan_.can_overlap).
+  std::vector<typename RankLoop::Slice> interior_slices_;
+  std::vector<typename RankLoop::Slice> boundary_slices_;
+  std::vector<int> pending_;  ///< dats with an exchange in flight (reused)
   std::vector<double> rank_secs_;
   LoopRecord* stats_ = nullptr;
   LoopRecord* halo_stats_ = nullptr;
@@ -297,13 +446,25 @@ Loop(DistCtx&, Kernel, std::string, DistCtx::SetHandle, DArgs...) -> Loop<Kernel
 
 /// Mirrors opv::par_loop over opv::Loop: identical call shape, throwaway
 /// handle. The nranks engine handles are built serially on the caller
-/// thread, so this path's per-call overhead grows with the rank count —
-/// steady-state iteration should construct the Loop once (the dispatch
-/// ablation bench measures the gap).
+/// thread, and phased loops additionally re-derive the interior/boundary
+/// classification and per-rank subset plans (deliberately uncached — they
+/// are handle state, so the wrapper stays bitwise-identical to handle
+/// construction + run). This path's per-call overhead grows with the rank
+/// count; steady-state iteration should construct the Loop once (the
+/// dispatch ablation bench measures the gap).
 template <class Kernel, class... DArgs>
 void DistCtx::loop(Kernel kernel, const char* name, SetHandle set, DArgs... dargs) {
   Loop<Kernel, DArgs...> l(*this, std::move(kernel), name, set, dargs...);
   l.run();
+}
+
+/// The persistent-handle factory shared with LocalCtx::make_loop: a driver
+/// templated over the context concept builds its handles once through
+/// `ctx.make_loop(...)` and runs them every timestep, on either context.
+template <class Kernel, class... DArgs>
+Loop<Kernel, DArgs...> DistCtx::make_loop(Kernel kernel, const char* name, SetHandle set,
+                                          DArgs... dargs) {
+  return Loop<Kernel, DArgs...>(*this, std::move(kernel), name, set, dargs...);
 }
 
 }  // namespace opv::dist

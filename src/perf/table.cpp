@@ -67,13 +67,20 @@ double rank_imbalance(const LoopRecord& rec) {
 }
 
 Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records) {
-  bool any_ranks = false;
-  for (const auto& [name, rec] : records) any_ranks |= rec.nranks > 0;
+  bool any_ranks = false, any_exchange = false;
+  for (const auto& [name, rec] : records) {
+    any_ranks |= rec.nranks > 0;
+    any_exchange |= rec.exchange_seconds > 0.0 || rec.exchanged_values > 0;
+  }
 
   std::vector<std::string> headers = {"loop", "calls", "seconds"};
   if (any_ranks) {
     headers.push_back("ranks");
     headers.push_back("max/mean imb");
+  }
+  if (any_exchange) {
+    headers.push_back("exch (s)");
+    headers.push_back("exch vals");
   }
   Table t(std::move(headers));
   for (const auto& [name, rec] : records) {
@@ -82,6 +89,11 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
     if (any_ranks) {
       row.push_back(rec.nranks > 0 ? std::to_string(rec.nranks) : "-");
       row.push_back(rec.nranks > 0 ? Table::num(rank_imbalance(rec), 3) : "-");
+    }
+    if (any_exchange) {
+      const bool has = rec.exchange_seconds > 0.0 || rec.exchanged_values > 0;
+      row.push_back(has ? Table::num(rec.exchange_seconds, 4) : "-");
+      row.push_back(has ? std::to_string(rec.exchanged_values) : "-");
     }
     t.add_row(std::move(row));
   }

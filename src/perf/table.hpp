@@ -41,7 +41,9 @@ double rank_imbalance(const LoopRecord& rec);
 
 /// Per-loop stats table over registry records (StatsRegistry::all()):
 /// loop / calls / seconds, plus ranks and a max/mean imbalance column when
-/// any record carries per-rank times (distributed runs).
+/// any record carries per-rank times (distributed runs), plus exchange
+/// seconds / exchanged value counts when any record carries halo-exchange
+/// accounting (paper section 6.5's communication share).
 Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records);
 
 }  // namespace opv::perf

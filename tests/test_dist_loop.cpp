@@ -4,9 +4,15 @@
 // through a counting Exchanger — the pluggable-transport seam), exchange-
 // plan pinning, per-rank imbalance stats, construction-time argument
 // validation, and negative-compile asserts for invalid dist arg/access
-// combinations.
+// combinations. Phased execution (paper §6.5): interior/boundary
+// classification invariants, begin/wait pairing through the non-blocking
+// Exchanger interface, bitwise Overlap==Phased equivalence across rank
+// counts/backends/transports, the automatic blocking fallback for loops
+// that write what they read stale, and per-loop exchange accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <type_traits>
 
 #include "apps/airfoil/airfoil.hpp"
@@ -318,6 +324,248 @@ TEST(DistLoop, DimMismatchThrowsAtConstruction) {
   EXPECT_THROW((u.ctx.arg<opv::RW, 4>(u.q)), Error);              // q has dim 1
   EXPECT_NO_THROW((u.ctx.arg<opv::READ, 2>(u.x, 0, u.e2n)));
   EXPECT_NO_THROW((u.ctx.arg<opv::RW, 1>(u.q)));
+}
+
+// ---- phased execution: interior/boundary classification ---------------------
+
+/// Per rank: interior ∪ boundary covers every executed element exactly once
+/// (owned ∪ execute halo for INC loops), the two are disjoint, interior
+/// elements reach only owned slots through every indirect map, and every
+/// owned element that maps into a halo slot is boundary.
+TEST(DistLoopPhases, ClassificationPartitionsExecutedElements) {
+  Universe u(4, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  dist::Loop edge(u.ctx, GatherQ{}, "cls_edge", u.edges, u.ctx.arg<opv::READ>(u.q, 0, u.e2c),
+                  u.ctx.arg<opv::READ>(u.q, 1, u.e2c), u.ctx.arg<opv::INC>(u.acc, 0, u.e2c),
+                  u.ctx.arg<opv::INC>(u.acc, 1, u.e2c));
+  const ExchangePlan& plan = edge.exchange_plan();
+  ASSERT_TRUE(plan.can_overlap);
+  ASSERT_EQ(plan.phases.size(), 4u);
+  EXPECT_GT(edge.interior_fraction(), 0.0);
+  EXPECT_LT(edge.interior_fraction(), 1.0);
+
+  const Partitioned& part = u.ctx.partitioned();
+  for (int r = 0; r < 4; ++r) {
+    const Set& edges = part.set(r, u.edges);
+    const Map& e2c = part.map(r, u.e2c);
+    const idx_t cells_owned = part.set(r, u.cells).size();
+    const RankPhases& ph = plan.phases[r];
+
+    // Union = [0, exec_size), disjoint (each element seen exactly once).
+    std::vector<int> seen(static_cast<std::size_t>(edges.exec_size()), 0);
+    for (idx_t e : ph.interior) {
+      ASSERT_LT(e, edges.size()) << "interior must be owned";
+      ++seen[e];
+    }
+    for (idx_t e : ph.boundary) {
+      ASSERT_LT(e, edges.exec_size());
+      ++seen[e];
+    }
+    for (idx_t e = 0; e < edges.exec_size(); ++e)
+      ASSERT_EQ(seen[e], 1) << "rank " << r << " element " << e;
+
+    // Interior never reaches a halo slot; hence boundary ⊇ halo-mappers.
+    for (idx_t e : ph.interior)
+      for (int k = 0; k < 2; ++k)
+        ASSERT_LT(e2c(e, k), cells_owned)
+            << "rank " << r << " interior edge " << e << " maps into the halo";
+  }
+}
+
+/// A loop with no indirect arguments has nothing to exchange: no phases,
+/// always the blocking path.
+TEST(DistLoopPhases, DirectLoopIsNotPhased) {
+  Universe u(3, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  dist::Loop cell(u.ctx, BumpQ{}, "cls_cell", u.cells, u.ctx.arg<opv::RW>(u.q),
+                  u.ctx.arg<opv::READ>(u.acc));
+  EXPECT_FALSE(cell.exchange_plan().can_overlap);
+  EXPECT_TRUE(cell.exchange_plan().phases.empty());
+  EXPECT_EQ(cell.effective_mode(), ExchangeMode::Blocking);
+}
+
+// ---- phased execution: begin/wait pairing -----------------------------------
+
+/// Counts the non-blocking calls and asserts the pairing contract: every
+/// begin() is matched by exactly one wait() (and wait never fires without a
+/// begin). That the wait lands BEFORE boundary execution is covered by the
+/// bitwise Overlap==Phased tests below — a boundary element reading halo
+/// values mid-flight would diverge.
+struct PairingExchanger final : Exchanger {
+  MemcpyExchanger inner;
+  int begins = 0, waits = 0, blocking_calls = 0;
+  std::vector<int> pending;
+  void begin(const Partitioned&, const DatHaloView& view) override {
+    ++begins;
+    EXPECT_EQ(std::count(pending.begin(), pending.end(), view.dat), 0)
+        << "double begin for dat " << view.dat;
+    pending.push_back(view.dat);
+  }
+  std::int64_t wait(const Partitioned& part, const DatHaloView& view) override {
+    ++waits;
+    EXPECT_EQ(std::count(pending.begin(), pending.end(), view.dat), 1)
+        << "wait without begin for dat " << view.dat;
+    pending.erase(std::find(pending.begin(), pending.end(), view.dat));
+    return inner.exchange(part, view);
+  }
+  std::int64_t exchange(const Partitioned& part, const DatHaloView& view) override {
+    ++blocking_calls;
+    return inner.exchange(part, view);
+  }
+  [[nodiscard]] const char* name() const override { return "pairing"; }
+};
+
+TEST(DistLoopPhases, EveryBeginPairedWithExactlyOneWait) {
+  Universe u(3, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  auto pairing = std::make_unique<PairingExchanger>();
+  PairingExchanger* p = pairing.get();
+  u.ctx.set_exchanger(std::move(pairing));
+  ASSERT_EQ(u.ctx.exchange_mode(), ExchangeMode::Overlap) << "Overlap must be the default";
+
+  dist::Loop edge(u.ctx, GatherQ{}, "pair_edge", u.edges, u.ctx.arg<opv::READ>(u.q, 0, u.e2c),
+                  u.ctx.arg<opv::READ>(u.q, 1, u.e2c), u.ctx.arg<opv::INC>(u.acc, 0, u.e2c),
+                  u.ctx.arg<opv::INC>(u.acc, 1, u.e2c));
+  dist::Loop cell(u.ctx, BumpQ{}, "pair_cell", u.cells, u.ctx.arg<opv::RW>(u.q),
+                  u.ctx.arg<opv::READ>(u.acc));
+  EXPECT_EQ(edge.effective_mode(), ExchangeMode::Overlap);
+
+  edge.run();  // initial halos fresh: nothing begun
+  EXPECT_EQ(p->begins, 0);
+  for (int it = 0; it < 3; ++it) {
+    cell.run();  // dirties q
+    edge.run();  // must begin+wait exactly one dat (q)
+  }
+  EXPECT_EQ(p->begins, 3);
+  EXPECT_EQ(p->waits, 3);
+  EXPECT_EQ(p->blocking_calls, 0) << "Overlap mode must use the non-blocking pair";
+  EXPECT_TRUE(p->pending.empty()) << "a begin was left unwaited";
+
+  // Phased mode keeps the two-phase schedule but exchanges blockingly.
+  u.ctx.set_exchange_mode(ExchangeMode::Phased);
+  cell.run();
+  edge.run();
+  EXPECT_EQ(p->begins, 3) << "Phased mode must not use begin()";
+  EXPECT_EQ(p->blocking_calls, 1);
+}
+
+// ---- phased execution: bitwise overlapped == blocking -----------------------
+
+/// Overlap and Phased run the same pinned interior/boundary schedule; only
+/// the exchange timing differs, so the results must be bitwise identical
+/// across rank counts, backends and transports (the §6.5 correctness
+/// criterion: overlap must not change what the loops compute).
+class DistOverlapEquivP
+    : public ::testing::TestWithParam<std::tuple<int, Backend, bool /*staged*/>> {};
+
+TEST_P(DistOverlapEquivP, OverlapBitwiseMatchesBlockingPhased) {
+  const auto [nranks, backend, staged] = GetParam();
+  const ExecConfig cfg{.backend = backend, .nthreads = backend == Backend::Seq ? 1 : 2};
+
+  auto run_pipeline = [&](ExchangeMode mode, Universe& u) {
+    if (staged) u.ctx.set_exchanger(std::make_unique<StagedExchanger>(/*async=*/true));
+    u.ctx.set_exchange_mode(mode);
+    dist::Loop edge(u.ctx, GatherQ{}, "ovq_edge", u.edges,
+                    u.ctx.arg<opv::READ>(u.q, 0, u.e2c), u.ctx.arg<opv::READ>(u.q, 1, u.e2c),
+                    u.ctx.arg<opv::INC>(u.acc, 0, u.e2c),
+                    u.ctx.arg<opv::INC>(u.acc, 1, u.e2c));
+    dist::Loop cell(u.ctx, BumpQ{}, "ovq_cell", u.cells, u.ctx.arg<opv::RW>(u.q),
+                    u.ctx.arg<opv::READ>(u.acc));
+    for (int it = 0; it < 4; ++it) {
+      edge.run();
+      cell.run();
+    }
+  };
+
+  Universe a(nranks, cfg), b(nranks, cfg);
+  run_pipeline(ExchangeMode::Phased, a);
+  run_pipeline(ExchangeMode::Overlap, b);
+
+  aligned_vector<double> qa, qb, acca, accb;
+  a.ctx.fetch(a.q, qa);
+  b.ctx.fetch(b.q, qb);
+  a.ctx.fetch(a.acc, acca);
+  b.ctx.fetch(b.acc, accb);
+  ASSERT_EQ(qa.size(), qb.size());
+  for (std::size_t i = 0; i < qa.size(); ++i) ASSERT_EQ(qa[i], qb[i]) << "cell " << i;
+  for (std::size_t i = 0; i < acca.size(); ++i) ASSERT_EQ(acca[i], accb[i]) << "cell " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksBackendsTransports, DistOverlapEquivP,
+    ::testing::Combine(::testing::Values(1, 3, 6),
+                       ::testing::Values(Backend::Seq, Backend::OpenMP, Backend::Simd),
+                       ::testing::Bool()));
+
+// ---- phased execution: automatic blocking fallback --------------------------
+
+/// Averages the two cells of an edge in place: an indirect RW, so q is both
+/// read stale and written — the transport could observe owner slots
+/// mid-write, and the loop must fall back to the blocking path.
+struct AvgK {
+  template <class T>
+  void operator()(T* ql, T* qr) const {
+    const T m = (ql[0] + qr[0]) * T(0.5);
+    ql[0] = m;
+    qr[0] = m;
+  }
+};
+
+TEST(DistLoopPhases, ReadWriteOverlapFallsBackToBlocking) {
+  Universe u(3, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  auto pairing = std::make_unique<PairingExchanger>();
+  PairingExchanger* p = pairing.get();
+  u.ctx.set_exchanger(std::move(pairing));
+
+  dist::Loop avg(u.ctx, AvgK{}, "rw_edge", u.edges, u.ctx.arg<opv::RW>(u.q, 0, u.e2c),
+                 u.ctx.arg<opv::RW>(u.q, 1, u.e2c));
+  EXPECT_FALSE(avg.exchange_plan().can_overlap)
+      << "a dat both read stale and written cannot overlap";
+  EXPECT_TRUE(avg.exchange_plan().phases.empty());
+  EXPECT_EQ(avg.effective_mode(), ExchangeMode::Blocking);
+
+  avg.run();  // writes q -> dirty
+  avg.run();  // must blocking-exchange before the run
+  EXPECT_EQ(p->begins, 0) << "fallback loops must never use the non-blocking pair";
+  EXPECT_GE(p->blocking_calls, 1);
+}
+
+// ---- phased execution: exchange accounting ----------------------------------
+
+TEST(DistLoopPhases, RecordsExchangeTimeAndValues) {
+  StatsRegistry::instance().clear();
+  Universe u(3, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  dist::Loop edge(u.ctx, GatherQ{}, "xch_edge", u.edges, u.ctx.arg<opv::READ>(u.q, 0, u.e2c),
+                  u.ctx.arg<opv::READ>(u.q, 1, u.e2c), u.ctx.arg<opv::INC>(u.acc, 0, u.e2c),
+                  u.ctx.arg<opv::INC>(u.acc, 1, u.e2c));
+  dist::Loop cell(u.ctx, BumpQ{}, "xch_cell", u.cells, u.ctx.arg<opv::RW>(u.q),
+                  u.ctx.arg<opv::READ>(u.acc));
+  for (int it = 0; it < 3; ++it) {
+    cell.run();
+    edge.run();
+  }
+  const LoopRecord rec = StatsRegistry::instance().get("xch_edge");
+  EXPECT_GT(rec.exchanged_values, 0) << "halo traffic must accumulate in the loop's record";
+  EXPECT_GT(rec.exchange_seconds, 0.0);
+  EXPECT_EQ(rec.exchanged_values, StatsRegistry::instance().get("xch_edge/halo").elements)
+      << "the legacy /halo slot and the in-record accounting must agree";
+
+  const std::string table =
+      perf::loop_stats_table(StatsRegistry::instance().all()).to_string();
+  EXPECT_NE(table.find("exch (s)"), std::string::npos)
+      << "the stats table must grow an exchange column when exchange data exists";
+  EXPECT_NE(table.find("xch_edge"), std::string::npos);
+}
+
+// ---- make_loop: the context-concept handle factory --------------------------
+
+TEST(DistLoop, MakeLoopReturnsRunnableHandle) {
+  Universe u(3, ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  auto edge = u.ctx.make_loop(GatherQ{}, "mk_edge", u.edges, u.ctx.arg<opv::READ>(u.q, 0, u.e2c),
+                              u.ctx.arg<opv::READ>(u.q, 1, u.e2c),
+                              u.ctx.arg<opv::INC>(u.acc, 0, u.e2c),
+                              u.ctx.arg<opv::INC>(u.acc, 1, u.e2c));
+  edge.run();
+  edge.run();
+  EXPECT_EQ(edge.nranks(), 3);
+  EXPECT_TRUE(edge.exchange_plan().can_overlap);
 }
 
 // ---- construction-time validation -------------------------------------------

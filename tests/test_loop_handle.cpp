@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "core/context.hpp"
 #include "core/op2.hpp"
 #include "mesh/generators.hpp"
 
@@ -418,6 +419,209 @@ TEST(LoopHandle, RetypedHandleReTunes) {
   EXPECT_EQ(st.tuned_block_size(), 0) << "one run cannot have settled the tuner";
   for (int it = 1; it < settle_runs; ++it) st.run(autob);
   EXPECT_NE(st.tuned_block_size(), 0) << "retyped handle re-tunes independently";
+}
+
+// ---- subset (Slice) execution ----------------------------------------------
+// The phased distributed runner executes a loop as interior + boundary
+// Slices; these tests pin the core contract: a slice runs exactly its
+// elements with the loop's kernel instantiations, race-free, with globals
+// accumulating across slices.
+
+/// Direct per-element transform: any slice cover computes bitwise the same
+/// values as one full run, whatever the execution order. A single multiply
+/// on purpose — one rounding, so contiguous and permuted codegen cannot
+/// diverge through FMA contraction.
+struct ScaleKernel {
+  template <class T>
+  void operator()(const T* q, T* r) const {
+    r[0] = q[0] * T(3);
+  }
+};
+
+TEST(LoopSlice, DirectSliceCoverBitwiseMatchesFullRun) {
+  for (Backend b : {Backend::Seq, Backend::OpenMP, Backend::AutoVec, Backend::Simd}) {
+    SCOPED_TRACE(backend_name(b));
+    const ExecConfig cfg{.backend = b, .nthreads = 2};
+    Fixture full, sliced;
+    Loop ref(ScaleKernel{}, "slice_direct_full", full.cells, opv::arg<opv::READ>(full.q),
+             opv::arg<opv::WRITE>(full.r));
+    ref.run(cfg);
+
+    Loop loop(ScaleKernel{}, "slice_direct", sliced.cells, opv::arg<opv::READ>(sliced.q),
+              opv::arg<opv::WRITE>(sliced.r));
+    aligned_vector<idx_t> evens, odds;
+    for (idx_t c = 0; c < sliced.cells.size(); ++c) (c % 2 ? odds : evens).push_back(c);
+    auto s_even = loop.make_slice(std::move(evens));
+    auto s_odd = loop.make_slice(std::move(odds));
+    loop.run_slice(cfg, s_even);
+    loop.run_slice(cfg, s_odd);
+
+    for (idx_t c = 0; c < full.cells.size(); ++c)
+      ASSERT_EQ(full.r.at(c), sliced.r.at(c)) << "cell " << c;
+  }
+}
+
+/// Indirect increments of exactly 1.0 (exact in floating point): after any
+/// disjoint slice cover, every cell holds its edge degree — each element
+/// executed exactly once, increments race-free under the subset coloring.
+struct DegreeKernel {
+  template <class T>
+  void operator()(T* c1, T* c2) const {
+    c1[0] += T(1);
+    c2[0] += T(1);
+  }
+};
+
+TEST(LoopSlice, ConflictedSlicesExecuteEachElementExactlyOnce) {
+  struct Case {
+    Backend backend;
+    ColoringStrategy coloring;
+  };
+  for (const Case c : {Case{Backend::Seq, ColoringStrategy::TwoLevel},
+                       Case{Backend::OpenMP, ColoringStrategy::TwoLevel},
+                       Case{Backend::AutoVec, ColoringStrategy::BlockPermute},
+                       Case{Backend::Simd, ColoringStrategy::TwoLevel},
+                       Case{Backend::Simd, ColoringStrategy::FullPermute},
+                       Case{Backend::Simd, ColoringStrategy::BlockPermute},
+                       Case{Backend::Simt, ColoringStrategy::TwoLevel}}) {
+    SCOPED_TRACE(std::string(backend_name(c.backend)) + "/" + coloring_name(c.coloring));
+    const ExecConfig cfg{
+        .backend = c.backend, .coloring = c.coloring, .block_size = 64, .nthreads = 4};
+    Fixture f;
+    for (idx_t i = 0; i < f.cells.size(); ++i) f.r.at(i) = 0.0;
+    Loop loop(DegreeKernel{}, "slice_degree", f.edges, opv::arg<opv::INC>(f.r, 0, f.e2c),
+              opv::arg<opv::INC>(f.r, 1, f.e2c));
+    static_assert(decltype(loop)::has_inc);
+
+    aligned_vector<idx_t> evens, odds;
+    for (idx_t e = 0; e < f.edges.size(); ++e) (e % 2 ? odds : evens).push_back(e);
+    auto s_even = loop.make_slice(std::move(evens));
+    auto s_odd = loop.make_slice(std::move(odds));
+    loop.run_slice(cfg, s_even);
+    loop.run_slice(cfg, s_odd);
+
+    // The subset plan is pinned after the first conflicted run (Seq needs
+    // no plan: it executes the slice serially in element order).
+    const Plan* plan = s_even.plan();
+    if (c.backend == Backend::Seq) {
+      EXPECT_EQ(plan, nullptr);
+    } else {
+      ASSERT_NE(plan, nullptr);
+      EXPECT_EQ(plan->nelems, s_even.size());
+    }
+    loop.run_slice(cfg, s_even);
+    EXPECT_EQ(s_even.plan(), plan) << "slice plan must be pinned across runs";
+
+    std::vector<double> degree(static_cast<std::size_t>(f.cells.size()), 0.0);
+    for (idx_t e = 0; e < f.edges.size(); ++e) {
+      degree[f.m.edge_cells[2 * e]] += 1.0;
+      degree[f.m.edge_cells[2 * e + 1]] += 1.0;
+    }
+    // s_even ran twice (plan-pinning check), so evens count double.
+    for (idx_t e = 0; e < f.edges.size(); e += 2) {
+      degree[f.m.edge_cells[2 * e]] += 1.0;
+      degree[f.m.edge_cells[2 * e + 1]] += 1.0;
+    }
+    for (idx_t i = 0; i < f.cells.size(); ++i)
+      ASSERT_EQ(f.r.at(i), degree[i]) << "cell " << i;
+  }
+}
+
+/// Global reductions init/merge per run_slice call, so INC sums and MIN
+/// mins accumulate across a slice cover exactly like one full run.
+struct CountMinKernel {
+  template <class T>
+  void operator()(const T* q, T* gcount, T* gmin) const {
+    OPV_SIMD_MATH_USING;
+    gcount[0] += T(1);
+    gmin[0] = min(gmin[0], q[0]);
+  }
+};
+
+TEST(LoopSlice, GlobalReductionsAccumulateAcrossSlices) {
+  for (Backend b : {Backend::Seq, Backend::OpenMP, Backend::Simd}) {
+    SCOPED_TRACE(backend_name(b));
+    Fixture f;
+    double count = 0.0, gmin = 1e300;
+    Loop loop(CountMinKernel{}, "slice_gbl", f.cells, opv::arg<opv::READ>(f.q),
+              opv::arg_gbl<opv::INC>(&count, 1), opv::arg_gbl<opv::MIN>(&gmin, 1));
+    aligned_vector<idx_t> lo, hi;
+    for (idx_t c = 0; c < f.cells.size(); ++c) (c < f.cells.size() / 3 ? lo : hi).push_back(c);
+    auto s_lo = loop.make_slice(std::move(lo));
+    auto s_hi = loop.make_slice(std::move(hi));
+    const ExecConfig cfg{.backend = b, .nthreads = 2};
+    loop.run_slice(cfg, s_lo);
+    loop.run_slice(cfg, s_hi);
+
+    double qmin = 1e300;
+    for (idx_t c = 0; c < f.cells.size(); ++c) qmin = std::min(qmin, f.q.at(c));
+    EXPECT_EQ(count, static_cast<double>(f.cells.size()));
+    EXPECT_EQ(gmin, qmin);
+  }
+}
+
+/// Indirect increments + a global reduction: run() refuses halo execution
+/// wholesale (exec_size must equal size); make_slice enforces the same rule
+/// per element — owned slices stay legal, halo elements are rejected (they
+/// would contribute to the reduction on every executing rank).
+struct DegreeCountKernel {
+  template <class T>
+  void operator()(T* c1, T* c2, T* g) const {
+    c1[0] += T(1);
+    c2[0] += T(1);
+    g[0] += T(1);
+  }
+};
+
+TEST(LoopSlice, HaloElementsRejectedForGlobalReductionLoops) {
+  Set cells{"cells", 6, 6, 6};
+  Set edges{"edges", 4, 6, 6};  // 4 owned + 2 execute-halo elements
+  aligned_vector<idx_t> md(12);
+  for (std::size_t i = 0; i < md.size(); ++i) md[i] = static_cast<idx_t>(i % 6);
+  Map e2c{"e2c", edges, cells, 2, std::move(md)};
+  Dat<double> r{"r", cells, 1};
+  double g = 0.0;
+
+  Loop with_gbl(DegreeCountKernel{}, "slice_gblhalo", edges, opv::arg<opv::INC>(r, 0, e2c),
+                opv::arg<opv::INC>(r, 1, e2c), opv::arg_gbl<opv::INC>(&g, 1));
+  EXPECT_NO_THROW(with_gbl.make_slice({0, 3}));
+  EXPECT_THROW(with_gbl.make_slice({4}), Error) << "halo element must be rejected";
+
+  Loop no_gbl(DegreeKernel{}, "slice_halo", edges, opv::arg<opv::INC>(r, 0, e2c),
+              opv::arg<opv::INC>(r, 1, e2c));
+  EXPECT_NO_THROW(no_gbl.make_slice({4, 5})) << "without a reduction the exec halo is legal";
+}
+
+TEST(LoopSlice, OutOfRangeSliceElementThrows) {
+  Fixture f;
+  Loop loop(ScaleKernel{}, "slice_range", f.cells, opv::arg<opv::READ>(f.q),
+            opv::arg<opv::WRITE>(f.r));
+  EXPECT_THROW(loop.make_slice({f.cells.size()}), Error);
+  EXPECT_THROW(loop.make_slice({idx_t(-1)}), Error);
+  EXPECT_NO_THROW(loop.make_slice({}));
+  EXPECT_NO_THROW(loop.make_slice({idx_t(0), f.cells.size() - 1}));
+}
+
+// ---- LocalCtx::make_loop ----------------------------------------------------
+
+TEST(LoopHandle, LocalCtxMakeLoopFollowsContextConfig) {
+  mesh::UnstructuredMesh m = mesh::make_quad_box(9, 9);
+  LocalCtx ctx(ExecConfig{.backend = Backend::Seq, .nthreads = 1});
+  auto cells = ctx.decl_set("cells", m.ncells);
+  aligned_vector<double> qi(m.ncells, 2.0);
+  auto q = ctx.decl_dat<double>("q", cells, 1, qi);
+  auto r = ctx.decl_dat<double>("r", cells, 1);
+  auto loop = ctx.make_loop(ScaleKernel{}, "mk_local", cells, ctx.arg<opv::READ>(q),
+                            ctx.arg<opv::WRITE>(r));
+  loop.run();
+  aligned_vector<double> out;
+  ctx.fetch(r, out);
+  for (double v : out) ASSERT_EQ(v, 6.0);
+  // run() follows the context's CURRENT config (mutate, then rerun).
+  ctx.config().backend = Backend::OpenMP;
+  loop.run();
+  ctx.fetch(r, out);
+  for (double v : out) ASSERT_EQ(v, 6.0);
 }
 
 }  // namespace
