@@ -94,9 +94,12 @@ inline const std::vector<std::string>& volna_kernels() {
 /// Run Airfoil under a local-context config; returns per-kernel rows.
 /// A one-iteration warmup (plan construction, first-touch, halo build)
 /// precedes the measured window, as the paper's long runs amortize it.
+/// `renumber` opts into the context-level renumbering pass (reorder.hpp).
 template <class Real>
-std::vector<KernelRow> run_airfoil(const mesh::UnstructuredMesh& m, ExecConfig cfg, int iters) {
+std::vector<KernelRow> run_airfoil(const mesh::UnstructuredMesh& m, ExecConfig cfg, int iters,
+                                   bool renumber = false) {
   LocalCtx ctx(cfg);
+  ctx.set_renumber(renumber);
   airfoil::Airfoil<Real, LocalCtx> app(ctx, m);
   app.run(1, 0);  // warmup
   clear_stats();
@@ -107,8 +110,9 @@ std::vector<KernelRow> run_airfoil(const mesh::UnstructuredMesh& m, ExecConfig c
 /// Run Airfoil under the distributed-rank ("MPI") model.
 template <class Real>
 std::vector<KernelRow> run_airfoil_dist(const mesh::UnstructuredMesh& m, int nranks,
-                                        ExecConfig rank_cfg, int iters) {
+                                        ExecConfig rank_cfg, int iters, bool renumber = false) {
   dist::DistCtx ctx(nranks, rank_cfg);
+  ctx.set_renumber(renumber);
   airfoil::Airfoil<Real, dist::DistCtx> app(ctx, m);
   app.run(1, 0);  // warmup
   clear_stats();
@@ -117,8 +121,10 @@ std::vector<KernelRow> run_airfoil_dist(const mesh::UnstructuredMesh& m, int nra
 }
 
 template <class Real>
-std::vector<KernelRow> run_volna(const mesh::UnstructuredMesh& m, ExecConfig cfg, int steps) {
+std::vector<KernelRow> run_volna(const mesh::UnstructuredMesh& m, ExecConfig cfg, int steps,
+                                 bool renumber = false) {
   LocalCtx ctx(cfg);
+  ctx.set_renumber(renumber);
   volna::Volna<Real, LocalCtx> app(ctx, m);
   app.run(1);  // warmup
   clear_stats();
@@ -128,8 +134,9 @@ std::vector<KernelRow> run_volna(const mesh::UnstructuredMesh& m, ExecConfig cfg
 
 template <class Real>
 std::vector<KernelRow> run_volna_dist(const mesh::UnstructuredMesh& m, int nranks,
-                                      ExecConfig rank_cfg, int steps) {
+                                      ExecConfig rank_cfg, int steps, bool renumber = false) {
   dist::DistCtx ctx(nranks, rank_cfg);
+  ctx.set_renumber(renumber);
   volna::Volna<Real, dist::DistCtx> app(ctx, m);
   app.run(1);  // warmup
   clear_stats();

@@ -3,7 +3,11 @@
 // precision, iterate, and watch the residual decrease.
 //
 //   ./airfoil_sim [--ni=600] [--nj=300] [--iters=200] [--backend=simd]
-//                 [--precision=double] [--ranks=0]
+//                 [--precision=double] [--ranks=0] [--renumber] [--shuffle]
+//
+// --renumber enables the context-level renumbering pass (RCM cells +
+// lexicographically sorted edges, paper sections 6.2/6.4); --shuffle
+// scrambles the edge ordering first, so the pass has locality to recover.
 
 #include <cstdio>
 #include <string>
@@ -49,10 +53,13 @@ int main(int argc, char** argv) {
   const int iters = static_cast<int>(cli.get_int("iters", 200));
   const int ranks = static_cast<int>(cli.get_int("ranks", 0));
   const std::string precision = cli.get("precision", "double");
+  const bool renumber = cli.has("renumber");
 
   auto m = opv::mesh::make_airfoil_omesh(ni, nj);
-  std::printf("mesh '%s': %d cells, %d edges, %d nodes, %d boundary edges\n", m.name.c_str(),
-              m.ncells, m.nedges, m.nnodes, m.nbedges);
+  if (cli.has("shuffle")) opv::mesh::shuffle_edges(m, 42);
+  std::printf("mesh '%s': %d cells, %d edges, %d nodes, %d boundary edges%s%s\n", m.name.c_str(),
+              m.ncells, m.nedges, m.nnodes, m.nbedges, cli.has("shuffle") ? ", shuffled" : "",
+              renumber ? ", renumbered" : "");
 
   opv::ExecConfig cfg;
   cfg.backend = parse_backend(cli.get("backend", "simd"));
@@ -61,6 +68,7 @@ int main(int argc, char** argv) {
     // Distributed-rank simulation ("MPI" model): each rank runs cfg.
     cfg.nthreads = 1;
     opv::dist::DistCtx ctx(ranks, cfg);
+    ctx.set_renumber(renumber);
     if (precision == "float") run<float>(ctx, m, iters);
     else run<double>(ctx, m, iters);
     // Per-loop partition-imbalance breakdown (max/mean of per-rank seconds,
@@ -69,6 +77,7 @@ int main(int argc, char** argv) {
     opv::perf::loop_stats_table(opv::StatsRegistry::instance().all()).print();
   } else {
     opv::LocalCtx ctx(cfg);
+    ctx.set_renumber(renumber);
     if (precision == "float") run<float>(ctx, m, iters);
     else run<double>(ctx, m, iters);
   }

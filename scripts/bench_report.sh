@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Emit BENCH_renumber.json: the renumbering ablation's recovered-fraction
+# record (ablation_renumber), so the repo carries a perf trajectory for the
+# locality pass instead of prose claims. Run after scripts/check.sh (needs a
+# built tree).
+#
+# Usage: scripts/bench_report.sh [build-dir]
+#   OUT=path        output file (default: BENCH_renumber.json at repo root)
+#   BENCH_ARGS=...  extra flags for ablation_renumber (default: a quick
+#                   small-mesh run; drop --small for a full measurement)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="${OUT:-$ROOT/BENCH_renumber.json}"
+ARGS=${BENCH_ARGS:---small --iters=4 --ranks=2}
+
+if [ ! -x "$BUILD/ablation_renumber" ]; then
+  echo "ablation_renumber not built in $BUILD (run scripts/check.sh first)" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+"$BUILD/ablation_renumber" $ARGS --json="$OUT"
+echo "wrote $OUT"

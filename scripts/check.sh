@@ -6,9 +6,12 @@
 # Usage: scripts/check.sh [--dist] [--docs] [--docs-only] [build-dir]
 #   --dist       also smoke-run the distributed benches: the dispatch-path
 #                micro (ablation_dist_dispatch: DistCtx::loop vs
-#                dist::Loop::run) and the exchange-overlap ablation
+#                dist::Loop::run), the exchange-overlap ablation
 #                (ablation_overlap on a small mesh; fails if overlapped
-#                execution is not bitwise-identical to blocking phased)
+#                execution is not bitwise-identical to blocking phased) and
+#                the renumbering ablation (ablation_renumber on a small
+#                mesh; fails if renumbered execution diverges beyond
+#                floating-point reassociation tolerance)
 #   --docs       also validate the documentation map: every bench/ target
 #                and every src/ subsystem must appear in docs/ARCHITECTURE.md
 #   --docs-only  run only the documentation check (no configure/build/test)
@@ -105,6 +108,18 @@ if [ "$DIST" = 1 ]; then
     "$BUILD/ablation_overlap" --n=64 --iters=3 --ranks=4
   else
     echo "ablation_overlap not built (OPV_BUILD_BENCH=OFF?) - skipped"
+  fi
+
+  echo "== renumbering smoke =="
+  # Small mesh, few iterations: exercises the context-level renumbering
+  # pass end to end (local + dist) and exits non-zero if the renumbered
+  # execution diverges from the baseline beyond reassociation tolerance.
+  # Timings at this size are noise; scripts/bench_report.sh does the
+  # measurement run.
+  if [ -x "$BUILD/ablation_renumber" ]; then
+    "$BUILD/ablation_renumber" --small --iters=2 --ranks=2
+  else
+    echo "ablation_renumber not built (OPV_BUILD_BENCH=OFF?) - skipped"
   fi
 fi
 

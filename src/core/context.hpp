@@ -8,8 +8,11 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/op2.hpp"
 
@@ -52,15 +55,18 @@ class LocalCtx {
   const ExecConfig& config() const { return cfg_; }
 
   SetHandle decl_set(const std::string& name, idx_t size) {
+    require_not_renumbered("decl_set");
     sets_.push_back(std::make_unique<Set>(name, size));
     return sets_.back().get();
   }
 
-  /// Partition hint; meaningful only for the distributed context.
-  void set_partition_coords(SetHandle, const double*) {}
+  /// Partition hint; locally it only records the primary set — the default
+  /// seed for the opt-in renumbering pass (set_renumber).
+  void set_partition_coords(SetHandle s, const double*) { primary_ = s; }
 
   MapHandle decl_map(const std::string& name, SetHandle from, SetHandle to, int dim,
                      aligned_vector<idx_t> data) {
+    require_not_renumbered("decl_map");
     maps_.push_back(std::make_unique<Map>(name, *from, *to, dim, std::move(data)));
     return maps_.back().get();
   }
@@ -68,17 +74,90 @@ class LocalCtx {
   template <class T>
   DatHandle<T> decl_dat(const std::string& name, SetHandle set, int dim,
                         const aligned_vector<T>& init) {
+    require_not_renumbered("decl_dat");
     dats_.push_back(std::make_unique<Dat<T>>(name, *set, dim, init));
     return static_cast<Dat<T>*>(dats_.back().get());
   }
   template <class T>
   DatHandle<T> decl_dat(const std::string& name, SetHandle set, int dim) {
+    require_not_renumbered("decl_dat");
     dats_.push_back(std::make_unique<Dat<T>>(name, *set, dim));
     return static_cast<Dat<T>*>(dats_.back().get());
   }
 
-  /// No-op locally; the distributed context partitions here.
-  void finalize() {}
+  /// Opt into the context-level renumbering pass (core/reorder.hpp):
+  /// finalize() then renumbers around the primary set declared through
+  /// set_partition_coords. Must be set before finalize().
+  void set_renumber(bool on) {
+    OPV_REQUIRE(!finalized_, "LocalCtx::set_renumber: context already finalized");
+    renumber_on_finalize_ = on;
+  }
+
+  /// Locally finalize() only applies the opt-in renumbering pass; the
+  /// distributed context additionally partitions here.
+  void finalize() {
+    if (finalized_) return;
+    finalized_ = true;
+    if (renumber_on_finalize_) {
+      OPV_REQUIRE(primary_ != nullptr,
+                  "LocalCtx::finalize: set_renumber(true) requires a primary set "
+                  "(call set_partition_coords)");
+      renumber(primary_);
+    }
+  }
+
+  /// Apply the context-level renumbering pass around `seed` (paper sections
+  /// 6.2/6.4; core/reorder.hpp): every declared Map is row-permuted and
+  /// target-relabeled, every Dat row-permuted, in place. Legal once, after
+  /// all declarations and BEFORE any loop executes — a loop handle pins its
+  /// coloring plan against the map contents it first ran with, so
+  /// renumbering underneath it would leave a stale (racy) schedule. Loops
+  /// run through this context's API are tracked and rejected here; fetch()
+  /// keeps returning values in the original declaration order.
+  void renumber(SetHandle seed) {
+    OPV_REQUIRE(!renumbered_, "LocalCtx::renumber: context already renumbered");
+    OPV_REQUIRE(!loops_ran_,
+                "LocalCtx::renumber: a loop already executed on this context; renumber "
+                "before the first loop (its pinned coloring plan would go stale)");
+    renumbered_ = true;
+
+    std::map<const Set*, int> index;
+    std::vector<idx_t> sizes;
+    for (const auto& s : sets_) {
+      index[s.get()] = static_cast<int>(sizes.size());
+      sizes.push_back(s->size());
+    }
+    std::vector<reorder::MapView> views;
+    views.reserve(maps_.size());
+    for (const auto& m : maps_)
+      views.push_back({index.at(&m->from()), index.at(&m->to()), m->dim(), m->mutable_data()});
+
+    const reorder::Permutations p = reorder::compute(sizes, views, index.at(seed));
+    reorder::apply_to_maps(p, views, sizes);
+    for (const auto& d : dats_) {
+      const int s = index.at(&d->set());
+      if (!p.identity(s)) reorder::permute_rows_bytes(p.of(s), d->raw(), d->elem_bytes());
+    }
+    for (const auto& s : sets_) {
+      const int i = index.at(s.get());
+      if (!p.identity(i)) perms_.emplace(s.get(), p.of(i));
+    }
+  }
+
+  /// The permutation (old declaration id -> new id) the renumbering pass
+  /// applied to a set, or nullptr if the set kept its numbering.
+  [[nodiscard]] const aligned_vector<idx_t>* permutation(SetHandle s) const {
+    const auto it = perms_.find(s);
+    return it == perms_.end() ? nullptr : &it->second;
+  }
+
+  /// Every non-identity permutation applied, keyed by set name (test and
+  /// tooling introspection — e.g. replaying the pass as a manual relayout).
+  [[nodiscard]] std::map<std::string, aligned_vector<idx_t>> applied_permutations() const {
+    std::map<std::string, aligned_vector<idx_t>> out;
+    for (const auto& [set, perm] : perms_) out.emplace(set->name(), perm);
+    return out;
+  }
 
   // Typed argument builders: the access mode (and optionally the arity Dim)
   // travel as template parameters, via explicit template argument or
@@ -112,6 +191,7 @@ class LocalCtx {
 
   template <class Kernel, class... Args>
   void loop(Kernel k, const char* name, SetHandle set, Args... args) {
+    loops_ran_ = true;
     par_loop(std::move(k), name, *set, cfg_, args...);
   }
 
@@ -124,21 +204,50 @@ class LocalCtx {
     return CtxLoop<Kernel, Args...>(*this, std::move(k), name, *set, args...);
   }
 
-  /// Copy a dataset's owned values into a global-order array.
+  /// Copy a dataset's owned values into an array in the ORIGINAL declaration
+  /// order (renumbering, when applied, is inverted here — the caller never
+  /// observes the internal numbering).
   template <class T>
   void fetch(DatHandle<T> d, aligned_vector<T>& out) const {
-    out.assign(d->data(), d->data() + static_cast<std::size_t>(d->set().size()) * d->dim());
+    const auto it = perms_.find(&d->set());
+    if (it == perms_.end()) {
+      out.assign(d->data(), d->data() + static_cast<std::size_t>(d->set().size()) * d->dim());
+      return;
+    }
+    const aligned_vector<idx_t>& perm = it->second;
+    const int dim = d->dim();
+    out.resize(static_cast<std::size_t>(d->set().size()) * dim);
+    for (idx_t e = 0; e < d->set().size(); ++e)
+      for (int c = 0; c < dim; ++c)
+        out[static_cast<std::size_t>(e) * dim + c] =
+            d->data()[static_cast<std::size_t>(perm[static_cast<std::size_t>(e)]) * dim + c];
   }
 
  private:
+  template <class Kernel, class... Args>
+  friend class CtxLoop;  // marks loops_ran_ on run()
+
+  void require_not_renumbered(const char* what) const {
+    OPV_REQUIRE(!renumbered_, "LocalCtx::" << what
+                                           << ": declarations are closed once the context is "
+                                              "renumbered (declare everything first)");
+  }
+
   ExecConfig cfg_;
   std::deque<std::unique_ptr<Set>> sets_;
   std::deque<std::unique_ptr<Map>> maps_;
   std::deque<std::unique_ptr<DatBase>> dats_;
+  SetHandle primary_ = nullptr;
+  bool renumber_on_finalize_ = false;
+  bool finalized_ = false;
+  bool renumbered_ = false;
+  bool loops_ran_ = false;  ///< a loop executed: renumbering is no longer legal
+  std::map<const Set*, aligned_vector<idx_t>> perms_;  ///< old -> new, per set
 };
 
 template <class Kernel, class... Args>
 void CtxLoop<Kernel, Args...>::run() {
+  ctx_->loops_ran_ = true;
   loop_.run(ctx_->config());
 }
 

@@ -33,6 +33,13 @@ struct LoopRecord {
   // communication fraction.
   double exchange_seconds = 0.0;
   std::int64_t exchanged_values = 0;
+
+  // Plan-construction accounting (the run-time pre-processing cost the
+  // ROADMAP names): wall time this loop spent acquiring coloring plans
+  // (cache lookups plus the builds they trigger, including per-slice subset
+  // plans). Amortizes toward zero over a long run — the `plan` column in
+  // perf::loop_stats_table makes the remaining share visible.
+  double plan_seconds = 0.0;
 };
 
 class StatsRegistry {
@@ -57,6 +64,10 @@ class StatsRegistry {
   /// scalar-value count into a slot (perf::loop_stats_table's exchange
   /// column).
   void record_exchange(LoopRecord& slot, double seconds, std::int64_t values);
+
+  /// Accumulate plan-acquisition wall time into a slot (perf::
+  /// loop_stats_table's plan column).
+  void record_plan(LoopRecord& slot, double seconds);
 
   /// Accumulate by name (one-shot callers; does the lookup every time).
   void record(const std::string& loop, double seconds, std::int64_t elements);

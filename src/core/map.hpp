@@ -42,6 +42,13 @@ class Map {
   [[nodiscard]] int dim() const { return dim_; }
   [[nodiscard]] const idx_t* data() const { return data_.data(); }
 
+  /// Mutable entry access for the context-level renumbering pass
+  /// (core/reorder.hpp), which row-permutes and relabels map data in place.
+  /// The caller owns the invariants the constructor checked (every entry
+  /// stays inside the target set) — renumbering preserves them because it
+  /// only applies bijections on [0, size).
+  [[nodiscard]] idx_t* mutable_data() { return data_.data(); }
+
   /// k-th target of element e.
   [[nodiscard]] idx_t operator()(idx_t e, int k) const {
     return data_[static_cast<std::size_t>(e) * dim_ + k];

@@ -7,6 +7,7 @@
 //   opv::par_loop                            one-shot loop execution
 //   opv::ExecConfig / opv::Backend           backend selection
 //   opv::Plan / opv::PlanCache               coloring plans (advanced use)
+//   opv::reorder                             context-level renumbering pass
 //
 // The distributed-rank context lives in dist/context.hpp (opv::dist).
 #pragma once
@@ -20,4 +21,5 @@
 #include "core/map.hpp"
 #include "core/par_loop.hpp"
 #include "core/plan.hpp"
+#include "core/reorder.hpp"
 #include "core/set.hpp"

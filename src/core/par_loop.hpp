@@ -960,9 +960,9 @@ class Loop {
         if (!strat) {
           detail::exec_omp_direct(kernel_, proto, n, nth, hint);
         } else if (!hint) {
-          detail::exec_omp_colored(kernel_, proto, plan_for(*strat, bs), nth);
+          detail::exec_omp_colored(kernel_, proto, plan_for(*strat, bs, nth), nth);
         } else {
-          const Plan& plan = plan_for(*strat, bs);
+          const Plan& plan = plan_for(*strat, bs, nth);
           if (*strat == ColoringStrategy::FullPermute)
             detail::exec_perm_fullperm(kernel_, proto, plan, nth, /*simd_hint=*/true);
           else
@@ -991,6 +991,11 @@ class Loop {
       // DistCtx) never touch the registry at all.
       if (!stats_) stats_ = &StatsRegistry::instance().slot(name_);
       StatsRegistry::instance().record(*stats_, secs, n);
+      const double plan_fresh = plan_build_secs_ - plan_secs_reported_;
+      if (plan_fresh > 0.0) {
+        StatsRegistry::instance().record_plan(*stats_, plan_fresh);
+        plan_secs_reported_ = plan_build_secs_;
+      }
     }
   }
 
@@ -1101,7 +1106,7 @@ class Loop {
   [[nodiscard]] const Plan* plan(const ExecConfig& cfg) {
     const auto strat = strategy_for(cfg);
     if (!strat) return nullptr;
-    return &plan_for(*strat, resolve_block_size(cfg));
+    return &plan_for(*strat, resolve_block_size(cfg), detail::resolve_threads(cfg.nthreads));
   }
 
   /// kAuto result: the settled block size (0 while still tuning, or when
@@ -1109,6 +1114,12 @@ class Loop {
   [[nodiscard]] int tuned_block_size() const {
     return tuner_ && tuner_->settled() ? tuner_->best() : 0;
   }
+
+  /// Cumulative wall seconds this handle spent acquiring coloring plans
+  /// (cache lookups + builds, including subset plans for slices). The
+  /// distributed layer aggregates this across its rank loops into the
+  /// stats `plan` column.
+  [[nodiscard]] double plan_build_seconds() const { return plan_build_secs_; }
 
  private:
   /// Block size for the next run: explicit from cfg, or — under
@@ -1138,10 +1149,17 @@ class Loop {
     return cfg.coloring;
   }
   /// Memoized plan lookup: one pinned shared_ptr per coloring strategy.
-  const Plan& plan_for(ColoringStrategy strat, int block_size) {
+  /// Acquisition wall time (the cache lookup plus any build it triggers)
+  /// accumulates into plan_build_secs_ — the ROADMAP's plan-construction
+  /// cost, reported through the stats `plan` column. `nthreads` is this
+  /// loop's thread budget, bounding the build's internal parallelism (a
+  /// dist rank loop with nthreads=1 must not spawn a full-machine team).
+  const Plan& plan_for(ColoringStrategy strat, int block_size, int nthreads) {
     PlanSlot& s = plans_[static_cast<int>(strat)];
     if (!s.plan || s.block_size != block_size) {
-      s.plan = PlanCache::instance().get(*set_, conflicts_, block_size, strat);
+      WallTimer t;
+      s.plan = PlanCache::instance().get(*set_, conflicts_, block_size, strat, nthreads);
+      plan_build_secs_ += t.seconds();
       s.block_size = block_size;
     }
     return *s.plan;
@@ -1162,10 +1180,13 @@ class Loop {
     const int bs =
         cfg.block_size != ExecConfig::kAuto ? cfg.block_size : ExecConfig::kDefaultBlockSize;
     if (!s.plan_ || s.block_size_ != bs || s.strat_ != strat) {
+      WallTimer t;
       std::vector<IncRef> sorted = conflicts_;
       std::sort(sorted.begin(), sorted.end());
       sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-      s.plan_ = build_plan(s.size(), sorted, bs, strat, s.elems_.data());
+      s.plan_ = build_plan(s.size(), sorted, bs, strat, s.elems_.data(),
+                           detail::resolve_threads(cfg.nthreads));
+      plan_build_secs_ += t.seconds();
       s.block_size_ = bs;
       s.strat_ = strat;
     }
@@ -1211,14 +1232,14 @@ class Loop {
           [](const auto&... a) { return std::make_tuple(detail::vbind<W>(a)...); }, args_);
       const auto strat = strategy_for(cfg);
       if (cfg.backend == Backend::Simt) {
-        detail::exec_simt<W>(kernel_, sproto, vproto, plan_for(*strat, block_size), nth);
+        detail::exec_simt<W>(kernel_, sproto, vproto, plan_for(*strat, block_size, nth), nth);
         return;
       }
       if (!strat) {
         detail::exec_simd_direct<W>(kernel_, sproto, vproto, n, nth);
         return;
       }
-      const Plan& plan = plan_for(*strat, block_size);
+      const Plan& plan = plan_for(*strat, block_size, nth);
       switch (*strat) {
         case ColoringStrategy::TwoLevel:
           detail::exec_simd_colored<W>(kernel_, sproto, vproto, plan, nth);
@@ -1253,6 +1274,8 @@ class Loop {
   std::vector<IncRef> conflicts_;
   LoopRecord* stats_ = nullptr;
   PlanSlot plans_[3];
+  double plan_build_secs_ = 0.0;     ///< cumulative plan acquisition time
+  double plan_secs_reported_ = 0.0;  ///< share already flushed to stats_
   /// Allocated on the first kAuto run. The tuned block size is pinned per
   /// Loop INSTANCE, never shared through any global registry: re-templating
   /// a loop (e.g. migrating its args from runtime-dim to compile-time-Dim

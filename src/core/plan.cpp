@@ -1,7 +1,11 @@
 #include "core/plan.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <bit>
+#include <exception>
+#include <future>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -133,7 +137,7 @@ struct BlockColorer {
 
 std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& conflicts,
                                        int block_size, ColoringStrategy strategy,
-                                       const idx_t* subset) {
+                                       const idx_t* subset, int nthreads) {
   OPV_REQUIRE(block_size >= 16 && block_size % 16 == 0,
               "block size must be a positive multiple of 16, got " << block_size);
   auto plan = std::make_shared<Plan>();
@@ -167,13 +171,36 @@ std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& 
     p.elem_color.assign(static_cast<std::size_t>(nelems), 0);
     p.block_nelem_colors.assign(static_cast<std::size_t>(p.nblocks), nelems > 0 ? 1 : 0);
     if (!conflicts.empty()) {
-      BlockColorer bc(space.total());
-      for (idx_t b = 0; b < p.nblocks; ++b) {
-        const int nc = bc.color_block(p.block_begin(b), p.block_end(b), conflicts, space,
-                                      p.elem_color, subset);
-        p.block_nelem_colors[b] = nc;
-        p.max_elem_colors = std::max(p.max_elem_colors, nc);
+      // Blocks are independent (each writes its own elem_color range and
+      // block_nelem_colors slot), so the per-block coloring — the dominant
+      // plan-construction cost — runs across threads, each worker with its
+      // own epoch-tagged BlockColorer. Results are identical to the serial
+      // sweep; exceptions (degenerate-conflict convergence failures) are
+      // rethrown on the calling thread.
+      int max_colors = 0;
+      std::exception_ptr error;
+      const int nt = nthreads > 0 ? nthreads : omp_get_max_threads();
+#pragma omp parallel num_threads(nt)
+      {
+        BlockColorer bc(space.total());
+        int local_max = 0;
+#pragma omp for schedule(static)
+        for (idx_t b = 0; b < p.nblocks; ++b) {
+          try {
+            const int nc = bc.color_block(p.block_begin(b), p.block_end(b), conflicts, space,
+                                          p.elem_color, subset);
+            p.block_nelem_colors[b] = nc;
+            local_max = std::max(local_max, nc);
+          } catch (...) {
+#pragma omp critical(opv_plan_error)
+            if (!error) error = std::current_exception();
+          }
+        }
+#pragma omp critical(opv_plan_max)
+        max_colors = std::max(max_colors, local_max);
       }
+      if (error) std::rethrow_exception(error);
+      p.max_elem_colors = max_colors;
     } else {
       p.max_elem_colors = nelems > 0 ? 1 : 0;
     }
@@ -231,9 +258,43 @@ std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& 
 
 // ---- PlanCache ---------------------------------------------------------------
 
+namespace {
+
+/// FNV-1a fingerprint of the conflict maps' contents (plus the set shape).
+/// Hashing is linear in the map data but runs only on plan ACQUISITION —
+/// once per (loop, strategy, block size), orders of magnitude rarer and
+/// cheaper than the coloring it guards.
+std::uint64_t content_fingerprint(const Set& set, const std::vector<IncRef>& conflicts) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(set.size()));
+  mix(static_cast<std::uint64_t>(set.exec_size()));
+  mix(static_cast<std::uint64_t>(set.total_size()));
+  for (const IncRef& c : conflicts) {
+    mix(static_cast<std::uint64_t>(c.idx));
+    mix(static_cast<std::uint64_t>(c.map->dim()));
+    mix(static_cast<std::uint64_t>(c.map->to().total_size()));
+    const std::size_t n =
+        static_cast<std::size_t>(c.map->from().total_size()) * c.map->dim();
+    const idx_t* data = c.map->data();
+    for (std::size_t i = 0; i < n; ++i) mix(static_cast<std::uint64_t>(data[i]));
+  }
+  return h;
+}
+
+}  // namespace
+
 struct PlanCache::Impl {
-  using Key = std::tuple<const Set*, idx_t, std::vector<IncRef>, int, ColoringStrategy>;
-  std::map<Key, std::shared_ptr<const Plan>> cache;
+  using Key =
+      std::tuple<const Set*, idx_t, std::vector<IncRef>, std::uint64_t, int, ColoringStrategy>;
+  // Single-flight: the cache stores a shared_future per key, inserted
+  // BEFORE the build runs, so concurrent callers for the same key block on
+  // one build instead of each constructing (and racing to insert) their
+  // own plan. A failed build erases its entry so later callers can retry.
+  std::map<Key, std::shared_future<std::shared_ptr<const Plan>>> cache;
   mutable std::mutex mu;
 };
 
@@ -245,21 +306,42 @@ PlanCache& PlanCache::instance() {
 }
 
 std::shared_ptr<const Plan> PlanCache::get(const Set& set, const std::vector<IncRef>& conflicts,
-                                           int block_size, ColoringStrategy strategy) {
+                                           int block_size, ColoringStrategy strategy,
+                                           int nthreads) {
   std::vector<IncRef> sorted = conflicts;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   const idx_t nelems = conflicts.empty() ? set.size() : set.exec_size();
-  Impl::Key key{&set, nelems, sorted, block_size, strategy};
+  Impl::Key key{&set, nelems, sorted, content_fingerprint(set, sorted), block_size, strategy};
+
+  std::promise<std::shared_ptr<const Plan>> promise;
+  std::shared_future<std::shared_ptr<const Plan>> future;
+  bool builder = false;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     auto it = impl_->cache.find(key);
-    if (it != impl_->cache.end()) return it->second;
+    if (it != impl_->cache.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      impl_->cache.emplace(key, future);
+      builder = true;
+    }
   }
-  auto plan = build_plan(nelems, sorted, block_size, strategy);
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  auto [it, inserted] = impl_->cache.emplace(std::move(key), std::move(plan));
-  return it->second;
+  if (!builder) return future.get();
+
+  try {
+    auto plan = build_plan(nelems, sorted, block_size, strategy, nullptr, nthreads);
+    promise.set_value(plan);
+    return plan;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->cache.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
 }
 
 void PlanCache::clear() {

@@ -89,18 +89,27 @@ struct Plan {
 /// `elem_color` stay in subset-position space — subset plans are only valid
 /// for the permuted strategies (FullPermute/BlockPermute), which is what
 /// opv::Loop's slice execution uses (phased interior/boundary runs).
+///
+/// `nthreads` bounds the team size of the internal per-block coloring
+/// parallelism (0 = the OpenMP default). Callers holding a per-rank thread
+/// budget (dist rank loops) pass theirs so plan builds do not oversubscribe.
 std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& conflicts,
                                        int block_size, ColoringStrategy strategy,
-                                       const idx_t* subset = nullptr);
+                                       const idx_t* subset = nullptr, int nthreads = 0);
 
-/// Process-wide plan cache keyed by (set, conflicts, block size, strategy).
-/// Plans are immutable and shared; construction happens once per key.
+/// Process-wide plan cache keyed by (set, conflicts, block size, strategy)
+/// plus a fingerprint of the conflict maps' CONTENTS: Set/Map addresses can
+/// be recycled by a later context of identical shape (or a map's data can be
+/// rewritten in place by the renumbering pass), and a stale coloring under
+/// different connectivity would silently race — the fingerprint turns those
+/// collisions into cache misses. Plans are immutable and shared;
+/// construction happens once per key.
 class PlanCache {
  public:
   static PlanCache& instance();
 
   std::shared_ptr<const Plan> get(const Set& set, const std::vector<IncRef>& conflicts,
-                                  int block_size, ColoringStrategy strategy);
+                                  int block_size, ColoringStrategy strategy, int nthreads = 0);
 
   void clear();
   [[nodiscard]] std::size_t size() const;

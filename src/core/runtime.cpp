@@ -77,6 +77,11 @@ void StatsRegistry::record_exchange(LoopRecord& slot, double seconds, std::int64
   slot.exchanged_values += values;
 }
 
+void StatsRegistry::record_plan(LoopRecord& slot, double seconds) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  slot.plan_seconds += seconds;
+}
+
 void StatsRegistry::record(const std::string& loop, double seconds, std::int64_t elements) {
   record(slot(loop), seconds, elements);
 }

@@ -32,6 +32,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -227,19 +228,49 @@ class DistCtx {
     return {static_cast<int>(dats_.size()) - 1};
   }
 
-  /// Partition, derive ownership, build halos, replicate datasets.
+  /// Opt into the global renumbering pass (core/reorder.hpp): finalize()
+  /// then renumbers the declared universe around the primary set BEFORE
+  /// RCB partitioning, so each rank's owned elements also form contiguous
+  /// RCM ranges. Must be set before finalize().
+  void set_renumber(bool on) {
+    require_open("set_renumber");
+    renumber_on_finalize_ = on;
+  }
+
+  /// Partition, derive ownership, build halos, replicate datasets —
+  /// preceded by the opt-in global renumbering pass.
   /// Idempotent; called implicitly by the first loop() or fetch().
   void finalize() {
     if (finalized_) return;
     OPV_REQUIRE(primary_ >= 0,
                 "DistCtx::finalize: no partition coordinates declared "
                 "(call set_partition_coords on the primary set)");
+    if (renumber_on_finalize_) apply_renumber();
     const auto primary_owner =
         partition_rcb(coords_.data(), spec_.sets[primary_].size, nranks_);
     auto owner = derive_ownership(spec_, primary_, primary_owner, nranks_);
     part_ = std::make_unique<Partitioned>(spec_, owner, nranks_);
     for (int i = 0; i < static_cast<int>(dats_.size()); ++i) dats_[i]->materialize(i, *part_);
     finalized_ = true;
+  }
+
+  /// The permutation (old declaration id -> new global id) the renumbering
+  /// pass applied to a set, or nullptr if the set kept its numbering.
+  [[nodiscard]] const aligned_vector<idx_t>* permutation(SetHandle s) {
+    finalize();
+    if (perms_.perm.empty() || perms_.identity(s)) return nullptr;
+    return &perms_.of(s);
+  }
+
+  /// Every non-identity permutation applied, keyed by set name (test and
+  /// tooling introspection — e.g. replaying the pass as a manual relayout).
+  [[nodiscard]] std::map<std::string, aligned_vector<idx_t>> applied_permutations() {
+    finalize();
+    std::map<std::string, aligned_vector<idx_t>> out;
+    for (int s = 0; s < static_cast<int>(spec_.sets.size()); ++s)
+      if (!perms_.perm.empty() && !perms_.identity(s))
+        out.emplace(spec_.sets[s].name, perms_.of(s));
+    return out;
   }
 
   [[nodiscard]] const Partitioned& partitioned() const {
@@ -325,18 +356,26 @@ class DistCtx {
   Loop<Kernel, DArgs...> make_loop(Kernel kernel, const char* name, SetHandle set,
                                    DArgs... dargs);
 
-  /// Copy a dataset's owned values into a global-order array.
+  /// Copy a dataset's owned values into an array in the ORIGINAL declaration
+  /// order (the global renumbering, when applied, is inverted here — the
+  /// caller never observes the internal numbering).
   template <class T>
   void fetch(DatHandle<T> d, aligned_vector<T>& out) {
     finalize();
     auto& e = entry<T>(d.id);
+    const aligned_vector<idx_t>* inv =
+        static_cast<std::size_t>(e.set) < inv_.size() && !inv_[e.set].empty() ? &inv_[e.set]
+                                                                              : nullptr;
     out.assign(static_cast<std::size_t>(spec_.sets[e.set].size) * e.dim, T{});
     for (int r = 0; r < nranks_; ++r) {
       const LocalLayout& L = part_->layout(r, e.set);
       const Dat<T>& dat = e.rank[r];
-      for (idx_t l = 0; l < L.nowned; ++l)
+      for (idx_t l = 0; l < L.nowned; ++l) {
+        const idx_t g = L.local_to_global[l];
+        const idx_t orig = inv ? (*inv)[static_cast<std::size_t>(g)] : g;
         for (int c = 0; c < e.dim; ++c)
-          out[static_cast<std::size_t>(L.local_to_global[l]) * e.dim + c] = dat.at(l, c);
+          out[static_cast<std::size_t>(orig) * e.dim + c] = dat.at(l, c);
+      }
     }
   }
 
@@ -364,12 +403,19 @@ class DistCtx {
     DatHaloView view;    ///< type-erased transport view, pinned at materialize
     virtual ~DatEntryBase() = default;
     virtual void materialize(int id, const Partitioned& part) = 0;
+    /// Row-permute the global initial values (renumbering pass; no-op for
+    /// zero-initialized dats).
+    virtual void permute_init(const aligned_vector<idx_t>& perm) = 0;
   };
 
   template <class T>
   struct DatEntry final : DatEntryBase {
     aligned_vector<T> init;   ///< global initial values (empty = zeros)
     std::deque<Dat<T>> rank;  ///< per-rank replica, local layout order
+
+    void permute_init(const aligned_vector<idx_t>& perm) override {
+      if (!init.empty()) reorder::permute_rows(perm, init.data(), dim);
+    }
 
     void materialize(int id, const Partitioned& part) override {
       for (int r = 0; r < part.nranks(); ++r) {
@@ -443,6 +489,29 @@ class DistCtx {
     OPV_REQUIRE(!finalized_, "DistCtx::" << what << ": context already finalized");
   }
 
+  /// The global renumbering pass (core/reorder.hpp), run at finalize()
+  /// before partitioning: RCM on the primary set, from-sets sorted by their
+  /// renumbered targets; spec maps relabeled/permuted, partition coordinates
+  /// and dat initial values row-permuted, inverses kept for fetch().
+  void apply_renumber() {
+    std::vector<idx_t> sizes;
+    sizes.reserve(spec_.sets.size());
+    for (const auto& s : spec_.sets) sizes.push_back(s.size);
+    std::vector<reorder::MapView> views;
+    views.reserve(spec_.maps.size());
+    for (auto& m : spec_.maps) views.push_back({m.from, m.to, m.dim, m.data.data()});
+
+    perms_ = reorder::compute(sizes, views, primary_);
+    reorder::apply_to_maps(perms_, views, sizes);
+    if (!perms_.identity(primary_))
+      reorder::permute_rows(perms_.of(primary_), coords_.data(), 2);
+    for (auto& d : dats_)
+      if (!perms_.identity(d->set)) d->permute_init(perms_.of(d->set));
+    inv_.resize(spec_.sets.size());
+    for (int s = 0; s < static_cast<int>(spec_.sets.size()); ++s)
+      if (!perms_.identity(s)) inv_[static_cast<std::size_t>(s)] = reorder::invert(perms_.of(s));
+  }
+
   int nranks_;
   ExecConfig cfg_;
   WorkerPool pool_;
@@ -453,6 +522,9 @@ class DistCtx {
   std::unique_ptr<Partitioned> part_;
   std::unique_ptr<Exchanger> exchanger_ = std::make_unique<MemcpyExchanger>();
   ExchangeMode exchange_mode_ = ExchangeMode::Overlap;
+  bool renumber_on_finalize_ = false;
+  reorder::Permutations perms_;          ///< old -> new per set (renumbering)
+  std::vector<aligned_vector<idx_t>> inv_;  ///< new -> old per set, for fetch
   bool finalized_ = false;
 };
 

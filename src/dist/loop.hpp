@@ -215,6 +215,15 @@ class Loop {
         if (!halo_stats_) halo_stats_ = &reg.slot(name_ + "/halo");
         reg.record(*halo_stats_, exch_secs, exchanged);
       }
+      // Plan acquisition happens inside the rank loops (full and subset
+      // plans alike); flush the freshly accumulated share into this loop's
+      // plan column. Safe to read here: the rank pool has joined.
+      double plan_total = 0.0;
+      for (const RankLoop& rl : rank_loops_) plan_total += rl.plan_build_seconds();
+      if (plan_total > plan_secs_reported_) {
+        reg.record_plan(*stats_, plan_total - plan_secs_reported_);
+        plan_secs_reported_ = plan_total;
+      }
     }
   }
 
@@ -437,6 +446,7 @@ class Loop {
   std::vector<double> rank_secs_;
   LoopRecord* stats_ = nullptr;
   LoopRecord* halo_stats_ = nullptr;
+  double plan_secs_reported_ = 0.0;  ///< rank-loop plan share already flushed
 };
 
 template <class Kernel, class... DArgs>

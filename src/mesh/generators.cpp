@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
-#include <queue>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/reorder.hpp"
 
 namespace opv::mesh {
 
@@ -349,66 +349,35 @@ aligned_vector<idx_t> shuffle_edges(UnstructuredMesh& m, std::uint64_t seed) {
 }
 
 aligned_vector<idx_t> sort_edges_by_cell(UnstructuredMesh& m) {
+  // The mesh-level exemplar of the shared pass's from-set ordering: edges
+  // sorted lexicographically by their (already numbered) adjacent cells.
+  const aligned_vector<idx_t> perm =
+      reorder::sort_rows_perm(m.edge_cells.data(), m.nedges, 2);
+  // Convert old->new into this API's applied-permutation convention
+  // (p[new] = old, matching shuffle_edges).
   aligned_vector<idx_t> p(static_cast<std::size_t>(m.nedges));
-  for (idx_t e = 0; e < m.nedges; ++e) p[e] = e;
-  std::sort(p.begin(), p.end(), [&m](idx_t a, idx_t b) {
-    const idx_t ka = std::min(m.edge_cells[2 * a], m.edge_cells[2 * a + 1]);
-    const idx_t kb = std::min(m.edge_cells[2 * b], m.edge_cells[2 * b + 1]);
-    return ka != kb ? ka < kb : a < b;
-  });
+  for (idx_t e = 0; e < m.nedges; ++e) p[perm[e]] = e;
   m.edge_nodes = permute_rows(m.edge_nodes, p, 2);
   m.edge_cells = permute_rows(m.edge_cells, p, 2);
   return p;
 }
 
 aligned_vector<idx_t> renumber_cells_rcm(UnstructuredMesh& m) {
-  // Build cell-cell adjacency through interior edges.
-  const CellEdges ce = build_cell_edges(m);
-  auto neighbor = [&m](idx_t edge, idx_t c) {
-    const idx_t c0 = m.edge_cells[2 * edge], c1 = m.edge_cells[2 * edge + 1];
-    return c0 == c ? c1 : c0;
+  // Cell-cell adjacency through interior edges, derived by the shared
+  // context-level pass from the edge->cell map (core/reorder.hpp); sets are
+  // indexed {0: nodes, 1: cells, 2: edges, 3: bedges}.
+  const std::vector<idx_t> sizes = {m.nnodes, m.ncells, m.nedges, m.nbedges};
+  const std::vector<reorder::MapView> maps = {
+      {2, 1, 2, m.edge_cells.data()},                // edges -> cells
+      {3, 1, 1, m.bedge_cell.data()},                // bedges -> cells
+      {1, 0, m.nodes_per_cell, m.cell_nodes.data()}  // cells -> nodes
   };
-
-  aligned_vector<idx_t> order;  // order[k] = old cell visited k-th
-  order.reserve(static_cast<std::size_t>(m.ncells));
-  aligned_vector<idx_t> visited(static_cast<std::size_t>(m.ncells), 0);
-
-  for (idx_t seed = 0; seed < m.ncells; ++seed) {
-    if (visited[seed]) continue;
-    std::queue<idx_t> q;
-    q.push(seed);
-    visited[seed] = 1;
-    while (!q.empty()) {
-      const idx_t c = q.front();
-      q.pop();
-      order.push_back(c);
-      // Gather unvisited neighbors, visit in ascending degree order (CM).
-      aligned_vector<idx_t> nbrs;
-      for (idx_t k = ce.offset[c]; k < ce.offset[c + 1]; ++k) {
-        const idx_t n = neighbor(ce.edges[k], c);
-        if (!visited[n]) nbrs.push_back(n);
-      }
-      std::sort(nbrs.begin(), nbrs.end(), [&ce](idx_t a, idx_t b) {
-        const idx_t da = ce.offset[a + 1] - ce.offset[a];
-        const idx_t db = ce.offset[b + 1] - ce.offset[b];
-        return da != db ? da < db : a < b;
-      });
-      for (idx_t n : nbrs) {
-        visited[n] = 1;
-        q.push(n);
-      }
-    }
-  }
-
-  // perm[old] = new (reverse CM ordering).
-  aligned_vector<idx_t> perm(static_cast<std::size_t>(m.ncells));
-  for (idx_t k = 0; k < m.ncells; ++k)
-    perm[order[k]] = m.ncells - 1 - k;
+  aligned_vector<idx_t> offset, adj;
+  reorder::seed_adjacency(sizes, maps, /*seed=*/1, offset, adj);
+  aligned_vector<idx_t> perm = reorder::rcm_order(m.ncells, offset, adj);
 
   // Apply to cell-major data and to every map targeting cells.
-  aligned_vector<idx_t> inv(static_cast<std::size_t>(m.ncells));
-  for (idx_t old = 0; old < m.ncells; ++old) inv[perm[old]] = old;
-  m.cell_nodes = permute_rows(m.cell_nodes, inv, m.nodes_per_cell);
+  reorder::permute_rows(perm, m.cell_nodes.data(), m.nodes_per_cell);
   for (auto& c : m.edge_cells) c = perm[c];
   for (auto& c : m.bedge_cell) c = perm[c];
   return perm;

@@ -42,12 +42,15 @@ void perturb_nodes(UnstructuredMesh& m, double amplitude, std::uint64_t seed = 4
 aligned_vector<idx_t> shuffle_edges(UnstructuredMesh& m, std::uint64_t seed = 42);
 
 /// Renumber interior edges so consecutive edges touch nearby cells
-/// (sort by min adjacent cell id). Returns the permutation applied.
+/// (lexicographic by sorted adjacent-cell pair — the mesh-level exemplar of
+/// the context pass's from-set ordering, core/reorder.hpp). Returns the
+/// permutation applied (p[new] = old, as shuffle_edges).
 aligned_vector<idx_t> sort_edges_by_cell(UnstructuredMesh& m);
 
-/// Cuthill-McKee renumbering of cells (BFS over the cell-edge-cell graph,
-/// neighbors visited in degree order). Updates cell_nodes, edge_cells and
-/// bedge_cell in place; returns perm with new_id = perm[old_id].
+/// Reverse Cuthill-McKee renumbering of cells (BFS over the cell-edge-cell
+/// graph, neighbors visited in degree order — implemented on the shared
+/// context-level pass, core/reorder.hpp). Updates cell_nodes, edge_cells
+/// and bedge_cell in place; returns perm with new_id = perm[old_id].
 aligned_vector<idx_t> renumber_cells_rcm(UnstructuredMesh& m);
 
 /// Enforce the OP2 Airfoil finite-volume edge convention: with

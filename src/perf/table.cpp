@@ -67,10 +67,11 @@ double rank_imbalance(const LoopRecord& rec) {
 }
 
 Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records) {
-  bool any_ranks = false, any_exchange = false;
+  bool any_ranks = false, any_exchange = false, any_plan = false;
   for (const auto& [name, rec] : records) {
     any_ranks |= rec.nranks > 0;
     any_exchange |= rec.exchange_seconds > 0.0 || rec.exchanged_values > 0;
+    any_plan |= rec.plan_seconds > 0.0;
   }
 
   std::vector<std::string> headers = {"loop", "calls", "seconds"};
@@ -82,6 +83,7 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
     headers.push_back("exch (s)");
     headers.push_back("exch vals");
   }
+  if (any_plan) headers.push_back("plan (s)");
   Table t(std::move(headers));
   for (const auto& [name, rec] : records) {
     std::vector<std::string> row = {name, std::to_string(rec.calls),
@@ -95,6 +97,7 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
       row.push_back(has ? Table::num(rec.exchange_seconds, 4) : "-");
       row.push_back(has ? std::to_string(rec.exchanged_values) : "-");
     }
+    if (any_plan) row.push_back(rec.plan_seconds > 0.0 ? Table::num(rec.plan_seconds, 4) : "-");
     t.add_row(std::move(row));
   }
   return t;

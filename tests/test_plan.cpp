@@ -11,7 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "core/op2.hpp"
 #include "mesh/generators.hpp"
@@ -208,6 +211,35 @@ TEST(PlanCache, ReturnsSamePlanForSameKey) {
   auto e = PlanCache::instance().get(edges, shuffled, 64, ColoringStrategy::TwoLevel);
   EXPECT_EQ(a.get(), e.get());
   EXPECT_GE(PlanCache::instance().size(), 3u);
+}
+
+TEST(PlanCache, ConcurrentGetSharesOneBuild) {
+  // Single-flight: a burst of threads asking for the same (and a handful of
+  // distinct) keys must all resolve to one shared plan per key, without
+  // duplicate-insert races. The permuted arrays are immutable, so pointer
+  // identity across threads is the whole contract.
+  auto m = mesh::make_quad_box(40, 40);
+  Set cells("cells", m.ncells), edges("edges", m.nedges);
+  Map e2c("e2c", edges, cells, 2, m.edge_cells);
+  PlanCache::instance().clear();
+  const std::vector<IncRef> conflicts = {{&e2c, 0}, {&e2c, 1}};
+  constexpr int kThreads = 8;
+  const int block_sizes[kThreads] = {64, 64, 64, 64, 128, 128, 256, 256};
+  std::vector<std::shared_ptr<const Plan>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      got[t] =
+          PlanCache::instance().get(edges, conflicts, block_sizes[t], ColoringStrategy::TwoLevel);
+    });
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_NE(got[t], nullptr);
+    if (block_sizes[t] == block_sizes[t - 1])
+      EXPECT_EQ(got[t].get(), got[t - 1].get()) << "same key must share one build";
+  }
+  EXPECT_EQ(PlanCache::instance().size(), 3u);
 }
 
 TEST(PlanCache, MultiMapConflicts) {
