@@ -4,10 +4,13 @@
 //
 //   ./airfoil_sim [--ni=600] [--nj=300] [--iters=200] [--backend=simd]
 //                 [--precision=double] [--ranks=0] [--renumber] [--shuffle]
+//                 [--chain]
 //
 // --renumber enables the context-level renumbering pass (RCM cells +
 // lexicographically sorted edges, paper sections 6.2/6.4); --shuffle
 // scrambles the edge ordering first, so the pass has locality to recover.
+// --chain executes each iteration through opv::LoopChain (cross-loop sparse
+// tiling, core/chain.hpp) — local runs only, ignored with --ranks.
 
 #include <cstdio>
 #include <string>
@@ -32,8 +35,8 @@ opv::Backend parse_backend(const std::string& s) {
 }
 
 template <class Real, class Ctx>
-void run(Ctx& ctx, const opv::mesh::UnstructuredMesh& m, int iters) {
-  opv::airfoil::Airfoil<Real, Ctx> app(ctx, m);
+void run(Ctx& ctx, const opv::mesh::UnstructuredMesh& m, int iters, bool chain) {
+  opv::airfoil::Airfoil<Real, Ctx> app(ctx, m, chain);
   opv::WallTimer t;
   app.run(iters, std::max(1, iters / 10));
   const double secs = t.seconds();
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
   const int ranks = static_cast<int>(cli.get_int("ranks", 0));
   const std::string precision = cli.get("precision", "double");
   const bool renumber = cli.has("renumber");
+  const bool chain = cli.has("chain");
 
   auto m = opv::mesh::make_airfoil_omesh(ni, nj);
   if (cli.has("shuffle")) opv::mesh::shuffle_edges(m, 42);
@@ -69,8 +73,8 @@ int main(int argc, char** argv) {
     cfg.nthreads = 1;
     opv::dist::DistCtx ctx(ranks, cfg);
     ctx.set_renumber(renumber);
-    if (precision == "float") run<float>(ctx, m, iters);
-    else run<double>(ctx, m, iters);
+    if (precision == "float") run<float>(ctx, m, iters, /*chain=*/false);
+    else run<double>(ctx, m, iters, /*chain=*/false);
     // Per-loop partition-imbalance breakdown (max/mean of per-rank seconds,
     // paper section 6): 1.0 = balanced, larger = the slowest rank dominates.
     std::printf("\nper-loop stats:\n");
@@ -78,8 +82,16 @@ int main(int argc, char** argv) {
   } else {
     opv::LocalCtx ctx(cfg);
     ctx.set_renumber(renumber);
-    if (precision == "float") run<float>(ctx, m, iters);
-    else run<double>(ctx, m, iters);
+    if (precision == "float") run<float>(ctx, m, iters, chain);
+    else run<double>(ctx, m, iters, chain);
+    if (chain) {
+      // Chain rows (tiles, fused/member counts, inspector seconds) above
+      // their member loops.
+      std::printf("\nper-loop stats:\n");
+      opv::perf::loop_stats_table(opv::StatsRegistry::instance().all(),
+                                  opv::StatsRegistry::instance().all_chains())
+          .print();
+    }
   }
   return 0;
 }

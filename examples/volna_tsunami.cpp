@@ -4,11 +4,13 @@
 // readings and verifies volume conservation.
 //
 //   ./volna_tsunami [--n=400] [--steps=200] [--backend=simd] [--renumber]
-//                   [--shuffle]
+//                   [--shuffle] [--chain]
 //
 // --renumber enables the context-level renumbering pass (RCM cells +
 // lexicographically sorted edges, paper sections 6.2/6.4); --shuffle
 // scrambles the edge ordering first, so the pass has locality to recover.
+// --chain executes each timestep through opv::LoopChain (cross-loop sparse
+// tiling, core/chain.hpp).
 
 #include <cstdio>
 #include <string>
@@ -38,7 +40,7 @@ int main(int argc, char** argv) {
   opv::LocalCtx ctx(cfg);
   ctx.set_renumber(cli.has("renumber"));
   opv::volna::Volna<float, opv::LocalCtx> app(ctx, m, /*depth=*/1.0, /*amp=*/0.25,
-                                              /*width=*/0.05);
+                                              /*width=*/0.05, cli.has("chain"));
 
   const auto cgeom = opv::volna::cell_geometry(m);
   const double vol0 = opv::volna::total_volume(app.fetch_state(), cgeom);

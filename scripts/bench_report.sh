@@ -1,19 +1,28 @@
 #!/usr/bin/env bash
-# Emit BENCH_renumber.json: the renumbering ablation's recovered-fraction
-# record (ablation_renumber), so the repo carries a perf trajectory for the
-# locality pass instead of prose claims. Run after scripts/check.sh (needs a
-# built tree).
+# Emit the committed perf records, so the repo carries a perf trajectory
+# instead of prose claims:
+#   BENCH_renumber.json  recovered-fraction record of the renumbering pass
+#                        (ablation_renumber)
+#   BENCH_tiling.json    cross-loop sparse-tiling record: chained vs
+#                        loop-by-loop speedup per backend (ablation_tiling)
+# Run after scripts/check.sh (needs a built tree).
 #
 # Usage: scripts/bench_report.sh [build-dir]
-#   OUT=path        output file (default: BENCH_renumber.json at repo root)
-#   BENCH_ARGS=...  extra flags for ablation_renumber (default: a quick
-#                   small-mesh run; drop --small for a full measurement)
+#   OUT=path          renumber output (default: BENCH_renumber.json at root)
+#   BENCH_ARGS=...    flags for ablation_renumber (default: a quick
+#                     small-mesh run; drop --small for a full measurement)
+#   TILING_OUT=path   tiling output (default: BENCH_tiling.json at root)
+#   TILING_ARGS=...   flags for ablation_tiling (default: a quick small-mesh
+#                     run; use --large for the measurement run — the chained
+#                     win only appears once the working set exceeds LLC)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 OUT="${OUT:-$ROOT/BENCH_renumber.json}"
 ARGS=${BENCH_ARGS:---small --iters=4 --ranks=2}
+TILING_OUT="${TILING_OUT:-$ROOT/BENCH_tiling.json}"
+TILING_ARGS=${TILING_ARGS:---small --iters=3 --tile=4096}
 
 if [ ! -x "$BUILD/ablation_renumber" ]; then
   echo "ablation_renumber not built in $BUILD (run scripts/check.sh first)" >&2
@@ -23,3 +32,12 @@ fi
 # shellcheck disable=SC2086
 "$BUILD/ablation_renumber" $ARGS --json="$OUT"
 echo "wrote $OUT"
+
+if [ ! -x "$BUILD/ablation_tiling" ]; then
+  echo "ablation_tiling not built in $BUILD (run scripts/check.sh first)" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+"$BUILD/ablation_tiling" $TILING_ARGS --json="$TILING_OUT"
+echo "wrote $TILING_OUT"

@@ -61,6 +61,12 @@ check_docs() {
       failed=1
     fi
   done
+  # The loop-chain subsystem lives inside src/core, below the granularity
+  # of the per-directory glob above — require its file-level entry too.
+  if ! grep -q "src/core/chain" "$map"; then
+    echo "UNDOCUMENTED src subsystem: src/core/chain (add it to docs/ARCHITECTURE.md)" >&2
+    failed=1
+  fi
   if [ "$failed" != 0 ]; then
     echo "docs check FAILED" >&2
     exit 1
@@ -90,6 +96,18 @@ if [ -x "$BUILD/ablation_dispatch" ]; then
   "$BUILD/ablation_dispatch" --benchmark_min_time=0.05
 else
   echo "ablation_dispatch not built (Google Benchmark missing) - skipped"
+fi
+
+echo "== loop-chain tiling smoke =="
+# Small mesh, few iterations, pinned tile size: exercises the cross-loop
+# sparse-tiling inspector/executor (core/chain) end to end and exits
+# non-zero if chained execution diverges from the loop-by-loop baseline.
+# Timings at this size are noise; scripts/bench_report.sh does the
+# measurement run.
+if [ -x "$BUILD/ablation_tiling" ]; then
+  "$BUILD/ablation_tiling" --small --iters=2 --tile=4096
+else
+  echo "ablation_tiling not built (OPV_BUILD_BENCH=OFF?) - skipped"
 fi
 
 if [ "$DIST" = 1 ]; then

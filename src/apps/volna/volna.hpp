@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "apps/volna/volna_kernels.hpp"
+#include "core/chain.hpp"
 #include "core/op2.hpp"
 #include "mesh/mesh.hpp"
 
@@ -46,9 +47,12 @@ aligned_vector<Real> cast_vec(const aligned_vector<double>& in) {
 template <class Real, class Ctx>
 class Volna {
  public:
+  /// With chain=true the step executes through opv::LoopChain handles
+  /// (cross-loop sparse tiling, core/chain.hpp); local contexts only —
+  /// distributed contexts keep the loop-by-loop step.
   Volna(Ctx& ctx, const mesh::UnstructuredMesh& m, double depth = 1.0, double amp = 0.25,
-        double width = 0.08)
-      : ctx_(ctx), ncells_(m.ncells) {
+        double width = 0.08, bool chain = false)
+      : ctx_(ctx), ncells_(m.ncells), chain_(chain) {
     register_kernel_info();
     OPV_REQUIRE(m.nodes_per_cell == 3, "Volna requires a triangular mesh");
     centroids_ = volna_centroids(m);
@@ -100,6 +104,7 @@ class Volna {
 
   Ctx& ctx_;
   idx_t ncells_;
+  bool chain_ = false;
   Params<Real> params_;
   aligned_vector<double> centroids_;
   double dt_ = 0.0;
@@ -161,8 +166,38 @@ class Volna {
 
   /// Pin the handles in a type-erased per-step closure (see the Airfoil
   /// driver for the pattern).
+  ///
+  /// Chain mode splits the step at its one irreducible host-code point —
+  /// reading the CFL reduction back and rebroadcasting it as dt — and fuses
+  /// each side (the dtmin_ reset moves to the chain boundary, legal because
+  /// MIN-merging per-tile partials is exact and nothing reads dtmin_
+  /// mid-chain):
+  ///   dtmin_=+inf; [sim_1 compute_flux numerical_flux]
+  ///   dt_=dt_arg_=dtmin_; [space_disc RK_1 compute_flux space_disc RK_2]
   void build_loops() {
     auto loops = std::make_shared<decltype(make_loops())>(make_loops());
+    if constexpr (requires {
+                    std::get<0>(*loops).inner();
+                    ctx_.config();
+                    ctx_.note_loops_ran();
+                  }) {
+      if (chain_) {
+        ctx_.note_loops_ran();  // chains bypass CtxLoop::run's bookkeeping
+        auto& [sim1, flux_u, numflux, space1, rk1, flux_ut, space2, rk2] = *loops;
+        auto cfl = std::make_shared<LoopChain>("volna_cfl", sim1.inner(), flux_u.inner(),
+                                               numflux.inner());
+        auto rk = std::make_shared<LoopChain>("volna_rk", space1.inner(), rk1.inner(),
+                                              flux_ut.inner(), space2.inner(), rk2.inner());
+        step_ = [this, loops, cfl, rk] {
+          dtmin_ = std::numeric_limits<Real>::max();
+          cfl->run(ctx_.config());
+          dt_ = static_cast<double>(dtmin_);
+          dt_arg_ = dtmin_;
+          rk->run(ctx_.config());
+        };
+        return;
+      }
+    }
     step_ = [this, loops] {
       auto& [sim1, flux_u, numflux, space1, rk1, flux_ut, space2, rk2] = *loops;
       sim1.run();

@@ -61,6 +61,13 @@ struct ExecConfig {
   int nthreads = 0;     ///< 0 = OpenMP default
   bool collect_stats = true;
 
+  /// Seed-tile size for cross-loop sparse tiling (core/chain.hpp): how many
+  /// elements of a chain's first iteration set seed each tile. kAuto sizes
+  /// the tile to a cache budget from the chain's per-element footprint and
+  /// lets the chain's perf::OnlineTuner refine it over the first runs;
+  /// an explicit value (>= 1) pins the tiling at the first plan.
+  int chain_tile_elems = kAuto;
+
   [[nodiscard]] std::string to_string() const {
     std::string s = backend_name(backend);
     s += "/";

@@ -195,6 +195,12 @@ class LocalCtx {
     par_loop(std::move(k), name, *set, cfg_, args...);
   }
 
+  /// Record that loops are about to execute outside the context's own
+  /// loop()/CtxLoop::run() paths — e.g. a LoopChain driving CtxLoop inner()
+  /// handles directly. Closes the renumbering window exactly like a tracked
+  /// loop execution would (the chain pins tile plans against map contents).
+  void note_loops_ran() { loops_ran_ = true; }
+
   /// Build a persistent loop handle bound to this context (the Context-
   /// concept spelling shared with DistCtx::make_loop): conflict analysis at
   /// construction, plan and stats slot pinned on first run, and run()

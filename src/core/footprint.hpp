@@ -1,0 +1,90 @@
+// Loop footprint introspection: the pinned per-argument access summary an
+// opv::Loop derives from its argument types at construction.
+//
+// A LoopFootprint is the runtime residue of the compile-time arg_traits
+// classification: one ArgFootprint per argument, carrying the bound dataset
+// (or global target), the map identity for indirect accesses, and the access
+// mode. It is the single source the engine derives its conflict list from
+// (Loop's plan key), and the input the cross-loop sparse-tiling inspector
+// (core/chain.hpp) consumes to build the chain's dependence graph — the
+// public replacement for re-scanning argument tuples in planning code.
+#pragma once
+
+#include <vector>
+
+#include "core/access.hpp"
+#include "core/dat.hpp"
+#include "core/map.hpp"
+#include "core/plan.hpp"
+#include "core/set.hpp"
+
+namespace opv {
+
+/// One argument's pinned access summary.
+struct ArgFootprint {
+  const DatBase* dat = nullptr;  ///< bound dataset; nullptr for globals
+  const Map* map = nullptr;      ///< non-null iff indirect
+  int map_idx = -1;              ///< which of the map's targets (indirect)
+  AccessMode access = AccessMode::READ;
+  bool indirect = false;
+  bool is_gbl = false;
+  const void* gbl = nullptr;     ///< global target identity (is_gbl only)
+  bool gbl_reduction = false;    ///< global INC/MIN/MAX
+};
+
+/// A loop's full footprint: iteration set plus one entry per argument, in
+/// argument order.
+struct LoopFootprint {
+  const Set* iter_set = nullptr;
+  std::vector<ArgFootprint> args;
+
+  /// The (map, idx) pairs the loop indirectly modifies through — exactly
+  /// the conflict list the coloring plan is keyed on, in argument order.
+  [[nodiscard]] std::vector<IncRef> conflicts() const {
+    std::vector<IncRef> out;
+    for (const ArgFootprint& a : args)
+      if (a.indirect && access_conflicting(a.access)) out.push_back({a.map, a.map_idx});
+    return out;
+  }
+
+  /// Every distinct set the loop touches (iteration set, dat home sets).
+  [[nodiscard]] std::vector<const Set*> sets_touched() const {
+    std::vector<const Set*> out;
+    auto push = [&](const Set* s) {
+      if (!s) return;
+      for (const Set* x : out)
+        if (x == s) return;
+      out.push_back(s);
+    };
+    push(iter_set);
+    for (const ArgFootprint& a : args)
+      if (a.dat) push(&a.dat->set());
+    return out;
+  }
+
+  /// An indirect read-modify-write argument: the one dependence shape the
+  /// sparse-tiling inspector refuses to fuse across (core/chain.hpp falls
+  /// back to plain run() for such loops).
+  [[nodiscard]] bool has_indirect_rw() const {
+    for (const ArgFootprint& a : args)
+      if (a.indirect && a.access == AccessMode::RW) return true;
+    return false;
+  }
+
+  /// True if the loop READS the global at `p` (broadcast argument).
+  [[nodiscard]] bool reads_gbl(const void* p) const {
+    for (const ArgFootprint& a : args)
+      if (a.is_gbl && a.access == AccessMode::READ && a.gbl == p) return true;
+    return false;
+  }
+
+  /// Global targets this loop reduces into (INC/MIN/MAX).
+  [[nodiscard]] std::vector<const void*> gbl_reductions() const {
+    std::vector<const void*> out;
+    for (const ArgFootprint& a : args)
+      if (a.gbl_reduction) out.push_back(a.gbl);
+    return out;
+  }
+};
+
+}  // namespace opv

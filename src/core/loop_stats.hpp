@@ -42,6 +42,20 @@ struct LoopRecord {
   double plan_seconds = 0.0;
 };
 
+/// Aggregate accounting for one LoopChain (core/chain.hpp): total chained
+/// wall time plus the chain-level plan (inspector) cost and tiling shape.
+/// Member loops still record their own LoopRecord rows; perf::
+/// loop_stats_table groups them under the chain row via `members`.
+struct ChainRecord {
+  double seconds = 0.0;       ///< total chained execution wall time
+  std::int64_t calls = 0;     ///< chain.run() invocations
+  int tiles = 0;              ///< tiles under the pinned plan (last run)
+  int fused_loops = 0;        ///< members executing tiled (last run)
+  int member_loops = 0;       ///< chain size (last run)
+  double plan_seconds = 0.0;  ///< inspector (tile assignment) wall time
+  std::vector<std::string> members;  ///< member loop names, chain order
+};
+
 class StatsRegistry {
  public:
   static StatsRegistry& instance();
@@ -77,7 +91,28 @@ class StatsRegistry {
   /// All records with at least one call, sorted by name.
   [[nodiscard]] std::vector<std::pair<std::string, LoopRecord>> all() const;
 
-  /// Zero every record. Slot references remain valid.
+  /// Stable accumulator slot for a chain name (same lifetime contract as
+  /// slot(): clear() zeroes, never erases).
+  [[nodiscard]] ChainRecord& chain_slot(const std::string& chain);
+
+  /// Accumulate one chain.run()'s wall time and record the tiling shape of
+  /// the plan it executed under (thread-safe).
+  void record_chain(ChainRecord& slot, double seconds, int tiles, int fused_loops,
+                    int member_loops);
+
+  /// Accumulate chain-level inspector wall time into a chain slot.
+  void record_chain_plan(ChainRecord& slot, double seconds);
+
+  /// Pin the chain's member loop names (chain order) on its slot, so the
+  /// stats table can group member rows under the chain row.
+  void set_chain_members(ChainRecord& slot, std::vector<std::string> members);
+
+  [[nodiscard]] ChainRecord get_chain(const std::string& chain) const;
+
+  /// All chain records with at least one call, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, ChainRecord>> all_chains() const;
+
+  /// Zero every record (loop and chain). Slot references remain valid.
   void clear();
 
  private:

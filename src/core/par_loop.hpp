@@ -50,6 +50,7 @@
 #include "common/timer.hpp"
 #include "core/arg.hpp"
 #include "core/config.hpp"
+#include "core/footprint.hpp"
 #include "core/loop_stats.hpp"
 #include "core/plan.hpp"
 #include "perf/tuner.hpp"
@@ -496,14 +497,33 @@ inline void vcall(Kernel& k, Tuple& t, std::index_sequence<Is...>) {
   k(vkptr(std::get<Is>(t))...);
 }
 
-// ===== conflict collection ====================================================
+// ===== footprint collection ===================================================
 
-/// Record the (map, idx) pairs the loop modifies through. WHETHER an
-/// argument conflicts is a compile-time fact (arg_traits<>::conflicting);
-/// only the map identity needed for the plan key is runtime data.
-template <class A>
-inline void collect_arg(const A& a, std::vector<IncRef>& out) {
-  if constexpr (arg_traits<A>::conflicting) out.push_back({a.map, a.map_idx});
+/// One ArgFootprint per argument descriptor: the runtime residue of the
+/// compile-time arg_traits classification (access mode and directness come
+/// off the TYPE; only the bound dat/map/global identities are runtime data).
+/// The loop's conflict list — formerly an ad-hoc per-arg scan — is derived
+/// from these (LoopFootprint::conflicts).
+template <class S, AccessMode A, int Dim, bool Ind>
+inline ArgFootprint footprint_of(const Arg<S, A, Dim, Ind>& a) {
+  ArgFootprint f;
+  f.dat = a.dat;
+  if constexpr (Ind) {
+    f.map = a.map;
+    f.map_idx = a.map_idx;
+  }
+  f.access = A;
+  f.indirect = Ind;
+  return f;
+}
+template <class S, AccessMode A>
+inline ArgFootprint footprint_of(const ArgGbl<S, A>& a) {
+  ArgFootprint f;
+  f.access = A;
+  f.is_gbl = true;
+  f.gbl = a.ptr;
+  f.gbl_reduction = A != AccessMode::READ;
+  return f;
 }
 
 /// True if the kernel has a vector instantiation for these arguments (i.e.
@@ -546,9 +566,14 @@ void exec_seq(Kernel& k, Tuple t, idx_t n) {
   thread_merge_all(t, seq);
 }
 
+/// Direct (race-free) scalar execution over [begin, end) — the full
+/// iteration space from run(), or one contiguous sparse-tiling range from
+/// LoopChain's executor.
 template <class Kernel, class Tuple>
-void exec_omp_direct(Kernel& k, const Tuple& proto, idx_t n, int nthreads, bool simd_hint) {
+void exec_omp_direct(Kernel& k, const Tuple& proto, idx_t begin, idx_t end, int nthreads,
+                     bool simd_hint) {
   constexpr auto seq = std::make_index_sequence<std::tuple_size_v<Tuple>>{};
+  const idx_t n = end - begin;
 #pragma omp parallel num_threads(nthreads)
   {
     Tuple t = proto;
@@ -556,8 +581,8 @@ void exec_omp_direct(Kernel& k, const Tuple& proto, idx_t n, int nthreads, bool 
     const int tid = omp_get_thread_num();
     const int nth = omp_get_num_threads();
     const idx_t chunk = (n + nth - 1) / nth;
-    const idx_t lo = std::min<idx_t>(n, tid * chunk);
-    const idx_t hi = std::min<idx_t>(n, lo + chunk);
+    const idx_t lo = begin + std::min<idx_t>(n, tid * chunk);
+    const idx_t hi = std::min<idx_t>(end, lo + chunk);
     if (simd_hint) run_range_simd_hint(k, t, lo, hi, seq);
     else run_range(k, t, lo, hi, seq);
 #pragma omp critical(opv_reduction)
@@ -669,13 +694,16 @@ void exec_perm_direct(Kernel& k, const Tuple& proto, const idx_t* perm, idx_t n,
 
 /// Vector executors ---------------------------------------------------------
 
-/// Direct (race-free) loops: each thread sweeps a W-aligned chunk with the
-/// vector kernel and finishes the remainder with the scalar kernel
-/// (the pre/main/post structure of paper section 4.2).
+/// Direct (race-free) loops over [begin, end): each thread sweeps a
+/// W-aligned chunk with the vector kernel and finishes the remainder with
+/// the scalar kernel (the pre/main/post structure of paper section 4.2).
+/// The full space from run() has begin == 0; LoopChain's executor passes
+/// one contiguous sparse-tiling range.
 template <int W, class Kernel, class STuple, class VTuple>
-void exec_simd_direct(Kernel& k, const STuple& sproto, const VTuple& vproto, idx_t n,
-                      int nthreads) {
+void exec_simd_direct(Kernel& k, const STuple& sproto, const VTuple& vproto, idx_t begin,
+                      idx_t end, int nthreads) {
   constexpr auto seq = std::make_index_sequence<std::tuple_size_v<STuple>>{};
+  const idx_t n = end - begin;
 #pragma omp parallel num_threads(nthreads)
   {
     STuple st = sproto;
@@ -686,14 +714,14 @@ void exec_simd_direct(Kernel& k, const STuple& sproto, const VTuple& vproto, idx
     const int nth = omp_get_num_threads();
     const idx_t nvec = n / W;
     const idx_t per = (nvec + nth - 1) / nth;
-    const idx_t lo = std::min<idx_t>(nvec, tid * per) * W;
-    const idx_t hi = std::min<idx_t>(nvec, (tid * per) + per) * W;
+    const idx_t lo = begin + std::min<idx_t>(nvec, tid * per) * W;
+    const idx_t hi = begin + std::min<idx_t>(nvec, (tid * per) + per) * W;
     for (idx_t i = lo; i < hi; i += W) {
       vload_all(vt, i, seq);
       vcall(k, vt, seq);
       vflush_all(vt, i, /*hw=*/false, seq);
     }
-    if (tid == nth - 1) run_range(k, st, nvec * W, n, seq);  // post-sweep
+    if (tid == nth - 1) run_range(k, st, begin + nvec * W, end, seq);  // post-sweep
 #pragma omp critical(opv_reduction)
     {
       vthread_merge_all(vt, seq);
@@ -925,7 +953,10 @@ class Loop {
 
   Loop(Kernel kernel, std::string name, const Set& set, Args... args)
       : kernel_(std::move(kernel)), name_(std::move(name)), set_(&set), args_(args...) {
-    (detail::collect_arg(args, conflicts_), ...);
+    footprint_.iter_set = set_;
+    footprint_.args.reserve(sizeof...(Args));
+    (footprint_.args.push_back(detail::footprint_of(args)), ...);
+    conflicts_ = footprint_.conflicts();
   }
 
   /// Execute the loop under the given configuration.
@@ -958,7 +989,7 @@ class Loop {
         const int nth = detail::resolve_threads(cfg.nthreads);
         const auto strat = strategy_for(cfg);
         if (!strat) {
-          detail::exec_omp_direct(kernel_, proto, n, nth, hint);
+          detail::exec_omp_direct(kernel_, proto, 0, n, nth, hint);
         } else if (!hint) {
           detail::exec_omp_colored(kernel_, proto, plan_for(*strat, bs, nth), nth);
         } else {
@@ -991,11 +1022,8 @@ class Loop {
       // DistCtx) never touch the registry at all.
       if (!stats_) stats_ = &StatsRegistry::instance().slot(name_);
       StatsRegistry::instance().record(*stats_, secs, n);
-      const double plan_fresh = plan_build_secs_ - plan_secs_reported_;
-      if (plan_fresh > 0.0) {
-        StatsRegistry::instance().record_plan(*stats_, plan_fresh);
-        plan_secs_reported_ = plan_build_secs_;
-      }
+      const double plan_fresh = fresh_plan_seconds();
+      if (plan_fresh > 0.0) StatsRegistry::instance().record_plan(*stats_, plan_fresh);
     }
   }
 
@@ -1096,9 +1124,68 @@ class Loop {
     }
   }
 
+  /// Execute only the contiguous element range [lo, hi) of the iteration
+  /// space, in place of run(). Seq preserves the exact ascending element
+  /// order (so a cover of ranges executed in order is bitwise-identical to
+  /// one run(), increments included); the parallel backends take the same
+  /// race-free direct path run() would — loops with indirect conflicts must
+  /// go through a Slice there (the LoopChain executor routes them so).
+  void run_range(const ExecConfig& cfg, idx_t lo, idx_t hi) {
+    if (hi <= lo) return;
+    const idx_t limit = has_inc ? set_->exec_size() : set_->size();
+    OPV_REQUIRE(lo >= 0 && hi <= limit, "loop '" << name_ << "': range [" << lo << "," << hi
+                                                 << ") outside the executed range [0," << limit
+                                                 << ")");
+    constexpr auto iseq = std::index_sequence_for<Args...>{};
+    switch (cfg.backend) {
+      case Backend::Seq: {
+        auto t = std::apply([](const auto&... a) { return std::make_tuple(detail::bind(a)...); },
+                            args_);
+        detail::thread_init_all(t, iseq);
+        detail::run_range(kernel_, t, lo, hi, iseq);
+        detail::thread_merge_all(t, iseq);
+        break;
+      }
+      case Backend::OpenMP:
+      case Backend::AutoVec: {
+        OPV_REQUIRE(!has_inc, "loop '" << name_
+                                       << "': run_range on a parallel backend requires a "
+                                          "race-free loop; use run_slice (subset coloring)");
+        auto proto = std::apply(
+            [](const auto&... a) { return std::make_tuple(detail::bind(a)...); }, args_);
+        detail::exec_omp_direct(kernel_, proto, lo, hi, detail::resolve_threads(cfg.nthreads),
+                                cfg.backend == Backend::AutoVec);
+        break;
+      }
+      case Backend::Simd: {
+        OPV_REQUIRE(!has_inc, "loop '" << name_
+                                       << "': run_range on a parallel backend requires a "
+                                          "race-free loop; use run_slice (subset coloring)");
+        if constexpr (detail::vector_callable<Kernel, Args...>) {
+          run_range_vectorized(cfg, lo, hi);
+        } else {
+          OPV_REQUIRE(false, "loop '" << name_
+                                      << "': kernel has no vector instantiation (scalar-only "
+                                         "callable); use Seq/OpenMP/AutoVec");
+        }
+        break;
+      }
+      case Backend::Simt:
+        // The Simt queue model schedules through a plan; contiguous ranges
+        // execute via run_slice's BlockPermute subset schedule instead.
+        OPV_REQUIRE(false, "loop '" << name_ << "': run_range is not available on Simt");
+        break;
+    }
+  }
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Set& set() const { return *set_; }
   [[nodiscard]] const std::vector<IncRef>& conflicts() const { return conflicts_; }
+
+  /// The pinned per-argument access summary (sets touched, map + access
+  /// mode per argument) derived from the argument types at construction —
+  /// the loop's public dependence interface (LoopChain's inspector input).
+  [[nodiscard]] const LoopFootprint& footprint() const { return footprint_; }
 
   /// The pinned plan this loop would use under `cfg` (nullptr if the
   /// configuration needs no plan). Exposed so callers/tests can verify plan
@@ -1120,6 +1207,17 @@ class Loop {
   /// distributed layer aggregates this across its rank loops into the
   /// stats `plan` column.
   [[nodiscard]] double plan_build_seconds() const { return plan_build_secs_; }
+
+  /// Plan-acquisition seconds accumulated since the last flush to the stats
+  /// registry, marking them reported. run() flushes through this under
+  /// collect_stats; an external stats-owning runner (LoopChain, which drives
+  /// slices that record nothing themselves) does the same so a loop's plan
+  /// share is accounted exactly once whichever path executes it.
+  [[nodiscard]] double fresh_plan_seconds() {
+    const double d = plan_build_secs_ - plan_secs_reported_;
+    plan_secs_reported_ = plan_build_secs_;
+    return d;
+  }
 
  private:
   /// Block size for the next run: explicit from cfg, or — under
@@ -1193,6 +1291,28 @@ class Loop {
     return *s.plan_;
   }
 
+  /// Vector-width dispatch for contiguous-range execution (race-free loops
+  /// only; the callers guard).
+  void run_range_vectorized(const ExecConfig& cfg, idx_t lo, idx_t hi) {
+    using Real = typename detail::first_real<Args...>::type;
+    const int nth = detail::resolve_threads(cfg.nthreads);
+    auto dispatch = [&]<int W>() {
+      auto sproto = std::apply(
+          [](const auto&... a) { return std::make_tuple(detail::bind(a)...); }, args_);
+      auto vproto = std::apply(
+          [](const auto&... a) { return std::make_tuple(detail::vbind<W>(a)...); }, args_);
+      detail::exec_simd_direct<W>(kernel_, sproto, vproto, lo, hi, nth);
+    };
+    const int w = cfg.simd_width > 0 ? cfg.simd_width : simd::max_lanes<Real>;
+    switch (w) {
+      case 4: dispatch.template operator()<4>(); break;
+      case 8: dispatch.template operator()<8>(); break;
+      case 16: dispatch.template operator()<16>(); break;
+      default:
+        OPV_REQUIRE(false, "unsupported simd width " << w << " (use 4, 8 or 16)");
+    }
+  }
+
   /// Vector-width dispatch for slice execution (mirrors run_vectorized).
   void run_slice_vectorized(const ExecConfig& cfg, Slice& s, idx_t n, int nth) {
     using Real = typename detail::first_real<Args...>::type;
@@ -1236,7 +1356,7 @@ class Loop {
         return;
       }
       if (!strat) {
-        detail::exec_simd_direct<W>(kernel_, sproto, vproto, n, nth);
+        detail::exec_simd_direct<W>(kernel_, sproto, vproto, 0, n, nth);
         return;
       }
       const Plan& plan = plan_for(*strat, block_size, nth);
@@ -1271,6 +1391,7 @@ class Loop {
   std::string name_;
   const Set* set_;
   std::tuple<Args...> args_;
+  LoopFootprint footprint_;
   std::vector<IncRef> conflicts_;
   LoopRecord* stats_ = nullptr;
   PlanSlot plans_[3];

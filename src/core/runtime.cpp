@@ -34,6 +34,7 @@ const KernelInfo& KernelRegistry::get(const std::string& name) const {
 
 struct StatsRegistry::Impl {
   std::map<std::string, LoopRecord> records;
+  std::map<std::string, ChainRecord> chains;
   mutable std::mutex mu;
 };
 
@@ -100,10 +101,50 @@ std::vector<std::pair<std::string, LoopRecord>> StatsRegistry::all() const {
   return out;
 }
 
+ChainRecord& StatsRegistry::chain_slot(const std::string& chain) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->chains[chain];  // std::map nodes are address-stable
+}
+
+void StatsRegistry::record_chain(ChainRecord& slot, double seconds, int tiles, int fused_loops,
+                                 int member_loops) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  slot.seconds += seconds;
+  slot.calls += 1;
+  slot.tiles = tiles;
+  slot.fused_loops = fused_loops;
+  slot.member_loops = member_loops;
+}
+
+void StatsRegistry::record_chain_plan(ChainRecord& slot, double seconds) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  slot.plan_seconds += seconds;
+}
+
+void StatsRegistry::set_chain_members(ChainRecord& slot, std::vector<std::string> members) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  slot.members = std::move(members);
+}
+
+ChainRecord StatsRegistry::get_chain(const std::string& chain) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->chains.find(chain);
+  return it == impl_->chains.end() ? ChainRecord{} : it->second;
+}
+
+std::vector<std::pair<std::string, ChainRecord>> StatsRegistry::all_chains() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::pair<std::string, ChainRecord>> out;
+  for (const auto& [name, rec] : impl_->chains)
+    if (rec.calls > 0) out.emplace_back(name, rec);
+  return out;
+}
+
 void StatsRegistry::clear() {
   // Zero instead of erase: Loop handles hold stable slot references.
   std::lock_guard<std::mutex> lock(impl_->mu);
   for (auto& [name, rec] : impl_->records) rec = LoopRecord{};
+  for (auto& [name, rec] : impl_->chains) rec = ChainRecord{};
 }
 
 }  // namespace opv

@@ -66,13 +66,16 @@ double rank_imbalance(const LoopRecord& rec) {
   return rec.rank_max_seconds / rec.rank_mean_seconds;
 }
 
-Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records) {
+Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records,
+                       const std::vector<std::pair<std::string, ChainRecord>>& chains) {
   bool any_ranks = false, any_exchange = false, any_plan = false;
   for (const auto& [name, rec] : records) {
     any_ranks |= rec.nranks > 0;
     any_exchange |= rec.exchange_seconds > 0.0 || rec.exchanged_values > 0;
     any_plan |= rec.plan_seconds > 0.0;
   }
+  const bool any_chain = !chains.empty();
+  for (const auto& [name, rec] : chains) any_plan |= rec.plan_seconds > 0.0;
 
   std::vector<std::string> headers = {"loop", "calls", "seconds"};
   if (any_ranks) {
@@ -83,9 +86,14 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
     headers.push_back("exch (s)");
     headers.push_back("exch vals");
   }
+  if (any_chain) {
+    headers.push_back("tiles");
+    headers.push_back("fused");
+  }
   if (any_plan) headers.push_back("plan (s)");
   Table t(std::move(headers));
-  for (const auto& [name, rec] : records) {
+
+  auto loop_row = [&](const std::string& name, const LoopRecord& rec) {
     std::vector<std::string> row = {name, std::to_string(rec.calls),
                                     Table::num(rec.seconds, 4)};
     if (any_ranks) {
@@ -97,9 +105,44 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
       row.push_back(has ? Table::num(rec.exchange_seconds, 4) : "-");
       row.push_back(has ? std::to_string(rec.exchanged_values) : "-");
     }
+    if (any_chain) {
+      row.push_back("-");
+      row.push_back("-");
+    }
     if (any_plan) row.push_back(rec.plan_seconds > 0.0 ? Table::num(rec.plan_seconds, 4) : "-");
     t.add_row(std::move(row));
+  };
+
+  // Chain rows first, each followed by its member loops indented; a loop
+  // can belong to several chains (its row repeats under each), so "used"
+  // only governs the trailing unchained section.
+  std::vector<bool> used(records.size(), false);
+  for (const auto& [cname, crec] : chains) {
+    std::vector<std::string> row = {cname, std::to_string(crec.calls),
+                                    Table::num(crec.seconds, 4)};
+    if (any_ranks) {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    if (any_exchange) {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    row.push_back(std::to_string(crec.tiles));
+    row.push_back(std::to_string(crec.fused_loops) + "/" + std::to_string(crec.member_loops));
+    if (any_plan)
+      row.push_back(crec.plan_seconds > 0.0 ? Table::num(crec.plan_seconds, 4) : "-");
+    t.add_row(std::move(row));
+    for (const std::string& member : crec.members)
+      for (std::size_t i = 0; i < records.size(); ++i)
+        if (records[i].first == member) {
+          loop_row("  " + member, records[i].second);
+          used[i] = true;
+          break;
+        }
   }
+  for (std::size_t i = 0; i < records.size(); ++i)
+    if (!used[i]) loop_row(records[i].first, records[i].second);
   return t;
 }
 

@@ -44,6 +44,12 @@ double rank_imbalance(const LoopRecord& rec);
 /// any record carries per-rank times (distributed runs), plus exchange
 /// seconds / exchanged value counts when any record carries halo-exchange
 /// accounting (paper section 6.5's communication share).
-Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records);
+///
+/// When chain records (StatsRegistry::all_chains()) are passed, each chain
+/// prints one aggregated row first — total chained seconds, tile count,
+/// fused/member loop counts, chain (inspector) plan seconds — with its
+/// member loops' rows indented beneath it; loops in no chain follow.
+Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records,
+                       const std::vector<std::pair<std::string, ChainRecord>>& chains = {});
 
 }  // namespace opv::perf
