@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <string>
 
+#include "apps/volna/hazard.hpp"
 #include "apps/volna/volna.hpp"
 #include "common/cli.hpp"
 #include "core/context.hpp"
@@ -33,10 +34,7 @@ int main(int argc, char** argv) {
               cli.has("renumber") ? ", renumbered" : "");
 
   opv::ExecConfig cfg;
-  cfg.backend = backend == "seq"      ? opv::Backend::Seq
-                : backend == "openmp" ? opv::Backend::OpenMP
-                : backend == "simt"   ? opv::Backend::Simt
-                                      : opv::Backend::Simd;
+  cfg.backend = opv::volna::parse_backend(backend);
   opv::LocalCtx ctx(cfg);
   ctx.set_renumber(cli.has("renumber"));
   opv::volna::Volna<float, opv::LocalCtx> app(ctx, m, /*depth=*/1.0, /*amp=*/0.25,

@@ -5,6 +5,9 @@
 #                        (ablation_renumber)
 #   BENCH_tiling.json    cross-loop sparse-tiling record: chained vs
 #                        loop-by-loop speedup per backend (ablation_tiling)
+#   BENCH_ensemble.json  ensemble-serving record: instances/sec at
+#                        N in {1, 4, 16}, concurrent vs sequential, shared
+#                        vs per-instance mesh (ablation_ensemble)
 # Run after scripts/check.sh (needs a built tree).
 #
 # Usage: scripts/bench_report.sh [build-dir]
@@ -15,6 +18,9 @@
 #   TILING_ARGS=...   flags for ablation_tiling (default: a quick small-mesh
 #                     run; use --large for the measurement run — the chained
 #                     win only appears once the working set exceeds LLC)
+#   ENSEMBLE_OUT=path  ensemble output (default: BENCH_ensemble.json at root)
+#   ENSEMBLE_ARGS=...  flags for ablation_ensemble (the speedup column only
+#                      shows on multi-core hosts; the JSON records cores)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,6 +29,8 @@ OUT="${OUT:-$ROOT/BENCH_renumber.json}"
 ARGS=${BENCH_ARGS:---small --iters=4 --ranks=2}
 TILING_OUT="${TILING_OUT:-$ROOT/BENCH_tiling.json}"
 TILING_ARGS=${TILING_ARGS:---small --iters=3 --tile=4096}
+ENSEMBLE_OUT="${ENSEMBLE_OUT:-$ROOT/BENCH_ensemble.json}"
+ENSEMBLE_ARGS=${ENSEMBLE_ARGS:---small --steps=6}
 
 if [ ! -x "$BUILD/ablation_renumber" ]; then
   echo "ablation_renumber not built in $BUILD (run scripts/check.sh first)" >&2
@@ -41,3 +49,12 @@ fi
 # shellcheck disable=SC2086
 "$BUILD/ablation_tiling" $TILING_ARGS --json="$TILING_OUT"
 echo "wrote $TILING_OUT"
+
+if [ ! -x "$BUILD/ablation_ensemble" ]; then
+  echo "ablation_ensemble not built in $BUILD (run scripts/check.sh first)" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+"$BUILD/ablation_ensemble" $ENSEMBLE_ARGS --json="$ENSEMBLE_OUT"
+echo "wrote $ENSEMBLE_OUT"

@@ -110,6 +110,18 @@ else
   echo "ablation_tiling not built (OPV_BUILD_BENCH=OFF?) - skipped"
 fi
 
+echo "== ensemble-serving smoke =="
+# Few tiny instances, few steps: exercises the ensemble scheduler (serve/)
+# end to end — WorkQueue multiplexing, per-instance stats scoping, plan
+# sharing — and exits non-zero if any interleaved instance diverges bitwise
+# from its solo Seq execution. Speedups at this size are noise;
+# scripts/bench_report.sh does the measurement run.
+if [ -x "$BUILD/ablation_ensemble" ]; then
+  "$BUILD/ablation_ensemble" --small --steps=2
+else
+  echo "ablation_ensemble not built (OPV_BUILD_BENCH=OFF?) - skipped"
+fi
+
 if [ "$DIST" = 1 ]; then
   echo "== dist dispatch-path smoke =="
   if [ -x "$BUILD/ablation_dist_dispatch" ]; then

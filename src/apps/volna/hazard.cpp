@@ -1,0 +1,54 @@
+#include "apps/volna/hazard.hpp"
+
+#include <utility>
+
+namespace opv::volna {
+
+std::vector<Scenario> hazard_sweep(int n, const Scenario& base) {
+  std::vector<Scenario> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Fan amplitude over [0.5, 1.5]x base and width over [0.8, 1.2]x base,
+    // phase-shifted so no two scenarios coincide; fixed arithmetic keeps
+    // the sweep reproducible.
+    const double ta = n > 1 ? static_cast<double>(i) / (n - 1) : 0.5;
+    const double tw = n > 1 ? static_cast<double>((i * 7) % n) / (n - 1) : 0.5;
+    Scenario sc = base;
+    sc.amp = base.amp * (0.5 + ta);
+    sc.width = base.width * (0.8 + 0.4 * tw);
+    out.push_back(sc);
+  }
+  return out;
+}
+
+Backend parse_backend(const std::string& name) {
+  if (name == "seq") return Backend::Seq;
+  if (name == "openmp") return Backend::OpenMP;
+  if (name == "autovec") return Backend::AutoVec;
+  if (name == "simt") return Backend::Simt;
+  return Backend::Simd;
+}
+
+HazardInstance::HazardInstance(const mesh::UnstructuredMesh& m, const Scenario& sc,
+                               const ExecConfig& cfg, bool chain)
+    : sc_(sc), ctx_(cfg), cgeom_(cell_geometry(m)) {
+  app_ = std::make_unique<Volna<float, LocalCtx>>(ctx_, m, sc.depth, sc.amp, sc.width, chain);
+  vol0_ = total_volume(app_->fetch_state(), cgeom_);
+}
+
+double HazardInstance::volume() { return total_volume(app_->fetch_state(), cgeom_); }
+
+serve::InstanceFactory hazard_factory(const mesh::UnstructuredMesh& m,
+                                      std::vector<Scenario> sweep, ExecConfig cfg, bool chain) {
+  OPV_REQUIRE(!sweep.empty(), "hazard_factory: empty scenario sweep");
+  // Copy the mesh into the closure: instances may be added after the
+  // caller's mesh goes out of scope, and factories outlive add_instances.
+  auto mesh = std::make_shared<mesh::UnstructuredMesh>(m);
+  auto scenarios = std::make_shared<std::vector<Scenario>>(std::move(sweep));
+  return [mesh, scenarios, cfg, chain](int id) -> std::unique_ptr<serve::Instance> {
+    const Scenario& sc = (*scenarios)[static_cast<std::size_t>(id) % scenarios->size()];
+    return std::make_unique<HazardInstance>(*mesh, sc, cfg, chain);
+  };
+}
+
+}  // namespace opv::volna

@@ -56,6 +56,23 @@ struct ChainRecord {
   std::vector<std::string> members;  ///< member loop names, chain order
 };
 
+/// Aggregate accounting for one serve::Ensemble run (serve/ensemble.hpp):
+/// scheduler wall time, work throughput and the shared-resource statistics
+/// (pool occupancy, cross-instance plan-cache traffic) that motivate
+/// running N instances in one process at all.
+struct EnsembleRecord {
+  double seconds = 0.0;            ///< total run() wall time
+  std::int64_t runs = 0;           ///< Ensemble::run() invocations
+  std::int64_t steps = 0;          ///< instance timesteps executed
+  std::int64_t completed = 0;      ///< instances that finished all steps
+  std::int64_t failed = 0;         ///< instances retired by an exception
+  int instances = 0;               ///< ensemble size (last run)
+  int workers = 0;                 ///< pool size (last run)
+  double busy_seconds = 0.0;       ///< summed per-worker stepping time
+  std::int64_t plan_hits = 0;      ///< PlanCache hits during run()
+  std::int64_t plan_misses = 0;    ///< PlanCache builds during run()
+};
+
 class StatsRegistry {
  public:
   static StatsRegistry& instance();
@@ -64,6 +81,12 @@ class StatsRegistry {
   /// the process lifetime (clear() zeroes records, it does not erase them),
   /// so Loop handles resolve their slot once at construction and record with
   /// no per-call name lookup.
+  ///
+  /// Under an active StatsScope (below) the name is prefixed with
+  /// "<scope>/" before lookup — the per-instance isolation mechanism:
+  /// ensemble instances run their loops under distinct scopes, so N
+  /// instances of one app record into N distinct rows instead of blurring
+  /// into one.
   [[nodiscard]] LoopRecord& slot(const std::string& loop);
 
   /// Accumulate into a slot obtained from slot() (thread-safe).
@@ -112,13 +135,47 @@ class StatsRegistry {
   /// All chain records with at least one call, sorted by name.
   [[nodiscard]] std::vector<std::pair<std::string, ChainRecord>> all_chains() const;
 
-  /// Zero every record (loop and chain). Slot references remain valid.
+  /// Stable accumulator slot for an ensemble name (same lifetime contract
+  /// as slot(): clear() zeroes, never erases).
+  [[nodiscard]] EnsembleRecord& ensemble_slot(const std::string& ensemble);
+
+  /// Accumulate one Ensemble::run()'s aggregate statistics (thread-safe).
+  void record_ensemble(EnsembleRecord& slot, const EnsembleRecord& delta);
+
+  [[nodiscard]] EnsembleRecord get_ensemble(const std::string& ensemble) const;
+
+  /// All ensemble records with at least one run, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, EnsembleRecord>> all_ensembles() const;
+
+  /// Zero every record (loop, chain and ensemble). Slot references remain
+  /// valid.
   void clear();
 
  private:
   struct Impl;
   Impl* impl_;
   StatsRegistry();
+};
+
+/// RAII stats scope: while alive on a thread, every slot()/chain_slot()
+/// lookup on that thread resolves "<scope>/<name>" instead of "<name>".
+/// Scopes nest by replacement (the inner scope's string wins until it
+/// exits). The ensemble scheduler opens one around each instance's steps;
+/// a Loop whose FIRST recording run happens inside the scope binds its
+/// pinned stats slot to the scoped row, isolating per-instance stats even
+/// though instances share one process-wide registry.
+class StatsScope {
+ public:
+  explicit StatsScope(std::string scope);
+  ~StatsScope();
+  StatsScope(const StatsScope&) = delete;
+  StatsScope& operator=(const StatsScope&) = delete;
+
+  /// The scope active on the calling thread ("" when none).
+  [[nodiscard]] static const std::string& current();
+
+ private:
+  std::string prev_;
 };
 
 }  // namespace opv

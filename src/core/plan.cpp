@@ -260,41 +260,42 @@ std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& 
 
 namespace {
 
-/// FNV-1a fingerprint of the conflict maps' contents (plus the set shape).
-/// Hashing is linear in the map data but runs only on plan ACQUISITION —
-/// once per (loop, strategy, block size), orders of magnitude rarer and
-/// cheaper than the coloring it guards.
-std::uint64_t content_fingerprint(const Set& set, const std::vector<IncRef>& conflicts) {
+/// FNV-1a fingerprint of one conflict map's contents (arity, endpoint set
+/// sizes, full connectivity data). Hashing is linear in the map data but
+/// runs only on plan ACQUISITION — once per (loop, strategy, block size),
+/// orders of magnitude rarer and cheaper than the coloring it guards.
+std::uint64_t map_fingerprint(const Map& m) {
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](std::uint64_t v) {
     h ^= v;
     h *= 1099511628211ull;
   };
-  mix(static_cast<std::uint64_t>(set.size()));
-  mix(static_cast<std::uint64_t>(set.exec_size()));
-  mix(static_cast<std::uint64_t>(set.total_size()));
-  for (const IncRef& c : conflicts) {
-    mix(static_cast<std::uint64_t>(c.idx));
-    mix(static_cast<std::uint64_t>(c.map->dim()));
-    mix(static_cast<std::uint64_t>(c.map->to().total_size()));
-    const std::size_t n =
-        static_cast<std::size_t>(c.map->from().total_size()) * c.map->dim();
-    const idx_t* data = c.map->data();
-    for (std::size_t i = 0; i < n; ++i) mix(static_cast<std::uint64_t>(data[i]));
-  }
+  mix(static_cast<std::uint64_t>(m.dim()));
+  mix(static_cast<std::uint64_t>(m.from().total_size()));
+  mix(static_cast<std::uint64_t>(m.to().total_size()));
+  const std::size_t n = static_cast<std::size_t>(m.from().total_size()) * m.dim();
+  const idx_t* data = m.data();
+  for (std::size_t i = 0; i < n; ++i) mix(static_cast<std::uint64_t>(data[i]));
   return h;
 }
 
 }  // namespace
 
 struct PlanCache::Impl {
-  using Key =
-      std::tuple<const Set*, idx_t, std::vector<IncRef>, std::uint64_t, int, ColoringStrategy>;
+  // Content key: set shape + per-conflict (map fingerprint, idx) pairs in
+  // canonical (content-sorted) order + block size + strategy. No pointers:
+  // two sets/maps with identical content are the same key by construction,
+  // which is what lets ensemble instances built from one shared mesh reuse
+  // a single plan build, and what turns a map rewritten in place (the
+  // renumbering pass) into a clean miss rather than a stale hit.
+  using ConflictSig = std::vector<std::pair<std::uint64_t, int>>;
+  using Key = std::tuple<idx_t, idx_t, idx_t, ConflictSig, int, ColoringStrategy>;
   // Single-flight: the cache stores a shared_future per key, inserted
   // BEFORE the build runs, so concurrent callers for the same key block on
   // one build instead of each constructing (and racing to insert) their
   // own plan. A failed build erases its entry so later callers can retry.
   std::map<Key, std::shared_future<std::shared_ptr<const Plan>>> cache;
+  Counters counters;
   mutable std::mutex mu;
 };
 
@@ -311,8 +312,38 @@ std::shared_ptr<const Plan> PlanCache::get(const Set& set, const std::vector<Inc
   std::vector<IncRef> sorted = conflicts;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  // Canonicalize by CONTENT, not address: fingerprint each conflict map
+  // once, then order conflicts by (fingerprint, idx). Any permutation or
+  // duplication of the caller's conflict list lands on the same key, and
+  // the order is stable across contexts holding distinct-but-identical
+  // maps (a plan is valid for the conflict SET regardless of list order).
+  Impl::ConflictSig sig;
+  sig.reserve(sorted.size());
+  {
+    std::uint64_t prev_fp = 0;
+    const Map* prev_map = nullptr;
+    for (const IncRef& c : sorted) {  // pointer-sorted: equal maps adjacent
+      if (c.map != prev_map) {
+        prev_fp = map_fingerprint(*c.map);
+        prev_map = c.map;
+      }
+      sig.emplace_back(prev_fp, c.idx);
+    }
+  }
+  std::vector<std::size_t> order(sorted.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sig[a] < sig[b]; });
+  std::vector<IncRef> canonical;
+  canonical.reserve(sorted.size());
+  Impl::ConflictSig canonical_sig;
+  canonical_sig.reserve(sorted.size());
+  for (const std::size_t i : order) {
+    canonical.push_back(sorted[i]);
+    canonical_sig.push_back(sig[i]);
+  }
   const idx_t nelems = conflicts.empty() ? set.size() : set.exec_size();
-  Impl::Key key{&set, nelems, sorted, content_fingerprint(set, sorted), block_size, strategy};
+  Impl::Key key{nelems, set.size(), set.total_size(), canonical_sig, block_size, strategy};
 
   std::promise<std::shared_ptr<const Plan>> promise;
   std::shared_future<std::shared_ptr<const Plan>> future;
@@ -322,16 +353,20 @@ std::shared_ptr<const Plan> PlanCache::get(const Set& set, const std::vector<Inc
     auto it = impl_->cache.find(key);
     if (it != impl_->cache.end()) {
       future = it->second;
+      ++impl_->counters.hits;
     } else {
       future = promise.get_future().share();
       impl_->cache.emplace(key, future);
+      ++impl_->counters.misses;
       builder = true;
     }
   }
   if (!builder) return future.get();
 
   try {
-    auto plan = build_plan(nelems, sorted, block_size, strategy, nullptr, nthreads);
+    // Build from the canonical order so the plan a key maps to does not
+    // depend on which caller's conflict order got there first.
+    auto plan = build_plan(nelems, canonical, block_size, strategy, nullptr, nthreads);
     promise.set_value(plan);
     return plan;
   } catch (...) {
@@ -352,6 +387,16 @@ void PlanCache::clear() {
 std::size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->cache.size();
+}
+
+PlanCache::Counters PlanCache::counters() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->counters;
+}
+
+void PlanCache::reset_counters() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->counters = Counters{};
 }
 
 }  // namespace opv

@@ -97,15 +97,29 @@ std::shared_ptr<const Plan> build_plan(idx_t nelems, const std::vector<IncRef>& 
                                        int block_size, ColoringStrategy strategy,
                                        const idx_t* subset = nullptr, int nthreads = 0);
 
-/// Process-wide plan cache keyed by (set, conflicts, block size, strategy)
-/// plus a fingerprint of the conflict maps' CONTENTS: Set/Map addresses can
-/// be recycled by a later context of identical shape (or a map's data can be
-/// rewritten in place by the renumbering pass), and a stale coloring under
-/// different connectivity would silently race — the fingerprint turns those
-/// collisions into cache misses. Plans are immutable and shared;
-/// construction happens once per key.
+/// Process-wide plan cache keyed purely by CONTENT: the iteration set's
+/// shape plus a fingerprint of each conflict map's data, block size and
+/// strategy — no Set/Map addresses. Content keys are both safer and more
+/// shareable than pointer keys: a map rewritten in place by the renumbering
+/// pass changes its fingerprint (a stale coloring under different
+/// connectivity would silently race), while two contexts built from the
+/// same mesh — e.g. ensemble instances sharing a mesh (serve/ensemble.hpp)
+/// — produce identical keys and share one plan build. Conflict order is
+/// canonicalized by content, so permuted/duplicated conflict lists hit the
+/// same entry. Plans are immutable and shared; construction happens once
+/// per key (single-flight).
 class PlanCache {
  public:
+  /// Cumulative lookup counters since the last reset_counters(): a hit is a
+  /// get() that found an existing entry (including one still being built by
+  /// another thread), a miss is a get() that had to build. Surfaced through
+  /// perf::loop_stats_table's ensemble rows — the measurable form of the
+  /// cross-instance plan-sharing claim.
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
   static PlanCache& instance();
 
   std::shared_ptr<const Plan> get(const Set& set, const std::vector<IncRef>& conflicts,
@@ -113,6 +127,9 @@ class PlanCache {
 
   void clear();
   [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] Counters counters() const;
+  void reset_counters();
 
  private:
   struct Impl;

@@ -35,8 +35,35 @@ const KernelInfo& KernelRegistry::get(const std::string& name) const {
 struct StatsRegistry::Impl {
   std::map<std::string, LoopRecord> records;
   std::map<std::string, ChainRecord> chains;
+  std::map<std::string, EnsembleRecord> ensembles;
   mutable std::mutex mu;
 };
+
+namespace {
+
+/// The calling thread's stats scope (StatsScope). thread_local so ensemble
+/// workers stepping different instances concurrently each resolve their own
+/// instance's prefix.
+std::string& tls_scope() {
+  thread_local std::string scope;
+  return scope;
+}
+
+/// "<scope>/<name>", or plain "<name>" outside any scope.
+std::string scoped(const std::string& name) {
+  const std::string& s = tls_scope();
+  return s.empty() ? name : s + "/" + name;
+}
+
+}  // namespace
+
+StatsScope::StatsScope(std::string scope) : prev_(std::move(tls_scope())) {
+  tls_scope() = std::move(scope);
+}
+
+StatsScope::~StatsScope() { tls_scope() = std::move(prev_); }
+
+const std::string& StatsScope::current() { return tls_scope(); }
 
 StatsRegistry::StatsRegistry() : impl_(new Impl) {}
 
@@ -47,7 +74,7 @@ StatsRegistry& StatsRegistry::instance() {
 
 LoopRecord& StatsRegistry::slot(const std::string& loop) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  return impl_->records[loop];  // std::map nodes are address-stable
+  return impl_->records[scoped(loop)];  // std::map nodes are address-stable
 }
 
 void StatsRegistry::record(LoopRecord& slot, double seconds, std::int64_t elements) {
@@ -103,7 +130,7 @@ std::vector<std::pair<std::string, LoopRecord>> StatsRegistry::all() const {
 
 ChainRecord& StatsRegistry::chain_slot(const std::string& chain) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  return impl_->chains[chain];  // std::map nodes are address-stable
+  return impl_->chains[scoped(chain)];  // std::map nodes are address-stable
 }
 
 void StatsRegistry::record_chain(ChainRecord& slot, double seconds, int tiles, int fused_loops,
@@ -140,11 +167,45 @@ std::vector<std::pair<std::string, ChainRecord>> StatsRegistry::all_chains() con
   return out;
 }
 
+EnsembleRecord& StatsRegistry::ensemble_slot(const std::string& ensemble) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->ensembles[ensemble];  // std::map nodes are address-stable
+}
+
+void StatsRegistry::record_ensemble(EnsembleRecord& slot, const EnsembleRecord& delta) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  slot.seconds += delta.seconds;
+  slot.runs += delta.runs;
+  slot.steps += delta.steps;
+  slot.completed += delta.completed;
+  slot.failed += delta.failed;
+  slot.instances = delta.instances;
+  slot.workers = delta.workers;
+  slot.busy_seconds += delta.busy_seconds;
+  slot.plan_hits += delta.plan_hits;
+  slot.plan_misses += delta.plan_misses;
+}
+
+EnsembleRecord StatsRegistry::get_ensemble(const std::string& ensemble) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->ensembles.find(ensemble);
+  return it == impl_->ensembles.end() ? EnsembleRecord{} : it->second;
+}
+
+std::vector<std::pair<std::string, EnsembleRecord>> StatsRegistry::all_ensembles() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::pair<std::string, EnsembleRecord>> out;
+  for (const auto& [name, rec] : impl_->ensembles)
+    if (rec.runs > 0) out.emplace_back(name, rec);
+  return out;
+}
+
 void StatsRegistry::clear() {
   // Zero instead of erase: Loop handles hold stable slot references.
   std::lock_guard<std::mutex> lock(impl_->mu);
   for (auto& [name, rec] : impl_->records) rec = LoopRecord{};
   for (auto& [name, rec] : impl_->chains) rec = ChainRecord{};
+  for (auto& [name, rec] : impl_->ensembles) rec = EnsembleRecord{};
 }
 
 }  // namespace opv

@@ -27,18 +27,14 @@
 //   * cross-rank global reductions merged after the rank barrier.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <exception>
-#include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "common/worker_pool.hpp"
 #include "core/op2.hpp"
 #include "dist/exchange.hpp"
 #include "dist/halo.hpp"
@@ -46,92 +42,10 @@
 
 namespace opv::dist {
 
-/// Runs f(rank) for every rank concurrently and blocks until all finish.
-/// The rank threads are persistent (one per rank for the pool's lifetime),
-/// so repeated run() calls — one per parallel loop in a timestep-driven
-/// application — pay a condition-variable wakeup, not a thread spawn. The
-/// first exception thrown by any rank is rethrown in the caller.
-class WorkerPool {
- public:
-  explicit WorkerPool(int nranks) {
-    OPV_REQUIRE(nranks >= 1, "WorkerPool: need at least one rank");
-    state_.nranks = nranks;
-    threads_.reserve(nranks);
-    for (int r = 0; r < nranks; ++r) threads_.emplace_back([this, r] { worker(r); });
-  }
-
-  WorkerPool(const WorkerPool&) = delete;
-  WorkerPool& operator=(const WorkerPool&) = delete;
-
-  ~WorkerPool() {
-    {
-      std::lock_guard<std::mutex> lock(state_.mu);
-      state_.stop = true;
-    }
-    state_.start_cv.notify_all();
-    for (auto& t : threads_) t.join();
-  }
-
-  template <class F>
-  void run(F&& f) {
-    const std::function<void(int)> job(std::forward<F>(f));
-    State& s = state_;
-    std::unique_lock<std::mutex> lock(s.mu);
-    s.job = &job;
-    s.pending = s.nranks;
-    ++s.generation;
-    s.start_cv.notify_all();
-    s.done_cv.wait(lock, [&] { return s.pending == 0; });
-    s.job = nullptr;
-    if (s.error) {
-      const std::exception_ptr e = s.error;
-      s.error = nullptr;
-      std::rethrow_exception(e);
-    }
-  }
-
-  [[nodiscard]] int size() const { return state_.nranks; }
-
- private:
-  struct State {
-    std::mutex mu;
-    std::condition_variable start_cv, done_cv;
-    const std::function<void(int)>* job = nullptr;
-    std::uint64_t generation = 0;
-    int pending = 0;
-    int nranks = 0;
-    bool stop = false;
-    std::exception_ptr error;
-  };
-
-  void worker(int r) {
-    State& s = state_;
-    std::uint64_t seen = 0;
-    for (;;) {
-      const std::function<void(int)>* job = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(s.mu);
-        s.start_cv.wait(lock, [&] { return s.stop || s.generation != seen; });
-        if (s.stop) return;
-        seen = s.generation;
-        job = s.job;
-      }
-      try {
-        (*job)(r);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(s.mu);
-        if (!s.error) s.error = std::current_exception();
-      }
-      {
-        std::lock_guard<std::mutex> lock(s.mu);
-        if (--s.pending == 0) s.done_cv.notify_all();
-      }
-    }
-  }
-
-  State state_;
-  std::vector<std::thread> threads_;
-};
+/// The rank gang (promoted to common/worker_pool.hpp so serve/ and dist/
+/// share one pool implementation); re-exported here for existing dist code
+/// and tests that name dist::WorkerPool.
+using opv::WorkerPool;
 
 // ---- rank-addressable argument descriptors ---------------------------------
 

@@ -67,7 +67,8 @@ double rank_imbalance(const LoopRecord& rec) {
 }
 
 Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records,
-                       const std::vector<std::pair<std::string, ChainRecord>>& chains) {
+                       const std::vector<std::pair<std::string, ChainRecord>>& chains,
+                       const std::vector<std::pair<std::string, EnsembleRecord>>& ensembles) {
   bool any_ranks = false, any_exchange = false, any_plan = false;
   for (const auto& [name, rec] : records) {
     any_ranks |= rec.nranks > 0;
@@ -76,6 +77,7 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
   }
   const bool any_chain = !chains.empty();
   for (const auto& [name, rec] : chains) any_plan |= rec.plan_seconds > 0.0;
+  const bool any_ensemble = !ensembles.empty();
 
   std::vector<std::string> headers = {"loop", "calls", "seconds"};
   if (any_ranks) {
@@ -89,6 +91,11 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
   if (any_chain) {
     headers.push_back("tiles");
     headers.push_back("fused");
+  }
+  if (any_ensemble) {
+    headers.push_back("inst/s");
+    headers.push_back("occupancy");
+    headers.push_back("plan hit");
   }
   if (any_plan) headers.push_back("plan (s)");
   Table t(std::move(headers));
@@ -109,9 +116,48 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
       row.push_back("-");
       row.push_back("-");
     }
+    if (any_ensemble) {
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+    }
     if (any_plan) row.push_back(rec.plan_seconds > 0.0 ? Table::num(rec.plan_seconds, 4) : "-");
     t.add_row(std::move(row));
   };
+
+  // Ensemble summary rows lead: the serving-level aggregates over all the
+  // per-instance loop rows below them.
+  for (const auto& [ename, erec] : ensembles) {
+    std::vector<std::string> row = {ename, std::to_string(erec.runs),
+                                    Table::num(erec.seconds, 4)};
+    if (any_ranks) {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    if (any_exchange) {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    if (any_chain) {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    const double inst_per_sec =
+        erec.seconds > 0.0 ? static_cast<double>(erec.completed) / erec.seconds : 0.0;
+    const double occupancy = erec.seconds > 0.0 && erec.workers > 0
+                                 ? erec.busy_seconds / (erec.seconds * erec.workers)
+                                 : 0.0;
+    const std::int64_t plan_total = erec.plan_hits + erec.plan_misses;
+    row.push_back(Table::num(inst_per_sec, 2));
+    row.push_back(Table::pct(occupancy, 1));
+    row.push_back(plan_total > 0
+                      ? Table::pct(static_cast<double>(erec.plan_hits) /
+                                       static_cast<double>(plan_total),
+                                   1)
+                      : "-");
+    if (any_plan) row.push_back("-");
+    t.add_row(std::move(row));
+  }
 
   // Chain rows first, each followed by its member loops indented; a loop
   // can belong to several chains (its row repeats under each), so "used"
@@ -130,6 +176,11 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
     }
     row.push_back(std::to_string(crec.tiles));
     row.push_back(std::to_string(crec.fused_loops) + "/" + std::to_string(crec.member_loops));
+    if (any_ensemble) {
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+    }
     if (any_plan)
       row.push_back(crec.plan_seconds > 0.0 ? Table::num(crec.plan_seconds, 4) : "-");
     t.add_row(std::move(row));

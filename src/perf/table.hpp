@@ -49,7 +49,14 @@ double rank_imbalance(const LoopRecord& rec);
 /// prints one aggregated row first — total chained seconds, tile count,
 /// fused/member loop counts, chain (inspector) plan seconds — with its
 /// member loops' rows indented beneath it; loops in no chain follow.
+///
+/// When ensemble records (StatsRegistry::all_ensembles()) are passed, each
+/// ensemble prints one summary row at the top with the serving columns:
+/// instances/sec (completed instances per wall second), pool occupancy
+/// (busy worker-seconds over wall x workers) and the plan-cache hit rate
+/// across instances — the measurable form of cross-instance plan sharing.
 Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records,
-                       const std::vector<std::pair<std::string, ChainRecord>>& chains = {});
+                       const std::vector<std::pair<std::string, ChainRecord>>& chains = {},
+                       const std::vector<std::pair<std::string, EnsembleRecord>>& ensembles = {});
 
 }  // namespace opv::perf

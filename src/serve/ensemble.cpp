@@ -1,0 +1,160 @@
+#include "serve/ensemble.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/cpu.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/plan.hpp"
+
+namespace opv::serve {
+
+namespace {
+
+int resolve_workers(int requested) { return requested > 0 ? requested : hardware_threads(); }
+
+}  // namespace
+
+Ensemble::Ensemble(EnsembleOptions opts)
+    : opts_(std::move(opts)), pool_(resolve_workers(opts_.workers)) {
+  OPV_REQUIRE(opts_.batch_steps >= 1, "Ensemble: batch_steps must be >= 1");
+}
+
+Ensemble::~Ensemble() = default;
+
+std::string Ensemble::scope_of(int id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/i%03d", id);
+  return opts_.name + buf;
+}
+
+int Ensemble::add_instance(const InstanceFactory& factory) {
+  const int id = size();
+  // Construct under the instance's scope: a factory that runs loops during
+  // setup (initial-condition kernels) binds their stats slots to the scoped
+  // rows, exactly as the stepping loops will.
+  std::optional<StatsScope> scope;
+  if (opts_.scope_stats) scope.emplace(scope_of(id));
+  Slot s;
+  s.inst = factory(id);
+  OPV_REQUIRE(s.inst != nullptr, "Ensemble '" << opts_.name << "': factory returned null for instance " << id);
+  slots_.push_back(std::move(s));
+  return id;
+}
+
+void Ensemble::add_instances(int n, const InstanceFactory& factory) {
+  for (int i = 0; i < n; ++i) add_instance(factory);
+}
+
+Instance& Ensemble::instance(int id) {
+  OPV_REQUIRE(id >= 0 && id < size(), "Ensemble '" << opts_.name << "': no instance " << id);
+  return *slots_[static_cast<std::size_t>(id)].inst;
+}
+
+const Instance& Ensemble::instance(int id) const {
+  OPV_REQUIRE(id >= 0 && id < size(), "Ensemble '" << opts_.name << "': no instance " << id);
+  return *slots_[static_cast<std::size_t>(id)].inst;
+}
+
+const std::string& Ensemble::error_of(int id) const {
+  OPV_REQUIRE(id >= 0 && id < size(), "Ensemble '" << opts_.name << "': no instance " << id);
+  return slots_[static_cast<std::size_t>(id)].error;
+}
+
+EnsembleReport Ensemble::run(std::int64_t steps) {
+  OPV_REQUIRE(steps >= 0, "Ensemble '" << opts_.name << "': negative step count");
+
+  EnsembleReport rep;
+  rep.workers = pool_.size();
+  rep.instances.resize(static_cast<std::size_t>(size()));
+  for (int id = 0; id < size(); ++id) {
+    InstanceReport& ir = rep.instances[static_cast<std::size_t>(id)];
+    ir.id = id;
+    ir.scope = scope_of(id);
+    ir.error = slots_[static_cast<std::size_t>(id)].error;
+  }
+
+  // Seed the queue with every live instance. Ids are owned exclusively
+  // between acquire() and release(), so per-instance step order is the
+  // program order regardless of which workers execute the batches.
+  WorkQueue queue;
+  for (int id = 0; id < size(); ++id) {
+    Slot& s = slots_[static_cast<std::size_t>(id)];
+    s.remaining = s.error.empty() ? steps : 0;
+    if (s.remaining > 0) queue.push(id);
+  }
+
+  const auto plan_before = PlanCache::instance().counters();
+  std::vector<double> busy(static_cast<std::size_t>(pool_.size()), 0.0);
+  WallTimer wall;
+
+  pool_.run([&](int worker) {
+    while (const std::optional<int> got = queue.acquire()) {
+      const int id = *got;
+      Slot& s = slots_[static_cast<std::size_t>(id)];
+      InstanceReport& ir = rep.instances[static_cast<std::size_t>(id)];
+      bool requeue = false;
+      WallTimer t;
+      try {
+        std::optional<StatsScope> scope;
+        if (opts_.scope_stats) scope.emplace(ir.scope);
+        const std::int64_t batch = std::min<std::int64_t>(opts_.batch_steps, s.remaining);
+        for (std::int64_t k = 0; k < batch; ++k) {
+          s.inst->step();
+          ++ir.steps_done;  // counted per step: exact on a mid-batch throw
+        }
+        s.remaining -= batch;
+        requeue = s.remaining > 0;
+      } catch (const std::exception& e) {
+        s.error = e.what();
+        s.remaining = 0;
+      } catch (...) {
+        s.error = "non-standard exception";
+        s.remaining = 0;
+      }
+      const double dt = t.seconds();
+      ir.seconds += dt;  // exclusive ownership: only this worker writes ir
+      busy[static_cast<std::size_t>(worker)] += dt;
+      queue.release(id, requeue);
+    }
+  });
+
+  rep.seconds = wall.seconds();
+  const auto plan_after = PlanCache::instance().counters();
+  rep.plan_hits = static_cast<std::int64_t>(plan_after.hits - plan_before.hits);
+  rep.plan_misses = static_cast<std::int64_t>(plan_after.misses - plan_before.misses);
+  for (double b : busy) rep.busy_seconds += b;
+  for (int id = 0; id < size(); ++id) {
+    Slot& s = slots_[static_cast<std::size_t>(id)];
+    InstanceReport& ir = rep.instances[static_cast<std::size_t>(id)];
+    ir.error = s.error;
+    rep.steps += ir.steps_done;
+    if (!s.error.empty())
+      ++rep.failed;
+    else if (ir.steps_done == steps)
+      ++rep.completed;
+  }
+
+  if (opts_.collect_stats) {
+    if (!stats_) stats_ = &StatsRegistry::instance().ensemble_slot(opts_.name);
+    EnsembleRecord delta;
+    delta.seconds = rep.seconds;
+    delta.runs = 1;
+    delta.steps = rep.steps;
+    delta.completed = rep.completed;
+    delta.failed = rep.failed;
+    delta.instances = size();
+    delta.workers = rep.workers;
+    delta.busy_seconds = rep.busy_seconds;
+    delta.plan_hits = rep.plan_hits;
+    delta.plan_misses = rep.plan_misses;
+    StatsRegistry::instance().record_ensemble(*stats_, delta);
+  }
+  return rep;
+}
+
+}  // namespace opv::serve

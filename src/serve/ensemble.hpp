@@ -1,0 +1,160 @@
+// opv::serve::Ensemble: a batch scheduler that owns N simulation instances
+// and multiplexes their timesteps across one shared worker pool.
+//
+// The ROADMAP's ensemble-serving item: Volna's production use case is
+// probabilistic hazard assessment — hundreds of scenario instances of one
+// (often small) mesh, where no single instance can fill the machine but
+// the ensemble can. Each instance is a user-built simulation (typically a
+// LocalCtx plus pinned Loop/LoopChain handles, constructed by the caller's
+// InstanceFactory) exposing exactly one operation: step(). The scheduler
+// interleaves instances over a WorkQueue (common/worker_pool.hpp) so
+// small-mesh steps batch together, while two invariants hold:
+//
+//   * Per-instance step ordering. An instance id is owned exclusively
+//     between acquire() and release(); its steps execute strictly in
+//     order (possibly on different workers across batches — the queue
+//     mutex sequences the handoff), so results on the Seq backend are
+//     bitwise-identical to running the instance alone.
+//   * Fault isolation. An exception thrown by one instance's step()
+//     retires that instance (error captured in the report) and never
+//     propagates to siblings or the pool.
+//
+// What makes N-in-one-process better than N processes is the shared
+// runtime state: instances built from the same mesh produce identical
+// content keys in the PlanCache, so N instances pay for ONE coloring-plan
+// build (the cache is single-flight — concurrent first-steps block on one
+// build instead of racing). Per-instance stats stay separable through
+// StatsScope: each instance's steps run under scope "<ensemble>/i<NNN>",
+// so its loops bind scoped registry rows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/worker_pool.hpp"
+#include "core/loop_stats.hpp"
+
+namespace opv::serve {
+
+/// One simulation instance: anything that can advance by one timestep.
+/// Implementations own their full simulation state (context, mesh data,
+/// pinned loop handles). step() is called with exclusive ownership — never
+/// concurrently for one instance — but different instances step
+/// concurrently, so anything shared BETWEEN instances must be immutable or
+/// thread-safe (a shared input mesh read at construction is fine).
+class Instance {
+ public:
+  virtual ~Instance() = default;
+
+  /// Advance the simulation by one timestep. Throwing retires this
+  /// instance from the ensemble (captured in the report); siblings
+  /// continue.
+  virtual void step() = 0;
+};
+
+/// Builds instance `id` (0-based). Called once per instance at
+/// add_instances() time, on the caller's thread, under the instance's
+/// stats scope (so loops that record during construction already land in
+/// scoped rows).
+using InstanceFactory = std::function<std::unique_ptr<Instance>(int id)>;
+
+struct EnsembleOptions {
+  std::string name = "ensemble";  ///< stats-registry key + scope prefix
+  int workers = 0;                ///< pool size; 0 = hardware_threads()
+  int batch_steps = 1;            ///< steps per queue grab (interleave grain)
+  bool collect_stats = true;      ///< record an EnsembleRecord per run()
+  bool scope_stats = true;        ///< per-instance StatsScope around steps
+};
+
+/// Per-instance outcome of one Ensemble::run().
+struct InstanceReport {
+  int id = -1;
+  std::string scope;            ///< "<ensemble>/i<NNN>"
+  std::int64_t steps_done = 0;  ///< steps executed in this run
+  double seconds = 0.0;         ///< wall time spent stepping this instance
+  std::string error;            ///< non-empty once the instance failed
+  [[nodiscard]] bool failed() const { return !error.empty(); }
+};
+
+/// Aggregate outcome of one Ensemble::run().
+struct EnsembleReport {
+  double seconds = 0.0;          ///< run() wall time
+  int workers = 0;               ///< pool size
+  std::int64_t steps = 0;        ///< instance timesteps executed
+  std::int64_t completed = 0;    ///< instances that finished all steps
+  std::int64_t failed = 0;       ///< instances retired by an exception
+  double busy_seconds = 0.0;     ///< summed per-worker stepping time
+  std::int64_t plan_hits = 0;    ///< PlanCache hits during the run
+  std::int64_t plan_misses = 0;  ///< PlanCache builds during the run
+  std::vector<InstanceReport> instances;
+
+  /// Completed instances per wall second — the bench headline.
+  [[nodiscard]] double instances_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(completed) / seconds : 0.0;
+  }
+  /// Fraction of the pool's wall capacity spent stepping (1.0 = every
+  /// worker busy for the whole run; low values mean the queue starved).
+  [[nodiscard]] double occupancy() const {
+    return seconds > 0.0 && workers > 0 ? busy_seconds / (seconds * workers) : 0.0;
+  }
+  /// Plan-cache hit fraction across the run (0 when no plan traffic).
+  [[nodiscard]] double plan_hit_rate() const {
+    const auto total = plan_hits + plan_misses;
+    return total > 0 ? static_cast<double>(plan_hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// The scheduler. Owns its instances and one WorkerPool; run(steps)
+/// advances every live instance by `steps` timesteps, multiplexed over the
+/// pool, and reports throughput + shared-resource statistics. run() may be
+/// called repeatedly (e.g. stepping an ensemble in windows with host-side
+/// output between); failed instances stay retired.
+class Ensemble {
+ public:
+  explicit Ensemble(EnsembleOptions opts = {});
+  ~Ensemble();
+  Ensemble(const Ensemble&) = delete;
+  Ensemble& operator=(const Ensemble&) = delete;
+
+  /// Build and adopt one instance; returns its id.
+  int add_instance(const InstanceFactory& factory);
+
+  /// Build and adopt `n` instances (factory sees ids size()..size()+n-1).
+  void add_instances(int n, const InstanceFactory& factory);
+
+  [[nodiscard]] int size() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] int workers() const { return pool_.size(); }
+  [[nodiscard]] const std::string& name() const { return opts_.name; }
+
+  /// The instance's stats scope, "<ensemble>/i<NNN>" — the prefix its loop
+  /// rows carry in StatsRegistry when scope_stats is on.
+  [[nodiscard]] std::string scope_of(int id) const;
+
+  /// Access an adopted instance (e.g. to fetch results after run()).
+  [[nodiscard]] Instance& instance(int id);
+  [[nodiscard]] const Instance& instance(int id) const;
+
+  /// The error that retired instance `id` ("" while healthy).
+  [[nodiscard]] const std::string& error_of(int id) const;
+
+  /// Advance every live instance by `steps` timesteps over the shared
+  /// pool. Blocks until all instances complete or fail.
+  EnsembleReport run(std::int64_t steps);
+
+ private:
+  struct Slot {
+    std::unique_ptr<Instance> inst;
+    std::int64_t remaining = 0;  ///< steps left in the current run
+    std::string error;           ///< retired-by-exception marker
+  };
+
+  EnsembleOptions opts_;
+  WorkerPool pool_;
+  std::vector<Slot> slots_;
+  EnsembleRecord* stats_ = nullptr;  ///< bound on first recording run
+};
+
+}  // namespace opv::serve
