@@ -8,6 +8,10 @@
 #   BENCH_ensemble.json  ensemble-serving record: instances/sec at
 #                        N in {1, 4, 16}, concurrent vs sequential, shared
 #                        vs per-instance mesh (ablation_ensemble)
+#   BENCH_ingest.json    mesh ingest record: write/parse/convert/ctx-build
+#                        seconds per format (MSH v2.2, MSH v4.1, OPVM/OPVT
+#                        binary), gated by the ingest equivalence checks
+#                        (ablation_ingest)
 # Run after scripts/check.sh (needs a built tree).
 #
 # Usage: scripts/bench_report.sh [build-dir]
@@ -21,6 +25,9 @@
 #   ENSEMBLE_OUT=path  ensemble output (default: BENCH_ensemble.json at root)
 #   ENSEMBLE_ARGS=...  flags for ablation_ensemble (the speedup column only
 #                      shows on multi-core hosts; the JSON records cores)
+#   INGEST_OUT=path    ingest output (default: BENCH_ingest.json at root)
+#   INGEST_ARGS=...    flags for ablation_ingest (default: a quick
+#                      small-mesh run; drop --small for a full measurement)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,6 +38,8 @@ TILING_OUT="${TILING_OUT:-$ROOT/BENCH_tiling.json}"
 TILING_ARGS=${TILING_ARGS:---small --iters=3 --tile=4096}
 ENSEMBLE_OUT="${ENSEMBLE_OUT:-$ROOT/BENCH_ensemble.json}"
 ENSEMBLE_ARGS=${ENSEMBLE_ARGS:---small --steps=6}
+INGEST_OUT="${INGEST_OUT:-$ROOT/BENCH_ingest.json}"
+INGEST_ARGS=${INGEST_ARGS:---small --n=12 --steps=3}
 
 if [ ! -x "$BUILD/ablation_renumber" ]; then
   echo "ablation_renumber not built in $BUILD (run scripts/check.sh first)" >&2
@@ -58,3 +67,13 @@ fi
 # shellcheck disable=SC2086
 "$BUILD/ablation_ensemble" $ENSEMBLE_ARGS --json="$ENSEMBLE_OUT"
 echo "wrote $ENSEMBLE_OUT"
+
+if [ ! -x "$BUILD/ablation_ingest" ]; then
+  echo "ablation_ingest not built in $BUILD (run scripts/check.sh first)" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+"$BUILD/ablation_ingest" $INGEST_ARGS --fixtures="$ROOT/tests/fixtures/msh" \
+  --json="$INGEST_OUT"
+echo "wrote $INGEST_OUT"

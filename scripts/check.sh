@@ -3,7 +3,12 @@
 # smoke run of the dispatch-path microbench, so regressions in the par_loop
 # dispatch path are caught before review.
 #
-# Usage: scripts/check.sh [--dist] [--docs] [--docs-only] [build-dir]
+# Usage: scripts/check.sh [--dist] [--ingest] [--docs] [--docs-only] [build-dir]
+#   --ingest     also smoke-run the mesh ingest path: tet3d_sim on a small
+#                generated box and ablation_ingest with the committed MSH
+#                fixture corpus (fails on round-trip inexactness, on any
+#                imported-vs-in-memory bitwise divergence, or on
+#                cross-backend divergence beyond 1e-12 of the field norm)
 #   --dist       also smoke-run the distributed benches: the dispatch-path
 #                micro (ablation_dist_dispatch: DistCtx::loop vs
 #                dist::Loop::run), the exchange-overlap ablation
@@ -20,11 +25,13 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 DIST=0
+INGEST=0
 DOCS=0
 DOCS_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --dist) DIST=1 ;;
+    --ingest) INGEST=1 ;;
     --docs) DOCS=1 ;;
     --docs-only) DOCS=1; DOCS_ONLY=1 ;;
     -*) echo "unknown flag: $arg" >&2; exit 1 ;;
@@ -120,6 +127,27 @@ if [ -x "$BUILD/ablation_ensemble" ]; then
   "$BUILD/ablation_ensemble" --small --steps=2
 else
   echo "ablation_ensemble not built (OPV_BUILD_BENCH=OFF?) - skipped"
+fi
+
+if [ "$INGEST" = 1 ]; then
+  echo "== mesh ingest smoke =="
+  # Small tet box through the 3D mini-app (all six loops, geometry
+  # precompute, RMS reduction), then the ingest gates: MSH round-trip
+  # exactness, imported-vs-in-memory bitwise identity through renumber +
+  # chain + DistCtx, cross-backend field-norm agreement, and a parse of
+  # the committed fixture corpus. Timings at this size are noise;
+  # scripts/bench_report.sh does the measurement run.
+  if [ -x "$BUILD/tet3d_sim" ]; then
+    "$BUILD/tet3d_sim" --n=6 --iters=20
+  else
+    echo "tet3d_sim not built (OPV_BUILD_EXAMPLES=OFF?) - skipped"
+  fi
+  if [ -x "$BUILD/ablation_ingest" ]; then
+    "$BUILD/ablation_ingest" --small --n=8 --steps=3 \
+      --fixtures="$ROOT/tests/fixtures/msh"
+  else
+    echo "ablation_ingest not built (OPV_BUILD_BENCH=OFF?) - skipped"
+  fi
 fi
 
 if [ "$DIST" = 1 ]; then

@@ -1,0 +1,119 @@
+#include "apps/tet3d/tet3d.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "core/kernel_info.hpp"
+
+namespace opv::tet3d {
+
+void register_kernel_info() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& reg = KernelRegistry::instance();
+    // Values-per-element counts in the Table II convention: useful payload
+    // only, mapping tables excluded, indirect values counted once.
+    reg.add({"t3d_cell_geom", 0, 4, 12, 0, 23, "Gather, direct write"});
+    reg.add({"t3d_face_geom", 0, 6, 9, 0, 24, "Gather, direct write"});
+    reg.add({"t3d_bface_geom", 0, 6, 9, 0, 24, "Boundary"});
+    reg.add({"t3d_save_u", 1, 1, 0, 0, 1, "Direct copy"});
+    reg.add({"t3d_grad_calc", 6, 0, 16, 6, 17, "Gather, colored scatter"});
+    reg.add({"t3d_bgrad_calc", 7, 0, 11, 3, 9, "Boundary"});
+    reg.add({"t3d_flux_calc", 6, 0, 24, 2, 46, "Gather, colored scatter"});
+    reg.add({"t3d_bflux_calc", 7, 0, 15, 1, 31, "Boundary"});
+    reg.add({"t3d_update_u", 6, 6, 0, 0, 9, "Direct, reduction"});
+  });
+}
+
+double stable_dt_bound(const mesh::TetMesh& m, const double vel[3], double kappa) {
+  const aligned_vector<double> cent = mesh::tet_cell_centroids(m);
+  std::vector<double> coef(static_cast<std::size_t>(m.ncells), 0.0);
+
+  // Flux coefficient of one face with area normal S and cell-to-face (or
+  // cell-to-cell) vector d: |vel.S| advective + kappa*|S|^2/(S.d) diffusive
+  // (the same over-relaxed coefficient the flux kernels use).
+  const auto face_coef = [&](const idx_t* n, const double* d) {
+    const double* a = &m.node_xyz[static_cast<std::size_t>(n[0]) * 3];
+    const double* b = &m.node_xyz[static_cast<std::size_t>(n[1]) * 3];
+    const double* c = &m.node_xyz[static_cast<std::size_t>(n[2]) * 3];
+    const double u0 = b[0] - a[0], u1 = b[1] - a[1], u2 = b[2] - a[2];
+    const double v0 = c[0] - a[0], v1 = c[1] - a[1], v2 = c[2] - a[2];
+    const double S[3] = {0.5 * (u1 * v2 - u2 * v1), 0.5 * (u2 * v0 - u0 * v2),
+                         0.5 * (u0 * v1 - u1 * v0)};
+    const double vn = vel[0] * S[0] + vel[1] * S[1] + vel[2] * S[2];
+    const double s2 = S[0] * S[0] + S[1] * S[1] + S[2] * S[2];
+    const double sd = std::abs(S[0] * d[0] + S[1] * d[1] + S[2] * d[2]);
+    return std::abs(vn) + (sd > 0.0 ? kappa * s2 / sd : 0.0);
+  };
+
+  for (idx_t f = 0; f < m.nfaces; ++f) {
+    const idx_t c0 = m.face_cells[2 * static_cast<std::size_t>(f)];
+    const idx_t c1 = m.face_cells[2 * static_cast<std::size_t>(f) + 1];
+    const double d[3] = {cent[3 * static_cast<std::size_t>(c1)] - cent[3 * static_cast<std::size_t>(c0)],
+                         cent[3 * static_cast<std::size_t>(c1) + 1] - cent[3 * static_cast<std::size_t>(c0) + 1],
+                         cent[3 * static_cast<std::size_t>(c1) + 2] - cent[3 * static_cast<std::size_t>(c0) + 2]};
+    const double co = face_coef(&m.face_nodes[static_cast<std::size_t>(f) * 3], d);
+    coef[static_cast<std::size_t>(c0)] += co;
+    coef[static_cast<std::size_t>(c1)] += co;
+  }
+  for (idx_t b = 0; b < m.nbfaces; ++b) {
+    const idx_t* n = &m.bface_nodes[static_cast<std::size_t>(b) * 3];
+    const idx_t c = m.bface_cell[b];
+    double xf[3] = {0, 0, 0};
+    for (int k = 0; k < 3; ++k)
+      for (int j = 0; j < 3; ++j)
+        xf[j] += m.node_xyz[static_cast<std::size_t>(n[k]) * 3 + j] / 3.0;
+    const double d[3] = {xf[0] - cent[3 * static_cast<std::size_t>(c)],
+                         xf[1] - cent[3 * static_cast<std::size_t>(c) + 1],
+                         xf[2] - cent[3 * static_cast<std::size_t>(c) + 2]};
+    coef[static_cast<std::size_t>(c)] += face_coef(n, d);
+  }
+
+  double dt = std::numeric_limits<double>::infinity();
+  for (idx_t c = 0; c < m.ncells; ++c)
+    if (coef[static_cast<std::size_t>(c)] > 0.0)
+      dt = std::min(dt, std::abs(m.cell_volume(c)) / coef[static_cast<std::size_t>(c)]);
+  OPV_REQUIRE(std::isfinite(dt), "stable_dt_bound: no faces in the mesh");
+  return dt;
+}
+
+aligned_vector<double> cell_centroids_xy(const mesh::TetMesh& m) {
+  const aligned_vector<double> c3 = mesh::tet_cell_centroids(m);
+  aligned_vector<double> xy(static_cast<std::size_t>(m.ncells) * 2);
+  for (idx_t c = 0; c < m.ncells; ++c) {
+    xy[2 * static_cast<std::size_t>(c)] = c3[3 * static_cast<std::size_t>(c)];
+    xy[2 * static_cast<std::size_t>(c) + 1] = c3[3 * static_cast<std::size_t>(c) + 1];
+  }
+  return xy;
+}
+
+aligned_vector<double> initial_bump(const mesh::TetMesh& m) {
+  double lo[3] = {0, 0, 0}, hi[3] = {0, 0, 0};
+  for (int k = 0; k < 3; ++k) {
+    lo[k] = hi[k] = m.nnodes > 0 ? m.node_xyz[k] : 0.0;
+    for (idx_t n = 1; n < m.nnodes; ++n) {
+      lo[k] = std::min(lo[k], m.node_xyz[static_cast<std::size_t>(n) * 3 + k]);
+      hi[k] = std::max(hi[k], m.node_xyz[static_cast<std::size_t>(n) * 3 + k]);
+    }
+  }
+  const double cx = 0.5 * (lo[0] + hi[0]);
+  const double cy = 0.5 * (lo[1] + hi[1]);
+  const double cz = 0.5 * (lo[2] + hi[2]);
+  const double dx = hi[0] - lo[0], dy = hi[1] - lo[1], dz = hi[2] - lo[2];
+  const double diag2 = dx * dx + dy * dy + dz * dz;
+  const double sigma2 = diag2 > 0.0 ? 0.0225 * diag2 : 1.0;  // sigma = 0.15*diag
+
+  const aligned_vector<double> c3 = mesh::tet_cell_centroids(m);
+  aligned_vector<double> u(static_cast<std::size_t>(m.ncells));
+  for (idx_t c = 0; c < m.ncells; ++c) {
+    const double rx = c3[3 * static_cast<std::size_t>(c)] - cx;
+    const double ry = c3[3 * static_cast<std::size_t>(c) + 1] - cy;
+    const double rz = c3[3 * static_cast<std::size_t>(c) + 2] - cz;
+    u[static_cast<std::size_t>(c)] = std::exp(-(rx * rx + ry * ry + rz * rz) / (2.0 * sigma2));
+  }
+  return u;
+}
+
+}  // namespace opv::tet3d

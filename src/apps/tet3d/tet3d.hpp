@@ -1,0 +1,251 @@
+// Tet3D application driver: explicit cell-centered finite-volume
+// advection-diffusion on a tetrahedral mesh, templated over execution
+// context (LocalCtx or dist::DistCtx) and precision — the 3D sibling of
+// apps/airfoil. Exercises the full ingest surface: 3- and 4-ary maps over
+// cells/faces/nodes, geometry precomputation loops, an indirect-INC
+// gradient/flux chain, and a global reduction.
+//
+//   step: save_u; grad_calc; bgrad_calc; flux_calc; bflux_calc; update_u
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "apps/tet3d/tet3d_kernels.hpp"
+#include "core/chain.hpp"
+#include "core/op2.hpp"
+#include "mesh/tetmesh.hpp"
+
+namespace opv::tet3d {
+
+/// Register the KernelInfo entries for the Tet3D kernels (idempotent).
+void register_kernel_info();
+
+/// xy-projection of the tet centroids — the partitioner's coordinates
+/// (partition_rcb bisects in 2D; a box mesh projects cleanly).
+aligned_vector<double> cell_centroids_xy(const mesh::TetMesh& m);
+
+/// Gaussian-bump initial condition centered on the node bounding box
+/// (deterministic in the mesh geometry alone).
+aligned_vector<double> initial_bump(const mesh::TetMesh& m);
+
+/// min over cells of vol / sum-of-face-flux-coefficients — the explicit
+/// Euler stability bound for the scheme's advective + diffusive fluxes
+/// (computed host-side from the exact face geometry; thin Kuhn tets make
+/// spacing-based estimates unsafe).
+double stable_dt_bound(const mesh::TetMesh& m, const double vel[3], double kappa);
+
+/// CFL-scaled stable timestep for the standard constants.
+template <class Real>
+Real stable_dt(const Consts<Real>& c, const mesh::TetMesh& m) {
+  const double vel[3] = {double(c.vel[0]), double(c.vel[1]), double(c.vel[2])};
+  return Real(double(c.cfl) * stable_dt_bound(m, vel, double(c.kappa)));
+}
+
+template <class Real>
+aligned_vector<Real> to_real_vec(const aligned_vector<double>& in) {
+  aligned_vector<Real> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = static_cast<Real>(in[i]);
+  return out;
+}
+
+template <class Real, class Ctx>
+class Tet3D {
+ public:
+  /// With chain=true the step executes through one opv::LoopChain over the
+  /// six loop handles (local contexts only; distributed contexts keep the
+  /// loop-by-loop step, as in Airfoil).
+  Tet3D(Ctx& ctx, const mesh::TetMesh& m, bool chain = false)
+      : ctx_(ctx), ncells_(m.ncells), chain_(chain) {
+    register_kernel_info();
+    consts_ = Consts<Real>::standard();
+    dt_ = stable_dt(consts_, m);
+    part_xy_ = cell_centroids_xy(m);
+
+    nodes_ = ctx_.decl_set("nodes", m.nnodes);
+    cells_ = ctx_.decl_set("cells", m.ncells);
+    faces_ = ctx_.decl_set("faces", m.nfaces);
+    bfaces_ = ctx_.decl_set("bfaces", m.nbfaces);
+    ctx_.set_partition_coords(cells_, part_xy_.data());
+
+    pcell_ = ctx_.decl_map("pcell", cells_, nodes_, 4, m.cell_nodes);
+    pface_ = ctx_.decl_map("pface", faces_, nodes_, 3, m.face_nodes);
+    pfcell_ = ctx_.decl_map("pfcell", faces_, cells_, 2, m.face_cells);
+    pbface_ = ctx_.decl_map("pbface", bfaces_, nodes_, 3, m.bface_nodes);
+    pbfcell_ = ctx_.decl_map("pbfcell", bfaces_, cells_, 1, m.bface_cell);
+
+    x_ = ctx_.template decl_dat<Real>("x", nodes_, 3, to_real_vec<Real>(m.node_xyz));
+    u_ = ctx_.template decl_dat<Real>("u", cells_, 1, to_real_vec<Real>(initial_bump(m)));
+    uold_ = ctx_.template decl_dat<Real>("uold", cells_, 1);
+    grad_ = ctx_.template decl_dat<Real>("grad", cells_, 3);
+    res_ = ctx_.template decl_dat<Real>("res", cells_, 1);
+    cgeom_ = ctx_.template decl_dat<Real>("cgeom", cells_, 4);
+    fgeom_ = ctx_.template decl_dat<Real>("fgeom", faces_, 6);
+    bfgeom_ = ctx_.template decl_dat<Real>("bfgeom", bfaces_, 6);
+    bound_ = ctx_.template decl_dat<std::int32_t>("bound", bfaces_, 1, m.bface_bound);
+    ctx_.finalize();
+    init_geometry();
+    build_loops();
+  }
+
+  // The step closure captures `this` (the rms reduction target).
+  Tet3D(const Tet3D&) = delete;
+  Tet3D& operator=(const Tet3D&) = delete;
+
+  /// Run niter steps through the persistent handles; records
+  /// sqrt(rms/ncells) every rms_every steps.
+  void run(int niter, int rms_every = 100) {
+    for (int iter = 1; iter <= niter; ++iter) {
+      step_();
+      last_rms_ = std::sqrt(static_cast<double>(rms_) / ncells_);
+      if (rms_every > 0 && iter % rms_every == 0) rms_history_.push_back(last_rms_);
+    }
+  }
+
+  [[nodiscard]] double last_rms() const { return last_rms_; }
+  [[nodiscard]] const std::vector<double>& rms_history() const { return rms_history_; }
+
+  /// Fetch state in global (declaration-order) cell numbering.
+  aligned_vector<Real> fetch_u() {
+    aligned_vector<Real> out;
+    ctx_.fetch(u_, out);
+    return out;
+  }
+  aligned_vector<Real> fetch_grad() {
+    aligned_vector<Real> out;
+    ctx_.fetch(grad_, out);
+    return out;
+  }
+
+  [[nodiscard]] idx_t ncells() const { return ncells_; }
+  [[nodiscard]] const Consts<Real>& consts() const { return consts_; }
+  [[nodiscard]] Real dt() const { return dt_; }
+
+ private:
+  Ctx& ctx_;
+  idx_t ncells_;
+  bool chain_ = false;
+  Consts<Real> consts_;
+  Real dt_ = Real(0);
+  aligned_vector<double> part_xy_;
+  std::vector<double> rms_history_;
+  double last_rms_ = 0.0;
+  Real rms_ = Real(0);  ///< update_u's reduction target, bound into its handle
+
+  typename Ctx::SetHandle nodes_{}, cells_{}, faces_{}, bfaces_{};
+  typename Ctx::MapHandle pcell_{}, pface_{}, pfcell_{}, pbface_{}, pbfcell_{};
+  typename Ctx::template DatHandle<Real> x_{}, u_{}, uold_{}, grad_{}, res_{}, cgeom_{}, fgeom_{},
+      bfgeom_{};
+  typename Ctx::template DatHandle<std::int32_t> bound_{};
+
+  /// Geometry precomputation: one pass each over cells, faces and boundary
+  /// faces at construction, gathering node positions through the 3-/4-ary
+  /// maps. Run once; the handles are dropped afterwards.
+  void init_geometry() {
+    auto cg = ctx_.make_loop(CellGeom<Real>{}, "t3d_cell_geom", cells_,
+                             ctx_.template arg<opv::READ, 3>(x_, 0, pcell_),
+                             ctx_.template arg<opv::READ, 3>(x_, 1, pcell_),
+                             ctx_.template arg<opv::READ, 3>(x_, 2, pcell_),
+                             ctx_.template arg<opv::READ, 3>(x_, 3, pcell_),
+                             ctx_.template arg<opv::WRITE, 4>(cgeom_));
+    auto fg = ctx_.make_loop(FaceGeom<Real>{}, "t3d_face_geom", faces_,
+                             ctx_.template arg<opv::READ, 3>(x_, 0, pface_),
+                             ctx_.template arg<opv::READ, 3>(x_, 1, pface_),
+                             ctx_.template arg<opv::READ, 3>(x_, 2, pface_),
+                             ctx_.template arg<opv::WRITE, 6>(fgeom_));
+    auto bg = ctx_.make_loop(FaceGeom<Real>{}, "t3d_bface_geom", bfaces_,
+                             ctx_.template arg<opv::READ, 3>(x_, 0, pbface_),
+                             ctx_.template arg<opv::READ, 3>(x_, 1, pbface_),
+                             ctx_.template arg<opv::READ, 3>(x_, 2, pbface_),
+                             ctx_.template arg<opv::WRITE, 6>(bfgeom_));
+    cg.run();
+    fg.run();
+    bg.run();
+  }
+
+  auto make_loops() {
+    return std::make_tuple(
+        ctx_.make_loop(SaveU<Real>{}, "t3d_save_u", cells_, ctx_.template arg<opv::READ, 1>(u_),
+                       ctx_.template arg<opv::WRITE, 1>(uold_)),
+        ctx_.make_loop(GradCalc<Real>{}, "t3d_grad_calc", faces_,
+                       ctx_.template arg<opv::READ, 1>(u_, 0, pfcell_),
+                       ctx_.template arg<opv::READ, 1>(u_, 1, pfcell_),
+                       ctx_.template arg<opv::READ, 4>(cgeom_, 0, pfcell_),
+                       ctx_.template arg<opv::READ, 4>(cgeom_, 1, pfcell_),
+                       ctx_.template arg<opv::READ, 6>(fgeom_),
+                       ctx_.template arg<opv::INC, 3>(grad_, 0, pfcell_),
+                       ctx_.template arg<opv::INC, 3>(grad_, 1, pfcell_)),
+        ctx_.make_loop(BGradCalc<Real>{consts_}, "t3d_bgrad_calc", bfaces_,
+                       ctx_.template arg<opv::READ, 1>(u_, 0, pbfcell_),
+                       ctx_.template arg<opv::READ, 4>(cgeom_, 0, pbfcell_),
+                       ctx_.template arg<opv::READ, 6>(bfgeom_),
+                       ctx_.template arg<opv::READ, 1>(bound_),
+                       ctx_.template arg<opv::INC, 3>(grad_, 0, pbfcell_)),
+        ctx_.make_loop(FluxCalc<Real>{consts_}, "t3d_flux_calc", faces_,
+                       ctx_.template arg<opv::READ, 1>(u_, 0, pfcell_),
+                       ctx_.template arg<opv::READ, 1>(u_, 1, pfcell_),
+                       ctx_.template arg<opv::READ, 3>(grad_, 0, pfcell_),
+                       ctx_.template arg<opv::READ, 3>(grad_, 1, pfcell_),
+                       ctx_.template arg<opv::READ, 4>(cgeom_, 0, pfcell_),
+                       ctx_.template arg<opv::READ, 4>(cgeom_, 1, pfcell_),
+                       ctx_.template arg<opv::READ, 6>(fgeom_),
+                       ctx_.template arg<opv::INC, 1>(res_, 0, pfcell_),
+                       ctx_.template arg<opv::INC, 1>(res_, 1, pfcell_)),
+        ctx_.make_loop(BFluxCalc<Real>{consts_}, "t3d_bflux_calc", bfaces_,
+                       ctx_.template arg<opv::READ, 1>(u_, 0, pbfcell_),
+                       ctx_.template arg<opv::READ, 3>(grad_, 0, pbfcell_),
+                       ctx_.template arg<opv::READ, 4>(cgeom_, 0, pbfcell_),
+                       ctx_.template arg<opv::READ, 6>(bfgeom_),
+                       ctx_.template arg<opv::READ, 1>(bound_),
+                       ctx_.template arg<opv::INC, 1>(res_, 0, pbfcell_)),
+        ctx_.make_loop(UpdateU<Real>{dt_}, "t3d_update_u", cells_,
+                       ctx_.template arg<opv::READ, 1>(uold_),
+                       ctx_.template arg<opv::READ, 4>(cgeom_),
+                       ctx_.template arg<opv::WRITE, 1>(u_),
+                       ctx_.template arg<opv::RW, 1>(res_),
+                       ctx_.template arg<opv::RW, 3>(grad_),
+                       ctx_.template arg_gbl<opv::INC>(&rms_, 1)));
+  }
+
+  /// Chain mode fuses the whole step into one LoopChain; the rms_ reset
+  /// moves to the chain boundary (legal: the INC reduction only adds into
+  /// the target, nothing reads rms_ mid-chain).
+  void build_loops() {
+    auto loops = std::make_shared<decltype(make_loops())>(make_loops());
+    if constexpr (requires {
+                    std::get<0>(*loops).inner();
+                    ctx_.config();
+                    ctx_.note_loops_ran();
+                  }) {
+      if (chain_) {
+        ctx_.note_loops_ran();
+        auto& [save, grad, bgrad, flux, bflux, upd] = *loops;
+        auto step = std::make_shared<LoopChain>("tet3d_step", save.inner(), grad.inner(),
+                                                bgrad.inner(), flux.inner(), bflux.inner(),
+                                                upd.inner());
+        step_ = [this, loops, step] {
+          rms_ = Real(0);
+          step->run(ctx_.config());
+        };
+        return;
+      }
+    }
+    step_ = [this, loops] {
+      auto& [save, grad, bgrad, flux, bflux, upd] = *loops;
+      save.run();
+      grad.run();
+      bgrad.run();
+      flux.run();
+      bflux.run();
+      rms_ = Real(0);
+      upd.run();
+    };
+  }
+
+  std::function<void()> step_;  ///< one timestep over the handles
+};
+
+}  // namespace opv::tet3d

@@ -260,6 +260,58 @@ UnstructuredMesh make_tri_periodic(idx_t ni, idx_t nj, double lx, double ly) {
   return m;
 }
 
+TetMesh make_tet_box(idx_t ni, idx_t nj, idx_t nk, double lx, double ly, double lz) {
+  OPV_REQUIRE(ni >= 1 && nj >= 1 && nk >= 1, "tet box requires ni, nj, nk >= 1");
+  TetMesh m;
+  m.name = "tet-box-" + std::to_string(ni) + "x" + std::to_string(nj) + "x" + std::to_string(nk);
+  m.nnodes = (ni + 1) * (nj + 1) * (nk + 1);
+  m.ncells = 6 * ni * nj * nk;
+
+  auto node = [ni, nj](idx_t i, idx_t j, idx_t k) {
+    return (k * (nj + 1) + j) * (ni + 1) + i;
+  };
+
+  m.node_xyz.resize(static_cast<std::size_t>(m.nnodes) * 3);
+  for (idx_t k = 0; k <= nk; ++k)
+    for (idx_t j = 0; j <= nj; ++j)
+      for (idx_t i = 0; i <= ni; ++i) {
+        const std::size_t n = static_cast<std::size_t>(node(i, j, k));
+        m.node_xyz[3 * n + 0] = lx * static_cast<double>(i) / static_cast<double>(ni);
+        m.node_xyz[3 * n + 1] = ly * static_cast<double>(j) / static_cast<double>(nj);
+        m.node_xyz[3 * n + 2] = lz * static_cast<double>(k) / static_cast<double>(nk);
+      }
+
+  // Kuhn split: one tet per permutation of the unit steps (x,y,z), all six
+  // sharing the hex's main diagonal from (0,0,0) to (1,1,1).
+  static constexpr int kPerm[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                      {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  m.cell_nodes.reserve(static_cast<std::size_t>(m.ncells) * 4);
+  for (idx_t k = 0; k < nk; ++k)
+    for (idx_t j = 0; j < nj; ++j)
+      for (idx_t i = 0; i < ni; ++i)
+        for (const auto& p : kPerm) {
+          idx_t d[3] = {0, 0, 0};
+          m.cell_nodes.push_back(node(i, j, k));
+          d[p[0]] = 1;
+          m.cell_nodes.push_back(node(i + d[0], j + d[1], k + d[2]));
+          d[p[1]] = 1;
+          m.cell_nodes.push_back(node(i + d[0], j + d[1], k + d[2]));
+          m.cell_nodes.push_back(node(i + 1, j + 1, k + 1));
+        }
+
+  build_tet_faces(m);
+  // Bottom boundary is the wall (the 2D generators' convention, extruded).
+  for (idx_t b = 0; b < m.nbfaces; ++b) {
+    bool bottom = true;
+    for (int t = 0; t < 3; ++t) {
+      const idx_t n = m.bface_nodes[static_cast<std::size_t>(b) * 3 + t];
+      if (m.node_xyz[static_cast<std::size_t>(n) * 3 + 2] != 0.0) bottom = false;
+    }
+    if (bottom) m.bface_bound[b] = kBoundWall;
+  }
+  return m;
+}
+
 namespace {
 
 /// Min-image centroid of a cell.

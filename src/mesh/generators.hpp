@@ -13,6 +13,7 @@
 #pragma once
 
 #include "mesh/mesh.hpp"
+#include "mesh/tetmesh.hpp"
 
 namespace opv::mesh {
 
@@ -32,6 +33,15 @@ UnstructuredMesh make_tri_box(idx_t ni, idx_t nj, double lx = 1.0, double ly = 1
 /// Fully periodic triangulated box (torus): no boundary set, every edge
 /// interior, every cell has exactly three edges. Requires ni, nj >= 3.
 UnstructuredMesh make_tri_periodic(idx_t ni, idx_t nj, double lx = 1.0, double ly = 1.0);
+
+/// Tetrahedral box mesh on [0,lx]x[0,ly]x[0,lz]: each of the ni*nj*nk
+/// hexahedra is split into six tets sharing its main diagonal (the
+/// Kuhn/Freudenthal triangulation — translation-invariant, so the induced
+/// face triangulations match across neighboring hexes). ncells = 6*ni*nj*nk,
+/// nnodes = (ni+1)(nj+1)(nk+1); faces derive via build_tet_faces. The bottom
+/// boundary (z = 0) is kBoundWall, all other boundaries kBoundFarfield.
+TetMesh make_tet_box(idx_t ni, idx_t nj, idx_t nk, double lx = 1.0, double ly = 1.0,
+                     double lz = 1.0);
 
 /// Jitter node coordinates by +-amplitude (absolute units), deterministic in
 /// seed. Topology is unchanged; used to de-regularize synthetic meshes.

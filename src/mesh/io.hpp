@@ -1,18 +1,144 @@
-// Binary mesh serialization (an "OPVM" container). Lets expensive generator
-// output (multi-million-cell meshes) be cached on disk between bench runs,
-// playing the role of OP2's new_grid.dat input files.
+// Mesh ingest and serialization.
+//
+// Two format families:
+//   * OPVM/OPVT — binary containers caching expensive generator output
+//     (multi-million-cell meshes) between bench runs, playing the role of
+//     OP2's new_grid.dat input files. OPVM holds a 2D UnstructuredMesh,
+//     OPVT a 3D TetMesh. Reads are fully validated: short files, corrupt
+//     counts and overflowing sizes all raise descriptive opv::Error.
+//   * Gmsh MSH (ASCII v2.2 and v4.1) — the interchange format real meshing
+//     tools emit. read_msh parses $MeshFormat/$PhysicalNames/$Entities/
+//     $Nodes/$Elements into a GmshMesh intermediate (line/tri/quad/tet
+//     elements with physical tags), with strict validation and
+//     line-numbered errors; write_msh emits either version. Converters
+//     turn a GmshMesh into the finite-volume containers (deriving the
+//     interior/boundary edge or face sets) and back, mapping physical
+//     groups to named boundary sets and boundary-condition ids.
 #pragma once
 
+#include <iosfwd>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "mesh/mesh.hpp"
+#include "mesh/tetmesh.hpp"
 
 namespace opv::mesh {
+
+// ---- binary cache (OPVM / OPVT) -------------------------------------------
 
 /// Write a mesh to a binary file. Throws opv::Error on I/O failure.
 void write_mesh(const UnstructuredMesh& m, const std::string& path);
 
-/// Read a mesh previously written by write_mesh. Throws on format mismatch.
+/// Read a mesh previously written by write_mesh. Throws opv::Error on any
+/// format violation: bad magic, truncation, negative or implausible counts,
+/// section size mismatches — never crashes or silently misparses.
 UnstructuredMesh read_mesh(const std::string& path);
+
+/// TetMesh siblings (OPVT container, same hardening contract).
+void write_tet_mesh(const TetMesh& m, const std::string& path);
+TetMesh read_tet_mesh(const std::string& path);
+
+// ---- Gmsh MSH -------------------------------------------------------------
+
+/// A physical group: (dim, tag) with an optional name from $PhysicalNames.
+struct GmshPhysical {
+  int dim = 0;
+  idx_t tag = 0;
+  std::string name;
+  friend bool operator==(const GmshPhysical&, const GmshPhysical&) = default;
+};
+
+/// Parsed MSH content: nodes (always 3D coordinates) plus the supported
+/// element types, each carrying a per-element physical tag (0 = untagged).
+/// Node references are already resolved to dense 0-based indices; the
+/// original file tags do not survive the parse.
+struct GmshMesh {
+  std::string name;
+
+  idx_t nnodes = 0;
+  aligned_vector<double> node_xyz;  ///< nnodes*3
+
+  std::vector<GmshPhysical> physicals;
+
+  /// One element class (fixed nodes-per-element).
+  struct Elems {
+    idx_t count = 0;
+    aligned_vector<idx_t> nodes;  ///< count * nodes-per-element
+    aligned_vector<idx_t> phys;   ///< count physical tags (0 = untagged)
+    friend bool operator==(const Elems&, const Elems&) = default;
+  };
+  Elems lines;  ///< 2-node lines (gmsh type 1) — 2D boundary markers
+  Elems tris;   ///< 3-node triangles (type 2) — 2D cells / 3D boundary
+  Elems quads;  ///< 4-node quadrangles (type 3) — 2D cells
+  Elems tets;   ///< 4-node tetrahedra (type 4) — 3D cells
+
+  /// The registered name of physical group (dim, tag), or "" if unnamed.
+  [[nodiscard]] std::string physical_name(int dim, idx_t tag) const;
+
+  /// Structural validation (index ranges, array-size consistency).
+  void validate() const;
+
+  /// Content equality: nodes, physicals and all element classes. The name
+  /// is a provenance label (file stem / generator tag) and is excluded.
+  friend bool operator==(const GmshMesh& a, const GmshMesh& b);
+};
+
+/// Parse an ASCII Gmsh MSH file (format 2.2 or 4.1). Throws opv::Error with
+/// "path:line" context on any violation: unknown version, binary file-type,
+/// truncated sections, count mismatches, duplicate node tags, element
+/// references to undeclared nodes.
+GmshMesh read_msh(const std::string& path);
+
+/// Stream variant (fixture and fuzz testing); `label` replaces the path in
+/// error messages.
+GmshMesh read_msh(std::istream& in, const std::string& label);
+
+/// Write `g` as ASCII MSH. `version` is 2 (v2.2) or 4 (v4.1). v2.2 output
+/// round-trips bit-exactly through read_msh (element order preserved);
+/// v4.1 groups elements into per-(type, physical) entity blocks, so order
+/// within a type follows physical-tag first appearance.
+void write_msh(const GmshMesh& g, const std::string& path, int version = 2);
+
+// ---- conversions ----------------------------------------------------------
+
+/// How physical groups map onto boundary-condition ids during conversion.
+struct MshOptions {
+  /// Boundary physical-group name (lowercased) -> bound id.
+  std::map<std::string, idx_t> bound_ids = {{"wall", kBoundWall}, {"farfield", kBoundFarfield}};
+  /// Bound id for boundary elements whose physical group is absent/unknown.
+  idx_t default_bound = kBoundFarfield;
+};
+
+/// A named boundary set recovered from a physical group: the boundary
+/// element ids (bedge/bface indices of the converted mesh) in that group.
+struct BoundarySet {
+  std::string name;
+  aligned_vector<idx_t> elems;
+};
+
+/// Build a 2D finite-volume mesh from parsed MSH content. Cells are the tri
+/// OR quad elements (exactly one kind must be present; tets must be absent).
+/// Interior and boundary edges are derived from the cell->node map in
+/// deterministic discovery order; line elements assign bound ids (and fill
+/// `bsets` when given) by matching boundary edges — a line element matching
+/// an interior edge, or no edge at all, is an error. Edges are FV-oriented
+/// (orient_edges_fv) and the result is validated.
+UnstructuredMesh to_unstructured(const GmshMesh& g, const MshOptions& opt = {},
+                                 std::vector<BoundarySet>* bsets = nullptr);
+
+/// Build a 3D tetrahedral mesh from parsed MSH content (tet elements
+/// required). Faces derive via build_tet_faces; boundary tri elements
+/// assign bound ids / named sets exactly as lines do in 2D.
+TetMesh to_tet(const GmshMesh& g, const MshOptions& opt = {},
+               std::vector<BoundarySet>* bsets = nullptr);
+
+/// Inverse converters (the MSH export path): cells become tri/quad/tet
+/// elements with physical tag 1 ("domain"/"interior"), boundary edges/faces
+/// become line/tri elements whose physical tag IS the bound id, named
+/// "wall"/"farfield".
+GmshMesh from_unstructured(const UnstructuredMesh& m);
+GmshMesh from_tet(const TetMesh& m);
 
 }  // namespace opv::mesh

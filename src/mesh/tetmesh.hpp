@@ -1,0 +1,67 @@
+// Unstructured 3D tetrahedral finite-volume mesh container.
+//
+// The 3D sibling of UnstructuredMesh (mesh.hpp): a node set with xyz
+// coordinates, a tet cell set with a cell->node map, an interior-face set
+// (triangles shared by two cells) and a boundary-face set with a
+// boundary-condition id. Faces are derived from the cell->node map
+// (build_tet_faces) and oriented so the face normal points from the first
+// adjacent cell toward the second (outward for boundary faces) — the
+// convention the tet3d flux kernels depend on, the 3D analog of
+// orient_edges_fv.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/aligned.hpp"
+#include "mesh/mesh.hpp"
+
+namespace opv::mesh {
+
+/// A fully unstructured tetrahedral mesh. All maps are element-major (AoS):
+/// cell_nodes[c*4 + k] is the k-th node of tet c.
+struct TetMesh {
+  std::string name;
+
+  idx_t nnodes = 0;
+  idx_t ncells = 0;
+  idx_t nfaces = 0;   ///< interior triangular faces (two adjacent cells)
+  idx_t nbfaces = 0;  ///< boundary faces (one adjacent cell)
+
+  aligned_vector<double> node_xyz;    ///< nnodes*3 node coordinates
+  aligned_vector<idx_t> cell_nodes;   ///< ncells*4
+  aligned_vector<idx_t> face_nodes;   ///< nfaces*3, oriented cell0 -> cell1
+  aligned_vector<idx_t> face_cells;   ///< nfaces*2 (left, right)
+  aligned_vector<idx_t> bface_nodes;  ///< nbfaces*3, oriented outward
+  aligned_vector<idx_t> bface_cell;   ///< nbfaces*1
+  aligned_vector<idx_t> bface_bound;  ///< nbfaces*1 boundary-condition id
+
+  /// Estimated resident size of all arrays in bytes.
+  [[nodiscard]] std::uint64_t footprint_bytes() const;
+
+  /// Throws opv::Error if any structural invariant is violated: index
+  /// ranges, face nodes shared with both adjacent cells, distinct face
+  /// nodes, known bound ids, non-degenerate (positive-volume) cells.
+  void validate() const;
+
+  /// Signed volume of cell c (positive for gmsh-ordered tets).
+  [[nodiscard]] double cell_volume(idx_t c) const;
+};
+
+/// Derive the interior/boundary face sets from cell_nodes: each tet
+/// contributes its four triangles, triangles shared by exactly two tets
+/// become interior faces (adjacent cells in discovery order), triangles
+/// seen once become boundary faces. Face node triples are oriented
+/// cell0 -> cell1 / outward. Every bface_bound is set to kBoundFarfield —
+/// callers relabel (from physical groups or geometry). Throws on
+/// non-manifold input (a triangle shared by three or more tets).
+void build_tet_faces(TetMesh& m);
+
+/// Cell centroids, interleaved xyz (ncells*3).
+aligned_vector<double> tet_cell_centroids(const TetMesh& m);
+
+/// Characteristic mesh length: cbrt of the smallest cell volume (timestep
+/// selection in the tet3d app). Throws on an empty or degenerate mesh.
+double tet_min_length(const TetMesh& m);
+
+}  // namespace opv::mesh
