@@ -12,6 +12,10 @@
 #                        seconds per format (MSH v2.2, MSH v4.1, OPVM/OPVT
 #                        binary), gated by the ingest equivalence checks
 #                        (ablation_ingest)
+#   BENCH_layout.json    memory-layout record: AoS vs SoA vs AoSoA seconds
+#                        for Airfoil res_calc and Tet3D t3d_flux_calc per
+#                        backend, gated by the layout equivalence checks
+#                        (ablation_layout)
 # Run after scripts/check.sh (needs a built tree).
 #
 # Usage: scripts/bench_report.sh [build-dir]
@@ -28,6 +32,10 @@
 #   INGEST_OUT=path    ingest output (default: BENCH_ingest.json at root)
 #   INGEST_ARGS=...    flags for ablation_ingest (default: a quick
 #                      small-mesh run; drop --small for a full measurement)
+#   LAYOUT_OUT=path    layout output (default: BENCH_layout.json at root)
+#   LAYOUT_ARGS=...    flags for ablation_layout (default: the full default
+#                      mesh — the non-AoS win only appears once the working
+#                      set is memory-bound; --small turns it into a smoke)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,6 +48,8 @@ ENSEMBLE_OUT="${ENSEMBLE_OUT:-$ROOT/BENCH_ensemble.json}"
 ENSEMBLE_ARGS=${ENSEMBLE_ARGS:---small --steps=6}
 INGEST_OUT="${INGEST_OUT:-$ROOT/BENCH_ingest.json}"
 INGEST_ARGS=${INGEST_ARGS:---small --n=12 --steps=3}
+LAYOUT_OUT="${LAYOUT_OUT:-$ROOT/BENCH_layout.json}"
+LAYOUT_ARGS=${LAYOUT_ARGS:---iters=8}
 
 if [ ! -x "$BUILD/ablation_renumber" ]; then
   echo "ablation_renumber not built in $BUILD (run scripts/check.sh first)" >&2
@@ -77,3 +87,12 @@ fi
 "$BUILD/ablation_ingest" $INGEST_ARGS --fixtures="$ROOT/tests/fixtures/msh" \
   --json="$INGEST_OUT"
 echo "wrote $INGEST_OUT"
+
+if [ ! -x "$BUILD/ablation_layout" ]; then
+  echo "ablation_layout not built in $BUILD (run scripts/check.sh first)" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+"$BUILD/ablation_layout" $LAYOUT_ARGS --json="$LAYOUT_OUT"
+echo "wrote $LAYOUT_OUT"

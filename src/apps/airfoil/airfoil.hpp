@@ -58,15 +58,15 @@ class Airfoil {
     pbedge_ = ctx_.decl_map("pbedge", bedges_, nodes_, 2, m.bedge_nodes);
     pbecell_ = ctx_.decl_map("pbecell", bedges_, cells_, 1, m.bedge_cell);
 
-    x_ = ctx_.template decl_dat<Real>("x", nodes_, 2, to_real_vec<Real>(m.node_xy));
+    x_ = ctx_.template decl_dat<Real, 2>("x", nodes_, to_real_vec<Real>(m.node_xy));
     aligned_vector<Real> q0(static_cast<std::size_t>(m.ncells) * 4);
     for (idx_t c = 0; c < m.ncells; ++c)
       for (int n = 0; n < 4; ++n) q0[static_cast<std::size_t>(c) * 4 + n] = consts_.qinf[n];
-    q_ = ctx_.template decl_dat<Real>("q", cells_, 4, q0);
-    qold_ = ctx_.template decl_dat<Real>("qold", cells_, 4);
-    adt_ = ctx_.template decl_dat<Real>("adt", cells_, 1);
-    res_ = ctx_.template decl_dat<Real>("res", cells_, 4);
-    bound_ = ctx_.template decl_dat<std::int32_t>("bound", bedges_, 1, m.bedge_bound);
+    q_ = ctx_.template decl_dat<Real, 4>("q", cells_, q0);
+    qold_ = ctx_.template decl_dat<Real, 4>("qold", cells_);
+    adt_ = ctx_.template decl_dat<Real, 1>("adt", cells_);
+    res_ = ctx_.template decl_dat<Real, 4>("res", cells_);
+    bound_ = ctx_.template decl_dat<std::int32_t, 1>("bound", bedges_, m.bedge_bound);
     ctx_.finalize();
     build_loops();
   }
@@ -120,47 +120,50 @@ class Airfoil {
 
   typename Ctx::SetHandle nodes_{}, cells_{}, edges_{}, bedges_{};
   typename Ctx::MapHandle pedge_{}, pecell_{}, pcell_{}, pbedge_{}, pbecell_{};
-  typename Ctx::template DatHandle<Real> x_{}, q_{}, qold_{}, adt_{}, res_{};
-  typename Ctx::template DatHandle<std::int32_t> bound_{};
+  typename Ctx::template FixedDatHandle<Real, 2> x_{};
+  typename Ctx::template FixedDatHandle<Real, 4> q_{}, qold_{}, res_{};
+  typename Ctx::template FixedDatHandle<Real, 1> adt_{};
+  typename Ctx::template FixedDatHandle<std::int32_t, 1> bound_{};
 
-  /// One persistent handle per kernel call site. Every argument is spelled
-  /// with its compile-time arity (ctx.arg<mode, Dim>) — the airfoil arities
-  /// are all statically known (x:2, q/qold/res:4, adt/bound:1), so the
+  /// One persistent handle per kernel call site. Every dat is declared with
+  /// its compile-time arity (decl_dat<T, N>, FixedDat handles), so each
+  /// ctx.arg<mode>(...) carries the arity from the handle's type and the
   /// engine's gather/scatter paths fully unroll per argument at
-  /// instantiation time (docs/API.md, "compile-time Dim").
+  /// instantiation time (docs/API.md, "compile-time Dim") — with nothing to
+  /// spell, and nothing to get wrong, at the loop sites.
   auto make_loops() {
     return std::make_tuple(
         ctx_.make_loop(SaveSoln<Real>{}, "save_soln", cells_,
-                       ctx_.template arg<opv::READ, 4>(q_),
-                       ctx_.template arg<opv::WRITE, 4>(qold_)),
+                       ctx_.template arg<opv::READ>(q_),
+                       ctx_.template arg<opv::WRITE>(qold_)),
         ctx_.make_loop(AdtCalc<Real>{consts_}, "adt_calc", cells_,
-                       ctx_.template arg<opv::READ, 2>(x_, 0, pcell_),
-                       ctx_.template arg<opv::READ, 2>(x_, 1, pcell_),
-                       ctx_.template arg<opv::READ, 2>(x_, 2, pcell_),
-                       ctx_.template arg<opv::READ, 2>(x_, 3, pcell_),
-                       ctx_.template arg<opv::READ, 4>(q_),
-                       ctx_.template arg<opv::WRITE, 1>(adt_)),
+                       ctx_.template arg<opv::READ>(x_, 0, pcell_),
+                       ctx_.template arg<opv::READ>(x_, 1, pcell_),
+                       ctx_.template arg<opv::READ>(x_, 2, pcell_),
+                       ctx_.template arg<opv::READ>(x_, 3, pcell_),
+                       ctx_.template arg<opv::READ>(q_),
+                       ctx_.template arg<opv::WRITE>(adt_)),
         ctx_.make_loop(ResCalc<Real>{consts_}, "res_calc", edges_,
-                       ctx_.template arg<opv::READ, 2>(x_, 0, pedge_),
-                       ctx_.template arg<opv::READ, 2>(x_, 1, pedge_),
-                       ctx_.template arg<opv::READ, 4>(q_, 0, pecell_),
-                       ctx_.template arg<opv::READ, 4>(q_, 1, pecell_),
-                       ctx_.template arg<opv::READ, 1>(adt_, 0, pecell_),
-                       ctx_.template arg<opv::READ, 1>(adt_, 1, pecell_),
-                       ctx_.template arg<opv::INC, 4>(res_, 0, pecell_),
-                       ctx_.template arg<opv::INC, 4>(res_, 1, pecell_)),
+                       ctx_.template arg<opv::READ>(x_, 0, pedge_),
+                       ctx_.template arg<opv::READ>(x_, 1, pedge_),
+                       ctx_.template arg<opv::READ>(q_, 0, pecell_),
+                       ctx_.template arg<opv::READ>(q_, 1, pecell_),
+                       ctx_.template arg<opv::READ>(adt_, 0, pecell_),
+                       ctx_.template arg<opv::READ>(adt_, 1, pecell_),
+                       ctx_.template arg<opv::INC>(res_, 0, pecell_),
+                       ctx_.template arg<opv::INC>(res_, 1, pecell_)),
         ctx_.make_loop(BresCalc<Real>{consts_}, "bres_calc", bedges_,
-                       ctx_.template arg<opv::READ, 2>(x_, 0, pbedge_),
-                       ctx_.template arg<opv::READ, 2>(x_, 1, pbedge_),
-                       ctx_.template arg<opv::READ, 4>(q_, 0, pbecell_),
-                       ctx_.template arg<opv::READ, 1>(adt_, 0, pbecell_),
-                       ctx_.template arg<opv::INC, 4>(res_, 0, pbecell_),
-                       ctx_.template arg<opv::READ, 1>(bound_)),
+                       ctx_.template arg<opv::READ>(x_, 0, pbedge_),
+                       ctx_.template arg<opv::READ>(x_, 1, pbedge_),
+                       ctx_.template arg<opv::READ>(q_, 0, pbecell_),
+                       ctx_.template arg<opv::READ>(adt_, 0, pbecell_),
+                       ctx_.template arg<opv::INC>(res_, 0, pbecell_),
+                       ctx_.template arg<opv::READ>(bound_)),
         ctx_.make_loop(Update<Real>{}, "update", cells_,
-                       ctx_.template arg<opv::READ, 4>(qold_),
-                       ctx_.template arg<opv::WRITE, 4>(q_),
-                       ctx_.template arg<opv::RW, 4>(res_),
-                       ctx_.template arg<opv::READ, 1>(adt_),
+                       ctx_.template arg<opv::READ>(qold_),
+                       ctx_.template arg<opv::WRITE>(q_),
+                       ctx_.template arg<opv::RW>(res_),
+                       ctx_.template arg<opv::READ>(adt_),
                        ctx_.template arg_gbl<opv::INC>(&rms_, 1)));
   }
 

@@ -79,16 +79,6 @@ double stable_dt_bound(const mesh::TetMesh& m, const double vel[3], double kappa
   return dt;
 }
 
-aligned_vector<double> cell_centroids_xy(const mesh::TetMesh& m) {
-  const aligned_vector<double> c3 = mesh::tet_cell_centroids(m);
-  aligned_vector<double> xy(static_cast<std::size_t>(m.ncells) * 2);
-  for (idx_t c = 0; c < m.ncells; ++c) {
-    xy[2 * static_cast<std::size_t>(c)] = c3[3 * static_cast<std::size_t>(c)];
-    xy[2 * static_cast<std::size_t>(c) + 1] = c3[3 * static_cast<std::size_t>(c) + 1];
-  }
-  return xy;
-}
-
 aligned_vector<double> initial_bump(const mesh::TetMesh& m) {
   double lo[3] = {0, 0, 0}, hi[3] = {0, 0, 0};
   for (int k = 0; k < 3; ++k) {

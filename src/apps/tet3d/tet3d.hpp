@@ -24,9 +24,10 @@ namespace opv::tet3d {
 /// Register the KernelInfo entries for the Tet3D kernels (idempotent).
 void register_kernel_info();
 
-/// xy-projection of the tet centroids — the partitioner's coordinates
-/// (partition_rcb bisects in 2D; a box mesh projects cleanly).
-aligned_vector<double> cell_centroids_xy(const mesh::TetMesh& m);
+// Partitioning uses the full 3D tet centroids (mesh::tet_cell_centroids)
+// with ndims == 3, so RCB bisects the true 3D bounding box — an xy
+// projection would collapse every z-stratum of the mesh onto one plane and
+// produce needlessly long rank boundaries.
 
 /// Gaussian-bump initial condition centered on the node bounding box
 /// (deterministic in the mesh geometry alone).
@@ -63,13 +64,13 @@ class Tet3D {
     register_kernel_info();
     consts_ = Consts<Real>::standard();
     dt_ = stable_dt(consts_, m);
-    part_xy_ = cell_centroids_xy(m);
+    part_coords_ = mesh::tet_cell_centroids(m);
 
     nodes_ = ctx_.decl_set("nodes", m.nnodes);
     cells_ = ctx_.decl_set("cells", m.ncells);
     faces_ = ctx_.decl_set("faces", m.nfaces);
     bfaces_ = ctx_.decl_set("bfaces", m.nbfaces);
-    ctx_.set_partition_coords(cells_, part_xy_.data());
+    ctx_.set_partition_coords(cells_, part_coords_.data(), 3);
 
     pcell_ = ctx_.decl_map("pcell", cells_, nodes_, 4, m.cell_nodes);
     pface_ = ctx_.decl_map("pface", faces_, nodes_, 3, m.face_nodes);
@@ -77,15 +78,15 @@ class Tet3D {
     pbface_ = ctx_.decl_map("pbface", bfaces_, nodes_, 3, m.bface_nodes);
     pbfcell_ = ctx_.decl_map("pbfcell", bfaces_, cells_, 1, m.bface_cell);
 
-    x_ = ctx_.template decl_dat<Real>("x", nodes_, 3, to_real_vec<Real>(m.node_xyz));
-    u_ = ctx_.template decl_dat<Real>("u", cells_, 1, to_real_vec<Real>(initial_bump(m)));
-    uold_ = ctx_.template decl_dat<Real>("uold", cells_, 1);
-    grad_ = ctx_.template decl_dat<Real>("grad", cells_, 3);
-    res_ = ctx_.template decl_dat<Real>("res", cells_, 1);
-    cgeom_ = ctx_.template decl_dat<Real>("cgeom", cells_, 4);
-    fgeom_ = ctx_.template decl_dat<Real>("fgeom", faces_, 6);
-    bfgeom_ = ctx_.template decl_dat<Real>("bfgeom", bfaces_, 6);
-    bound_ = ctx_.template decl_dat<std::int32_t>("bound", bfaces_, 1, m.bface_bound);
+    x_ = ctx_.template decl_dat<Real, 3>("x", nodes_, to_real_vec<Real>(m.node_xyz));
+    u_ = ctx_.template decl_dat<Real, 1>("u", cells_, to_real_vec<Real>(initial_bump(m)));
+    uold_ = ctx_.template decl_dat<Real, 1>("uold", cells_);
+    grad_ = ctx_.template decl_dat<Real, 3>("grad", cells_);
+    res_ = ctx_.template decl_dat<Real, 1>("res", cells_);
+    cgeom_ = ctx_.template decl_dat<Real, 4>("cgeom", cells_);
+    fgeom_ = ctx_.template decl_dat<Real, 6>("fgeom", faces_);
+    bfgeom_ = ctx_.template decl_dat<Real, 6>("bfgeom", bfaces_);
+    bound_ = ctx_.template decl_dat<std::int32_t, 1>("bound", bfaces_, m.bface_bound);
     ctx_.finalize();
     init_geometry();
     build_loops();
@@ -130,37 +131,40 @@ class Tet3D {
   bool chain_ = false;
   Consts<Real> consts_;
   Real dt_ = Real(0);
-  aligned_vector<double> part_xy_;
+  aligned_vector<double> part_coords_;  ///< full 3D tet centroids (ndims == 3)
   std::vector<double> rms_history_;
   double last_rms_ = 0.0;
   Real rms_ = Real(0);  ///< update_u's reduction target, bound into its handle
 
   typename Ctx::SetHandle nodes_{}, cells_{}, faces_{}, bfaces_{};
   typename Ctx::MapHandle pcell_{}, pface_{}, pfcell_{}, pbface_{}, pbfcell_{};
-  typename Ctx::template DatHandle<Real> x_{}, u_{}, uold_{}, grad_{}, res_{}, cgeom_{}, fgeom_{},
-      bfgeom_{};
-  typename Ctx::template DatHandle<std::int32_t> bound_{};
+  typename Ctx::template FixedDatHandle<Real, 3> x_{}, grad_{};
+  typename Ctx::template FixedDatHandle<Real, 1> u_{}, uold_{}, res_{};
+  typename Ctx::template FixedDatHandle<Real, 4> cgeom_{};
+  typename Ctx::template FixedDatHandle<Real, 6> fgeom_{}, bfgeom_{};
+  typename Ctx::template FixedDatHandle<std::int32_t, 1> bound_{};
 
   /// Geometry precomputation: one pass each over cells, faces and boundary
   /// faces at construction, gathering node positions through the 3-/4-ary
-  /// maps. Run once; the handles are dropped afterwards.
+  /// maps. Run once; the handles are dropped afterwards. Arities come from
+  /// the FixedDat handles (x/grad:3, cgeom:4, fgeom/bfgeom:6, scalars:1).
   void init_geometry() {
     auto cg = ctx_.make_loop(CellGeom<Real>{}, "t3d_cell_geom", cells_,
-                             ctx_.template arg<opv::READ, 3>(x_, 0, pcell_),
-                             ctx_.template arg<opv::READ, 3>(x_, 1, pcell_),
-                             ctx_.template arg<opv::READ, 3>(x_, 2, pcell_),
-                             ctx_.template arg<opv::READ, 3>(x_, 3, pcell_),
-                             ctx_.template arg<opv::WRITE, 4>(cgeom_));
+                             ctx_.template arg<opv::READ>(x_, 0, pcell_),
+                             ctx_.template arg<opv::READ>(x_, 1, pcell_),
+                             ctx_.template arg<opv::READ>(x_, 2, pcell_),
+                             ctx_.template arg<opv::READ>(x_, 3, pcell_),
+                             ctx_.template arg<opv::WRITE>(cgeom_));
     auto fg = ctx_.make_loop(FaceGeom<Real>{}, "t3d_face_geom", faces_,
-                             ctx_.template arg<opv::READ, 3>(x_, 0, pface_),
-                             ctx_.template arg<opv::READ, 3>(x_, 1, pface_),
-                             ctx_.template arg<opv::READ, 3>(x_, 2, pface_),
-                             ctx_.template arg<opv::WRITE, 6>(fgeom_));
+                             ctx_.template arg<opv::READ>(x_, 0, pface_),
+                             ctx_.template arg<opv::READ>(x_, 1, pface_),
+                             ctx_.template arg<opv::READ>(x_, 2, pface_),
+                             ctx_.template arg<opv::WRITE>(fgeom_));
     auto bg = ctx_.make_loop(FaceGeom<Real>{}, "t3d_bface_geom", bfaces_,
-                             ctx_.template arg<opv::READ, 3>(x_, 0, pbface_),
-                             ctx_.template arg<opv::READ, 3>(x_, 1, pbface_),
-                             ctx_.template arg<opv::READ, 3>(x_, 2, pbface_),
-                             ctx_.template arg<opv::WRITE, 6>(bfgeom_));
+                             ctx_.template arg<opv::READ>(x_, 0, pbface_),
+                             ctx_.template arg<opv::READ>(x_, 1, pbface_),
+                             ctx_.template arg<opv::READ>(x_, 2, pbface_),
+                             ctx_.template arg<opv::WRITE>(bfgeom_));
     cg.run();
     fg.run();
     bg.run();
@@ -168,45 +172,45 @@ class Tet3D {
 
   auto make_loops() {
     return std::make_tuple(
-        ctx_.make_loop(SaveU<Real>{}, "t3d_save_u", cells_, ctx_.template arg<opv::READ, 1>(u_),
-                       ctx_.template arg<opv::WRITE, 1>(uold_)),
+        ctx_.make_loop(SaveU<Real>{}, "t3d_save_u", cells_, ctx_.template arg<opv::READ>(u_),
+                       ctx_.template arg<opv::WRITE>(uold_)),
         ctx_.make_loop(GradCalc<Real>{}, "t3d_grad_calc", faces_,
-                       ctx_.template arg<opv::READ, 1>(u_, 0, pfcell_),
-                       ctx_.template arg<opv::READ, 1>(u_, 1, pfcell_),
-                       ctx_.template arg<opv::READ, 4>(cgeom_, 0, pfcell_),
-                       ctx_.template arg<opv::READ, 4>(cgeom_, 1, pfcell_),
-                       ctx_.template arg<opv::READ, 6>(fgeom_),
-                       ctx_.template arg<opv::INC, 3>(grad_, 0, pfcell_),
-                       ctx_.template arg<opv::INC, 3>(grad_, 1, pfcell_)),
+                       ctx_.template arg<opv::READ>(u_, 0, pfcell_),
+                       ctx_.template arg<opv::READ>(u_, 1, pfcell_),
+                       ctx_.template arg<opv::READ>(cgeom_, 0, pfcell_),
+                       ctx_.template arg<opv::READ>(cgeom_, 1, pfcell_),
+                       ctx_.template arg<opv::READ>(fgeom_),
+                       ctx_.template arg<opv::INC>(grad_, 0, pfcell_),
+                       ctx_.template arg<opv::INC>(grad_, 1, pfcell_)),
         ctx_.make_loop(BGradCalc<Real>{consts_}, "t3d_bgrad_calc", bfaces_,
-                       ctx_.template arg<opv::READ, 1>(u_, 0, pbfcell_),
-                       ctx_.template arg<opv::READ, 4>(cgeom_, 0, pbfcell_),
-                       ctx_.template arg<opv::READ, 6>(bfgeom_),
-                       ctx_.template arg<opv::READ, 1>(bound_),
-                       ctx_.template arg<opv::INC, 3>(grad_, 0, pbfcell_)),
+                       ctx_.template arg<opv::READ>(u_, 0, pbfcell_),
+                       ctx_.template arg<opv::READ>(cgeom_, 0, pbfcell_),
+                       ctx_.template arg<opv::READ>(bfgeom_),
+                       ctx_.template arg<opv::READ>(bound_),
+                       ctx_.template arg<opv::INC>(grad_, 0, pbfcell_)),
         ctx_.make_loop(FluxCalc<Real>{consts_}, "t3d_flux_calc", faces_,
-                       ctx_.template arg<opv::READ, 1>(u_, 0, pfcell_),
-                       ctx_.template arg<opv::READ, 1>(u_, 1, pfcell_),
-                       ctx_.template arg<opv::READ, 3>(grad_, 0, pfcell_),
-                       ctx_.template arg<opv::READ, 3>(grad_, 1, pfcell_),
-                       ctx_.template arg<opv::READ, 4>(cgeom_, 0, pfcell_),
-                       ctx_.template arg<opv::READ, 4>(cgeom_, 1, pfcell_),
-                       ctx_.template arg<opv::READ, 6>(fgeom_),
-                       ctx_.template arg<opv::INC, 1>(res_, 0, pfcell_),
-                       ctx_.template arg<opv::INC, 1>(res_, 1, pfcell_)),
+                       ctx_.template arg<opv::READ>(u_, 0, pfcell_),
+                       ctx_.template arg<opv::READ>(u_, 1, pfcell_),
+                       ctx_.template arg<opv::READ>(grad_, 0, pfcell_),
+                       ctx_.template arg<opv::READ>(grad_, 1, pfcell_),
+                       ctx_.template arg<opv::READ>(cgeom_, 0, pfcell_),
+                       ctx_.template arg<opv::READ>(cgeom_, 1, pfcell_),
+                       ctx_.template arg<opv::READ>(fgeom_),
+                       ctx_.template arg<opv::INC>(res_, 0, pfcell_),
+                       ctx_.template arg<opv::INC>(res_, 1, pfcell_)),
         ctx_.make_loop(BFluxCalc<Real>{consts_}, "t3d_bflux_calc", bfaces_,
-                       ctx_.template arg<opv::READ, 1>(u_, 0, pbfcell_),
-                       ctx_.template arg<opv::READ, 3>(grad_, 0, pbfcell_),
-                       ctx_.template arg<opv::READ, 4>(cgeom_, 0, pbfcell_),
-                       ctx_.template arg<opv::READ, 6>(bfgeom_),
-                       ctx_.template arg<opv::READ, 1>(bound_),
-                       ctx_.template arg<opv::INC, 1>(res_, 0, pbfcell_)),
+                       ctx_.template arg<opv::READ>(u_, 0, pbfcell_),
+                       ctx_.template arg<opv::READ>(grad_, 0, pbfcell_),
+                       ctx_.template arg<opv::READ>(cgeom_, 0, pbfcell_),
+                       ctx_.template arg<opv::READ>(bfgeom_),
+                       ctx_.template arg<opv::READ>(bound_),
+                       ctx_.template arg<opv::INC>(res_, 0, pbfcell_)),
         ctx_.make_loop(UpdateU<Real>{dt_}, "t3d_update_u", cells_,
-                       ctx_.template arg<opv::READ, 1>(uold_),
-                       ctx_.template arg<opv::READ, 4>(cgeom_),
-                       ctx_.template arg<opv::WRITE, 1>(u_),
-                       ctx_.template arg<opv::RW, 1>(res_),
-                       ctx_.template arg<opv::RW, 3>(grad_),
+                       ctx_.template arg<opv::READ>(uold_),
+                       ctx_.template arg<opv::READ>(cgeom_),
+                       ctx_.template arg<opv::WRITE>(u_),
+                       ctx_.template arg<opv::RW>(res_),
+                       ctx_.template arg<opv::RW>(grad_),
                        ctx_.template arg_gbl<opv::INC>(&rms_, 1)));
   }
 

@@ -64,15 +64,15 @@ class Volna {
     e2c_ = ctx_.decl_map("e2c", edges_, cells_, 2, m.edge_cells);
     c2e_ = ctx_.decl_map("c2e", cells_, edges_, 3, mesh::build_cell_edges_flat3(m));
 
-    u_ = ctx_.template decl_dat<Real>("values", cells_, 4,
-                                      cast_vec<Real>(initial_state(m, depth, amp, width)));
-    uold_ = ctx_.template decl_dat<Real>("uold", cells_, 4);
-    utmp_ = ctx_.template decl_dat<Real>("utmp", cells_, 4);
-    res_ = ctx_.template decl_dat<Real>("res", cells_, 4);
-    cdt_ = ctx_.template decl_dat<Real>("cdt", cells_, 1);
-    egeom_ = ctx_.template decl_dat<Real>("egeom", edges_, 4, cast_vec<Real>(edge_geometry(m)));
-    cgeom_ = ctx_.template decl_dat<Real>("cgeom", cells_, 2, cast_vec<Real>(cell_geometry(m)));
-    flux_ = ctx_.template decl_dat<Real>("flux", edges_, 5);
+    u_ = ctx_.template decl_dat<Real, 4>("values", cells_,
+                                         cast_vec<Real>(initial_state(m, depth, amp, width)));
+    uold_ = ctx_.template decl_dat<Real, 4>("uold", cells_);
+    utmp_ = ctx_.template decl_dat<Real, 4>("utmp", cells_);
+    res_ = ctx_.template decl_dat<Real, 4>("res", cells_);
+    cdt_ = ctx_.template decl_dat<Real, 1>("cdt", cells_);
+    egeom_ = ctx_.template decl_dat<Real, 4>("egeom", edges_, cast_vec<Real>(edge_geometry(m)));
+    cgeom_ = ctx_.template decl_dat<Real, 2>("cgeom", cells_, cast_vec<Real>(cell_geometry(m)));
+    flux_ = ctx_.template decl_dat<Real, 5>("flux", edges_);
     ctx_.finalize();
     build_loops();
   }
@@ -113,54 +113,58 @@ class Volna {
 
   typename Ctx::SetHandle cells_{}, edges_{};
   typename Ctx::MapHandle e2c_{}, c2e_{};
-  typename Ctx::template DatHandle<Real> u_{}, uold_{}, utmp_{}, res_{}, cdt_{}, egeom_{},
-      cgeom_{}, flux_{};
+  typename Ctx::template FixedDatHandle<Real, 4> u_{}, uold_{}, utmp_{}, res_{}, egeom_{};
+  typename Ctx::template FixedDatHandle<Real, 1> cdt_{};
+  typename Ctx::template FixedDatHandle<Real, 2> cgeom_{};
+  typename Ctx::template FixedDatHandle<Real, 5> flux_{};
 
   /// One persistent handle per kernel call site (compute_flux and
-  /// space_disc each appear twice in a step, so twice here). Arguments
-  /// carry their compile-time arity (u/uold/utmp/res/egeom:4, flux:5,
-  /// cgeom:2, cdt:1) so every gather/scatter unrolls at instantiation time
-  /// (docs/API.md, "compile-time Dim").
+  /// space_disc each appear twice in a step, so twice here). Every dat is
+  /// declared with its compile-time arity (decl_dat<T, N>, FixedDat
+  /// handles: u/uold/utmp/res/egeom:4, flux:5, cgeom:2, cdt:1), so each
+  /// argument carries its arity from the handle's type and every
+  /// gather/scatter unrolls at instantiation time (docs/API.md,
+  /// "compile-time Dim").
   auto make_loops() {
     auto space_disc = [this] {
       return ctx_.make_loop(SpaceDisc<Real>{}, "space_disc", edges_,
-                            ctx_.template arg<opv::READ, 5>(flux_),
-                            ctx_.template arg<opv::READ, 4>(egeom_),
-                            ctx_.template arg<opv::READ, 2>(cgeom_, 0, e2c_),
-                            ctx_.template arg<opv::READ, 2>(cgeom_, 1, e2c_),
-                            ctx_.template arg<opv::INC, 4>(res_, 0, e2c_),
-                            ctx_.template arg<opv::INC, 4>(res_, 1, e2c_));
+                            ctx_.template arg<opv::READ>(flux_),
+                            ctx_.template arg<opv::READ>(egeom_),
+                            ctx_.template arg<opv::READ>(cgeom_, 0, e2c_),
+                            ctx_.template arg<opv::READ>(cgeom_, 1, e2c_),
+                            ctx_.template arg<opv::INC>(res_, 0, e2c_),
+                            ctx_.template arg<opv::INC>(res_, 1, e2c_));
     };
     return std::make_tuple(
-        ctx_.make_loop(Sim1<Real>{}, "sim_1", cells_, ctx_.template arg<opv::READ, 4>(u_),
-                       ctx_.template arg<opv::WRITE, 4>(uold_)),
+        ctx_.make_loop(Sim1<Real>{}, "sim_1", cells_, ctx_.template arg<opv::READ>(u_),
+                       ctx_.template arg<opv::WRITE>(uold_)),
         ctx_.make_loop(ComputeFlux<Real>{params_}, "compute_flux", edges_,
-                       ctx_.template arg<opv::READ, 4>(u_, 0, e2c_),
-                       ctx_.template arg<opv::READ, 4>(u_, 1, e2c_),
-                       ctx_.template arg<opv::READ, 4>(egeom_),
-                       ctx_.template arg<opv::WRITE, 5>(flux_)),
+                       ctx_.template arg<opv::READ>(u_, 0, e2c_),
+                       ctx_.template arg<opv::READ>(u_, 1, e2c_),
+                       ctx_.template arg<opv::READ>(egeom_),
+                       ctx_.template arg<opv::WRITE>(flux_)),
         ctx_.make_loop(NumericalFlux<Real>{params_}, "numerical_flux", cells_,
-                       ctx_.template arg<opv::READ, 5>(flux_, 0, c2e_),
-                       ctx_.template arg<opv::READ, 5>(flux_, 1, c2e_),
-                       ctx_.template arg<opv::READ, 5>(flux_, 2, c2e_),
-                       ctx_.template arg<opv::READ, 2>(cgeom_),
-                       ctx_.template arg<opv::WRITE, 1>(cdt_),
+                       ctx_.template arg<opv::READ>(flux_, 0, c2e_),
+                       ctx_.template arg<opv::READ>(flux_, 1, c2e_),
+                       ctx_.template arg<opv::READ>(flux_, 2, c2e_),
+                       ctx_.template arg<opv::READ>(cgeom_),
+                       ctx_.template arg<opv::WRITE>(cdt_),
                        ctx_.template arg_gbl<opv::MIN>(&dtmin_, 1)),
         space_disc(),
-        ctx_.make_loop(RK1<Real>{}, "RK_1", cells_, ctx_.template arg<opv::READ, 4>(u_),
-                       ctx_.template arg<opv::RW, 4>(res_),
-                       ctx_.template arg<opv::WRITE, 4>(utmp_),
+        ctx_.make_loop(RK1<Real>{}, "RK_1", cells_, ctx_.template arg<opv::READ>(u_),
+                       ctx_.template arg<opv::RW>(res_),
+                       ctx_.template arg<opv::WRITE>(utmp_),
                        ctx_.template arg_gbl<opv::READ>(&dt_arg_, 1)),
         ctx_.make_loop(ComputeFlux<Real>{params_}, "compute_flux", edges_,
-                       ctx_.template arg<opv::READ, 4>(utmp_, 0, e2c_),
-                       ctx_.template arg<opv::READ, 4>(utmp_, 1, e2c_),
-                       ctx_.template arg<opv::READ, 4>(egeom_),
-                       ctx_.template arg<opv::WRITE, 5>(flux_)),
+                       ctx_.template arg<opv::READ>(utmp_, 0, e2c_),
+                       ctx_.template arg<opv::READ>(utmp_, 1, e2c_),
+                       ctx_.template arg<opv::READ>(egeom_),
+                       ctx_.template arg<opv::WRITE>(flux_)),
         space_disc(),
-        ctx_.make_loop(RK2<Real>{}, "RK_2", cells_, ctx_.template arg<opv::READ, 4>(uold_),
-                       ctx_.template arg<opv::READ, 4>(utmp_),
-                       ctx_.template arg<opv::RW, 4>(res_),
-                       ctx_.template arg<opv::WRITE, 4>(u_),
+        ctx_.make_loop(RK2<Real>{}, "RK_2", cells_, ctx_.template arg<opv::READ>(uold_),
+                       ctx_.template arg<opv::READ>(utmp_),
+                       ctx_.template arg<opv::RW>(res_),
+                       ctx_.template arg<opv::WRITE>(u_),
                        ctx_.template arg_gbl<opv::READ>(&dt_arg_, 1)));
   }
 

@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "core/layout.hpp"
+
 namespace opv {
 
 /// Parallelization backend for op_par_loop (paper sections 4-5).
@@ -42,6 +44,24 @@ constexpr const char* coloring_name(ColoringStrategy c) {
   return "?";
 }
 
+/// Layout heuristic per backend (the context-level default a driver opts
+/// into with set_default_layout(default_layout(backend))): the scalar
+/// backends keep AoS (one element's components share a cache line — the
+/// best case for scalar sweeps), the explicit-vector backends want SoA
+/// (component gathers become dense per-plane, direct accesses become
+/// unit-stride plane loads), and the Simt model mirrors the GPU guidance
+/// of Sulyok et al. (arXiv:1802.03749): SoA for coalesced-style access.
+constexpr Layout default_layout(Backend b) {
+  switch (b) {
+    case Backend::Seq:
+    case Backend::OpenMP: return Layout::AoS;
+    case Backend::AutoVec:
+    case Backend::Simd:
+    case Backend::Simt: return Layout::SoA;
+  }
+  return Layout::AoS;
+}
+
 /// Per-loop (or per-application) execution configuration.
 struct ExecConfig {
   /// block_size value requesting online autotuning: each Loop handle sweeps
@@ -67,6 +87,14 @@ struct ExecConfig {
   /// lets the chain's perf::OnlineTuner refine it over the first runs;
   /// an explicit value (>= 1) pins the tiling at the first plan.
   int chain_tile_elems = kAuto;
+
+  /// Simt backend: stage gathered indirect dats into a block-shared scratch
+  /// buffer before the kernel body runs and flush after (the paper's
+  /// shared-memory staging on the GPU-like path, Fig. 3a's "shared memory"
+  /// arrays). Opt-in: staging reassociates indirect-increment sums at block
+  /// granularity, so staged Simt matches unstaged only to field-norm
+  /// tolerance (Seq stays bitwise regardless).
+  bool simt_staging = false;
 
   [[nodiscard]] std::string to_string() const {
     std::string s = backend_name(backend);

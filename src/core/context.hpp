@@ -48,6 +48,8 @@ class LocalCtx {
   using MapHandle = Map*;
   template <class T>
   using DatHandle = Dat<T>*;
+  template <class T, int N>
+  using FixedDatHandle = FixedDat<T, N>*;
 
   explicit LocalCtx(ExecConfig cfg = {}) : cfg_(cfg) {}
 
@@ -61,8 +63,17 @@ class LocalCtx {
   }
 
   /// Partition hint; locally it only records the primary set — the default
-  /// seed for the opt-in renumbering pass (set_renumber).
-  void set_partition_coords(SetHandle s, const double*) { primary_ = s; }
+  /// seed for the opt-in renumbering pass (set_renumber). The optional
+  /// coordinate dimensionality matches DistCtx's signature (ignored here).
+  void set_partition_coords(SetHandle s, const double*, int = 2) { primary_ = s; }
+
+  /// Request a memory layout for one dataset — the context-concept spelling
+  /// shared with DistCtx::set_layout, so drivers templated over the context
+  /// pick layouts the same way on both. Locally it forwards to the dat.
+  template <detail::DatLike D>
+  void set_layout(D* d, Layout l) {
+    d->set_layout(l);
+  }
 
   MapHandle decl_map(const std::string& name, SetHandle from, SetHandle to, int dim,
                      aligned_vector<idx_t> data) {
@@ -76,13 +87,31 @@ class LocalCtx {
                         const aligned_vector<T>& init) {
     require_not_renumbered("decl_dat");
     dats_.push_back(std::make_unique<Dat<T>>(name, *set, dim, init));
-    return static_cast<Dat<T>*>(dats_.back().get());
+    return finish_decl_dat<Dat<T>>();
   }
   template <class T>
   DatHandle<T> decl_dat(const std::string& name, SetHandle set, int dim) {
     require_not_renumbered("decl_dat");
     dats_.push_back(std::make_unique<Dat<T>>(name, *set, dim));
-    return static_cast<Dat<T>*>(dats_.back().get());
+    return finish_decl_dat<Dat<T>>();
+  }
+
+  /// Statically-dimensioned declaration: `decl_dat<double, 4>(...)` yields a
+  /// FixedDat handle, so every `ctx.arg<A>(d, ...)` built from it carries a
+  /// compile-time arity (fully-unrolled gathers with literal strides) with
+  /// no per-argument Dim spelling at the loop sites.
+  template <class T, int N>
+  FixedDatHandle<T, N> decl_dat(const std::string& name, SetHandle set,
+                                const aligned_vector<T>& init) {
+    require_not_renumbered("decl_dat");
+    dats_.push_back(std::make_unique<FixedDat<T, N>>(name, *set, init));
+    return finish_decl_dat<FixedDat<T, N>>();
+  }
+  template <class T, int N>
+  FixedDatHandle<T, N> decl_dat(const std::string& name, SetHandle set) {
+    require_not_renumbered("decl_dat");
+    dats_.push_back(std::make_unique<FixedDat<T, N>>(name, *set));
+    return finish_decl_dat<FixedDat<T, N>>();
   }
 
   /// Opt into the context-level renumbering pass (core/reorder.hpp):
@@ -93,8 +122,21 @@ class LocalCtx {
     renumber_on_finalize_ = on;
   }
 
-  /// Locally finalize() only applies the opt-in renumbering pass; the
-  /// distributed context additionally partitions here.
+  /// Context-level layout default (core/layout.hpp): applied at finalize (or
+  /// the first loop execution) to every multi-component dat that did not get
+  /// an explicit set_layout. Pair with default_layout(backend) to follow the
+  /// per-backend heuristic: `ctx.set_default_layout(default_layout(be))`.
+  void set_default_layout(Layout l) {
+    OPV_REQUIRE(!layouts_applied_,
+                "LocalCtx::set_default_layout: layouts already materialized "
+                "(finalize / first loop execution)");
+    default_layout_ = l;
+    have_default_layout_ = true;
+  }
+
+  /// Locally finalize() applies the opt-in renumbering pass and then
+  /// materializes the per-dat layout policy (renumber permutes AoS rows, so
+  /// it must run first); the distributed context additionally partitions.
   void finalize() {
     if (finalized_) return;
     finalized_ = true;
@@ -104,6 +146,7 @@ class LocalCtx {
                   "(call set_partition_coords)");
       renumber(primary_);
     }
+    materialize_layouts();
   }
 
   /// Apply the context-level renumbering pass around `seed` (paper sections
@@ -119,6 +162,9 @@ class LocalCtx {
     OPV_REQUIRE(!loops_ran_,
                 "LocalCtx::renumber: a loop already executed on this context; renumber "
                 "before the first loop (its pinned coloring plan would go stale)");
+    OPV_REQUIRE(!layouts_applied_,
+                "LocalCtx::renumber: layouts already materialized; renumber permutes AoS "
+                "rows, so it must precede finalize / the first loop execution");
     renumbered_ = true;
 
     std::map<const Set*, int> index;
@@ -164,24 +210,24 @@ class LocalCtx {
   // deduced from the tag. `ctx.arg<opv::READ, 4>(d, ...)` builds a
   // compile-time-Dim descriptor (checked against the dat's declared dim);
   // omitting Dim keeps the runtime-dim compatibility descriptor.
-  template <AccessMode A, int Dim = kDynDim, class T>
-  auto arg(DatHandle<T> d, int idx, MapHandle m) {
+  template <AccessMode A, int Dim = kDynDim, detail::DatLike D>
+  auto arg(D* d, int idx, MapHandle m) {
     return opv::arg<A, Dim>(*d, idx, *m);
   }
-  template <AccessMode A, int Dim = kDynDim, class T>
-  auto arg(DatHandle<T> d) {
+  template <AccessMode A, int Dim = kDynDim, detail::DatLike D>
+  auto arg(D* d) {
     return opv::arg<A, Dim>(*d);
   }
   template <AccessMode A, class T>
   auto arg_gbl(T* p, int dim) {
     return opv::arg_gbl<A>(p, dim);
   }
-  template <class T, AccessMode A>
-  auto arg(DatHandle<T> d, int idx, MapHandle m, AccessTag<A> t) {
+  template <detail::DatLike D, AccessMode A>
+  auto arg(D* d, int idx, MapHandle m, AccessTag<A> t) {
     return opv::arg(*d, idx, *m, t);
   }
-  template <class T, AccessMode A>
-  auto arg(DatHandle<T> d, AccessTag<A> t) {
+  template <detail::DatLike D, AccessMode A>
+  auto arg(D* d, AccessTag<A> t) {
     return opv::arg(*d, t);
   }
   template <class T, AccessMode A>
@@ -191,15 +237,20 @@ class LocalCtx {
 
   template <class Kernel, class... Args>
   void loop(Kernel k, const char* name, SetHandle set, Args... args) {
-    loops_ran_ = true;
+    note_loops_ran();
     par_loop(std::move(k), name, *set, cfg_, args...);
   }
 
   /// Record that loops are about to execute outside the context's own
   /// loop()/CtxLoop::run() paths — e.g. a LoopChain driving CtxLoop inner()
   /// handles directly. Closes the renumbering window exactly like a tracked
-  /// loop execution would (the chain pins tile plans against map contents).
-  void note_loops_ran() { loops_ran_ = true; }
+  /// loop execution would (the chain pins tile plans against map contents),
+  /// and materializes the layout policy so access paths never see a dat
+  /// whose requested layout was silently left unapplied.
+  void note_loops_ran() {
+    if (!loops_ran_) materialize_layouts();
+    loops_ran_ = true;
+  }
 
   /// Build a persistent loop handle bound to this context (the Context-
   /// concept spelling shared with DistCtx::make_loop): conflict analysis at
@@ -211,22 +262,24 @@ class LocalCtx {
   }
 
   /// Copy a dataset's owned values into an array in the ORIGINAL declaration
-  /// order (renumbering, when applied, is inverted here — the caller never
-  /// observes the internal numbering).
+  /// order and AoS component order (renumbering AND relayout, when applied,
+  /// are inverted here — the caller never observes the internal numbering or
+  /// the physical layout).
   template <class T>
   void fetch(DatHandle<T> d, aligned_vector<T>& out) const {
     const auto it = perms_.find(&d->set());
-    if (it == perms_.end()) {
+    const aligned_vector<idx_t>* perm = it == perms_.end() ? nullptr : &it->second;
+    if (perm == nullptr && d->layout() == Layout::AoS) {
       out.assign(d->data(), d->data() + static_cast<std::size_t>(d->set().size()) * d->dim());
       return;
     }
-    const aligned_vector<idx_t>& perm = it->second;
     const int dim = d->dim();
     out.resize(static_cast<std::size_t>(d->set().size()) * dim);
-    for (idx_t e = 0; e < d->set().size(); ++e)
+    for (idx_t e = 0; e < d->set().size(); ++e) {
+      const idx_t src = perm ? (*perm)[static_cast<std::size_t>(e)] : e;
       for (int c = 0; c < dim; ++c)
-        out[static_cast<std::size_t>(e) * dim + c] =
-            d->data()[static_cast<std::size_t>(perm[static_cast<std::size_t>(e)]) * dim + c];
+        out[static_cast<std::size_t>(e) * dim + c] = d->at(src, c);
+    }
   }
 
  private:
@@ -239,6 +292,30 @@ class LocalCtx {
                                               "renumbered (declare everything first)");
   }
 
+  /// Return the just-declared dat as its concrete type; a dat declared after
+  /// layout materialization stays AoS with its layout frozen immediately, so
+  /// a late set_layout fails loudly instead of silently never applying.
+  template <class D>
+  D* finish_decl_dat() {
+    D* d = static_cast<D*>(dats_.back().get());
+    if (layouts_applied_) d->freeze_layout();
+    return d;
+  }
+
+  /// One-shot layout materialization: resolve the context default onto
+  /// non-explicit multi-component dats, then physically convert and freeze
+  /// every dat. Runs at finalize() or, for drivers that never finalize, at
+  /// the first tracked loop execution.
+  void materialize_layouts() {
+    if (layouts_applied_) return;
+    layouts_applied_ = true;
+    for (const auto& d : dats_) {
+      if (have_default_layout_ && !d->layout_explicit() && d->dim() > 1)
+        d->set_layout(default_layout_);
+      d->apply_layout();
+    }
+  }
+
   ExecConfig cfg_;
   std::deque<std::unique_ptr<Set>> sets_;
   std::deque<std::unique_ptr<Map>> maps_;
@@ -248,12 +325,15 @@ class LocalCtx {
   bool finalized_ = false;
   bool renumbered_ = false;
   bool loops_ran_ = false;  ///< a loop executed: renumbering is no longer legal
+  Layout default_layout_ = Layout::AoS;
+  bool have_default_layout_ = false;
+  bool layouts_applied_ = false;  ///< layout policy materialized and frozen
   std::map<const Set*, aligned_vector<idx_t>> perms_;  ///< old -> new, per set
 };
 
 template <class Kernel, class... Args>
 void CtxLoop<Kernel, Args...>::run() {
-  ctx_->loops_ran_ = true;
+  ctx_->note_loops_ran();
   loop_.run(ctx_->config());
 }
 

@@ -9,6 +9,8 @@
 
 #include "common/aligned.hpp"
 #include "common/error.hpp"
+#include "core/layout.hpp"
+#include "core/reorder.hpp"
 #include "core/set.hpp"
 
 namespace opv {
@@ -37,10 +39,65 @@ class DatBase {
   [[nodiscard]] virtual void* raw() = 0;
   [[nodiscard]] virtual const void* raw() const = 0;
 
+  // ---- layout policy (core/layout.hpp) ------------------------------------
+  // set_layout() records the REQUESTED layout; the physical relayout happens
+  // at context finalize (apply_layout), after renumbering — exactly like the
+  // renumbering pass itself, declarations first, transform once. After the
+  // layout is frozen (finalize, or the first loop execution the context
+  // tracks) any further set_layout throws: the engine's bound access paths
+  // and pinned plans read the physical layout, so changing it underneath a
+  // running loop would corrupt every subsequent gather.
+
+  /// The physical layout of the storage (AoS until apply_layout runs).
+  [[nodiscard]] Layout layout() const { return layout_; }
+  /// Padded row count backing SoA/AoSoA addressing (0 while AoS).
+  [[nodiscard]] idx_t plane() const { return plane_; }
+  /// The layout apply_layout() will install at finalize.
+  [[nodiscard]] Layout requested_layout() const { return requested_; }
+  /// True once the layout was explicitly chosen (a context default never
+  /// overrides an explicit per-dat request).
+  [[nodiscard]] bool layout_explicit() const { return layout_explicit_; }
+
+  /// Request a layout for this dat. Legal until the owning context freezes
+  /// layouts (finalize / first loop execution).
+  void set_layout(Layout l) {
+    OPV_REQUIRE(!layout_frozen_, "dat '" << name_
+                                         << "': layout is frozen (set_layout must happen "
+                                            "before finalize / the first loop execution)");
+    requested_ = l;
+    layout_explicit_ = true;
+  }
+
+  /// Physically convert the storage to the requested layout and freeze it.
+  /// Contexts call this at finalize, AFTER renumbering (the renumber pass
+  /// permutes AoS rows).
+  void apply_layout() {
+    OPV_REQUIRE(!layout_frozen_, "dat '" << name_ << "': layout already applied");
+    layout_frozen_ = true;
+    if (requested_ == Layout::AoS) return;
+    relayout_storage(requested_);
+    layout_ = requested_;
+    plane_ = padded_rows(set_->total_size());
+  }
+
+  /// Freeze without converting (contexts freeze every dat at finalize so a
+  /// late set_layout fails loudly instead of silently never applying).
+  void freeze_layout() { layout_frozen_ = true; }
+  [[nodiscard]] bool layout_frozen() const { return layout_frozen_; }
+
+ protected:
+  /// Typed storage conversion AoS -> l, implemented by Dat<T>.
+  virtual void relayout_storage(Layout l) = 0;
+
  private:
   std::string name_;
   const Set* set_ = nullptr;
   int dim_ = 0;
+  Layout layout_ = Layout::AoS;     ///< physical layout of the storage
+  Layout requested_ = Layout::AoS;  ///< layout apply_layout() installs
+  idx_t plane_ = 0;                 ///< padded rows (non-AoS only)
+  bool layout_explicit_ = false;
+  bool layout_frozen_ = false;
 };
 
 /// Typed dataset: total_size()*dim values of T in 64-byte-aligned storage.
@@ -65,10 +122,12 @@ class Dat : public DatBase {
   [[nodiscard]] std::span<T> span() { return {data_.data(), data_.size()}; }
   [[nodiscard]] std::span<const T> span() const { return {data_.data(), data_.size()}; }
 
-  /// Value c of element e.
-  [[nodiscard]] T& at(idx_t e, int c = 0) { return data_[static_cast<std::size_t>(e) * dim() + c]; }
+  /// Value c of element e (layout-aware: correct under any physical layout).
+  [[nodiscard]] T& at(idx_t e, int c = 0) {
+    return data_[layout_offset(layout(), e, c, dim(), plane())];
+  }
   [[nodiscard]] const T& at(idx_t e, int c = 0) const {
-    return data_[static_cast<std::size_t>(e) * dim() + c];
+    return data_[layout_offset(layout(), e, c, dim(), plane())];
   }
 
   [[nodiscard]] std::size_t elem_bytes() const override { return sizeof(T) * dim(); }
@@ -76,6 +135,19 @@ class Dat : public DatBase {
   [[nodiscard]] const void* raw() const override { return data_.data(); }
 
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+ protected:
+  /// AoS -> l conversion into padded storage via the type-erased reorder
+  /// machinery (padding rows stay zero, so vector code may harmlessly load
+  /// them).
+  void relayout_storage(Layout l) override {
+    const idx_t n = set().total_size();
+    const idx_t pl = padded_rows(n);
+    aligned_vector<T> out(static_cast<std::size_t>(pl) * dim(), T{});
+    reorder::convert_layout_bytes(data_.data(), Layout::AoS, out.data(), l, n, pl, dim(),
+                                  sizeof(T));
+    data_ = std::move(out);
+  }
 
  private:
   aligned_vector<T> data_;

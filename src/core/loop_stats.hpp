@@ -40,6 +40,13 @@ struct LoopRecord {
   // plans). Amortizes toward zero over a long run — the `plan` column in
   // perf::loop_stats_table makes the remaining share visible.
   double plan_seconds = 0.0;
+
+  // Memory-layout tag (core/layout.hpp): the layouts of the dats the loop's
+  // arguments bound at its last run, e.g. "SoA" when uniform or "AoS+SoA"
+  // when mixed; empty until a loop stamps it. Surfaces as the `layout`
+  // column in perf::loop_stats_table so ablation runs show which physical
+  // layout each kernel actually executed against.
+  std::string layout;
 };
 
 /// Aggregate accounting for one LoopChain (core/chain.hpp): total chained

@@ -39,6 +39,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -91,6 +92,10 @@ struct BoundDat {
   int map_dim = 0;
   int map_idx = 0;
   int dim = 0;  ///< == Dim when Dim != kDynDim (addressing then constant-folds)
+  Layout layout = Layout::AoS;  ///< physical layout of the bound dat
+  idx_t plane = 0;              ///< padded rows (SoA plane stride)
+  idx_t stgt = 0;               ///< staged element target (non-AoS scalar path)
+  S scratch[kMaxDim] = {};      ///< staged element row (non-AoS scalar path)
 };
 
 template <class S, AccessMode A>
@@ -103,9 +108,10 @@ struct BoundGbl {
 template <class S, AccessMode A, int Dim, bool Ind>
 inline BoundDat<S, A, Dim, Ind> bind(const Arg<S, A, Dim, Ind>& a) {
   if constexpr (Ind) {
-    return {a.dat->data(), a.map->data(), a.map->dim(), a.map_idx, a.dat->dim()};
+    return {a.dat->data(), a.map->data(), a.map->dim(), a.map_idx, a.dat->dim(),
+            a.dat->layout(), a.dat->plane()};
   } else {
-    return {a.dat->data(), nullptr, 0, 0, a.dat->dim()};
+    return {a.dat->data(), nullptr, 0, 0, a.dat->dim(), a.dat->layout(), a.dat->plane()};
   }
 }
 template <class S, AccessMode A>
@@ -149,20 +155,52 @@ inline void thread_merge_all(Tuple& t, std::index_sequence<Is...>) {
 
 /// Pointer handed to the scalar kernel for element e. With a compile-time
 /// Dim the element stride is a literal, so the multiply strength-reduces.
+/// Under a non-AoS layout the element's components are not contiguous, so
+/// the row is STAGED into the per-arg scratch (current values pre-loaded for
+/// every mode, so an INC/RW kernel sees the same load-add-store order the
+/// AoS path has — Seq stays bitwise-identical across layouts) and kflush()
+/// writes it back after the kernel body.
 template <class S, AccessMode A, int Dim, bool Ind>
 inline S* kptr(BoundDat<S, A, Dim, Ind>& b, idx_t e) {
   const int dim = Dim != kDynDim ? Dim : b.dim;
+  idx_t tgt;
   if constexpr (Ind) {
-    const idx_t tgt = b.map[static_cast<std::size_t>(e) * b.map_dim + b.map_idx];
-    return b.data + static_cast<std::size_t>(tgt) * dim;
+    tgt = b.map[static_cast<std::size_t>(e) * b.map_dim + b.map_idx];
   } else {
-    return b.data + static_cast<std::size_t>(e) * dim;
+    tgt = e;
   }
+  if (b.layout == Layout::AoS) [[likely]]
+    return b.data + static_cast<std::size_t>(tgt) * dim;
+  b.stgt = tgt;
+  for_each_dim<Dim>(dim, [&](int c) {
+    b.scratch[c] = b.data[layout_offset(b.layout, tgt, c, dim, b.plane)];
+  });
+  return b.scratch;
 }
 template <class S, AccessMode A>
 inline S* kptr(BoundGbl<S, A>& g, idx_t) {
   if constexpr (A == AccessMode::READ) return g.target;
   else return g.scratch;
+}
+
+/// Post-kernel writeback of the staged scratch row (non-AoS layouts only;
+/// a no-op for AoS, where the kernel wrote through the returned pointer).
+template <class S, AccessMode A, int Dim, bool Ind>
+inline void kflush(BoundDat<S, A, Dim, Ind>& b) {
+  if constexpr (A == AccessMode::READ) return;
+  if (b.layout == Layout::AoS) [[likely]]
+    return;
+  const int dim = Dim != kDynDim ? Dim : b.dim;
+  for_each_dim<Dim>(dim, [&](int c) {
+    b.data[layout_offset(b.layout, b.stgt, c, dim, b.plane)] = b.scratch[c];
+  });
+}
+template <class S, AccessMode A>
+inline void kflush(BoundGbl<S, A>&) {}
+
+template <class Tuple, std::size_t... Is>
+inline void kflush_all(Tuple& t, std::index_sequence<Is...>) {
+  (kflush(std::get<Is>(t)), ...);
 }
 
 // ---- scalar loop bodies ----------------------------------------------------
@@ -181,35 +219,43 @@ inline S* kptr(BoundGbl<S, A>& g, idx_t) {
 
 template <class Kernel, class Tuple, std::size_t... Is>
 OPV_SCALAR_BASELINE inline void run_range(Kernel& k, Tuple& t, idx_t begin, idx_t end,
-                                          std::index_sequence<Is...>) {
-  for (idx_t e = begin; e < end; ++e) k(kptr(std::get<Is>(t), e)...);
+                                          std::index_sequence<Is...> seq) {
+  for (idx_t e = begin; e < end; ++e) {
+    k(kptr(std::get<Is>(t), e)...);
+    kflush_all(t, seq);
+  }
 }
 
 template <class Kernel, class Tuple, std::size_t... Is>
 inline void run_range_simd_hint(Kernel& k, Tuple& t, idx_t begin, idx_t end,
-                                std::index_sequence<Is...>) {
+                                std::index_sequence<Is...> seq) {
   // The paper's auto-vectorization experiment: assert independence and let
   // the compiler try. Gathers through kptr typically defeat it on CPUs.
 #pragma omp simd
-  for (idx_t e = begin; e < end; ++e) k(kptr(std::get<Is>(t), e)...);
+  for (idx_t e = begin; e < end; ++e) {
+    k(kptr(std::get<Is>(t), e)...);
+    kflush_all(t, seq);
+  }
 }
 
 template <class Kernel, class Tuple, std::size_t... Is>
 OPV_SCALAR_BASELINE inline void run_perm(Kernel& k, Tuple& t, const idx_t* perm, idx_t begin,
-                                         idx_t end, std::index_sequence<Is...>) {
+                                         idx_t end, std::index_sequence<Is...> seq) {
   for (idx_t j = begin; j < end; ++j) {
     const idx_t e = perm[j];
     k(kptr(std::get<Is>(t), e)...);
+    kflush_all(t, seq);
   }
 }
 
 template <class Kernel, class Tuple, std::size_t... Is>
 inline void run_perm_simd_hint(Kernel& k, Tuple& t, const idx_t* perm, idx_t begin, idx_t end,
-                               std::index_sequence<Is...>) {
+                               std::index_sequence<Is...> seq) {
 #pragma omp simd
   for (idx_t j = begin; j < end; ++j) {
     const idx_t e = perm[j];
     k(kptr(std::get<Is>(t), e)...);
+    kflush_all(t, seq);
   }
 }
 
@@ -224,8 +270,36 @@ struct VDat {
   int map_dim = 0;
   int map_idx = 0;
   int dim = 0;  ///< == Dim when Dim != kDynDim
+  Layout layout = Layout::AoS;
+  idx_t plane = 0;  ///< SoA component-plane stride (padded rows)
   V buf[kMaxDim];
-  IV sidx;  ///< scaled target index (target*dim), kept for scatters
+  IV sidx;  ///< layout-scaled target index, kept for scatters
+
+  /// Base pointer of component c's "plane": the address sidx (from lidx)
+  /// is relative to. AoS interleaves components (+c), SoA keeps one dense
+  /// plane per component, AoSoA interleaves 16-lane panels per component.
+  S* comp(int c) const {
+    switch (layout) {
+      case Layout::AoS: return data + c;
+      case Layout::SoA: return data + static_cast<std::size_t>(plane) * c;
+      case Layout::AoSoA: return data + static_cast<std::size_t>(kAoSoALanes) * c;
+    }
+    return data + c;
+  }
+  /// Layout-scaled element index: comp(c)[lidx(e)] addresses element e's
+  /// component c for every layout. AoS scales by dim, SoA is unit-stride,
+  /// AoSoA adds a per-16-block skip over the other components' panels.
+  /// The lane strides are compile-time literals for static-Dim descriptors.
+  IV lidx(IV tgt) const {
+    const int d = Dim != kDynDim ? Dim : dim;
+    switch (layout) {
+      case Layout::AoS: return tgt * IV(d);
+      case Layout::SoA: return tgt;
+      case Layout::AoSoA:
+        return tgt + (tgt >> kAoSoAShift) * IV(static_cast<std::int32_t>(kAoSoALanes) * (d - 1));
+    }
+    return tgt * IV(d);
+  }
 };
 
 template <class S, int W, AccessMode A>
@@ -246,6 +320,8 @@ inline VDat<S, W, A, Dim, Ind> vbind(const Arg<S, A, Dim, Ind>& a) {
     v.map_idx = a.map_idx;
   }
   v.dim = a.dat->dim();
+  v.layout = a.dat->layout();
+  v.plane = a.dat->plane();
   return v;
 }
 template <int W, class S, AccessMode A>
@@ -320,9 +396,9 @@ inline void vload(VDat<S, W, A, Dim, Ind>& a, idx_t n) {
   if constexpr (Ind) {
     const IV tgt = IV::strided(a.map + static_cast<std::size_t>(n) * a.map_dim + a.map_idx,
                                a.map_dim);
-    a.sidx = tgt * IV(Dim != kDynDim ? Dim : a.dim);
+    a.sidx = a.lidx(tgt);
     if constexpr (A == AccessMode::READ || A == AccessMode::RW) {
-      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V::gather(a.data + c, a.sidx); });
+      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V::gather(a.comp(c), a.sidx); });
     } else {  // INC (indirect WRITE is also accumulated then scattered)
       for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V(S(0)); });
     }
@@ -334,6 +410,22 @@ inline void vload(VDat<S, W, A, Dim, Ind>& a, idx_t n) {
       const int d = Dim != kDynDim ? Dim : a.dim;
       if (d == 1) {
         a.buf[0] = V::loadu(a.data + n);
+      } else if (a.layout == Layout::SoA) {
+        // The SoA payoff: what AoS serves with W strided touches per
+        // component is one unit-stride plane load here.
+        for_each_dim<Dim>(d, [&](int c) {
+          a.buf[c] = V::loadu(a.data + static_cast<std::size_t>(a.plane) * c + n);
+        });
+      } else if (a.layout == Layout::AoSoA) {
+        if ((n & (kAoSoALanes - 1)) + W <= kAoSoALanes) {
+          // Chunk lies inside one 16-lane panel: unit-stride per component.
+          for_each_dim<Dim>(d, [&](int c) {
+            a.buf[c] = V::loadu(a.data + layout_offset(Layout::AoSoA, n, c, d, a.plane));
+          });
+        } else {
+          const IV li = a.lidx(IV::iota(static_cast<std::int32_t>(n)));
+          for_each_dim<Dim>(d, [&](int c) { a.buf[c] = V::gather(a.comp(c), li); });
+        }
       } else {
         for_each_dim<Dim>(d, [&](int c) {
           a.buf[c] = V::strided(a.data + static_cast<std::size_t>(n) * d + c, d);
@@ -352,20 +444,20 @@ inline void vload_perm(VDat<S, W, A, Dim, Ind>& a, simd::Vec<std::int32_t, W> ei
   using IV = simd::Vec<std::int32_t, W>;
   if constexpr (Ind) {
     const IV tgt = IV::gather(a.map + a.map_idx, eidx * IV(a.map_dim));
-    a.sidx = tgt * IV(Dim != kDynDim ? Dim : a.dim);
+    a.sidx = a.lidx(tgt);
     if constexpr (A == AccessMode::READ || A == AccessMode::RW) {
-      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V::gather(a.data + c, a.sidx); });
+      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V::gather(a.comp(c), a.sidx); });
     } else {
       for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V(S(0)); });
     }
   } else {
-    a.sidx = eidx * IV(Dim != kDynDim ? Dim : a.dim);
+    a.sidx = a.lidx(eidx);
     if constexpr (A == AccessMode::INC) {
       for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V(S(0)); });
     } else if constexpr (A != AccessMode::WRITE) {
       // Formerly-direct data must now be gathered (paper section 4: the
       // cost the permute colorings add).
-      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V::gather(a.data + c, a.sidx); });
+      for_each_dim<Dim>(a.dim, [&](int c) { a.buf[c] = V::gather(a.comp(c), a.sidx); });
     }
   }
 }
@@ -379,15 +471,16 @@ inline void vload_perm(VGbl<S, W, A>&, simd::Vec<std::int32_t, W>) {}
 template <class S, int W, AccessMode A, int Dim, bool Ind>
 inline void vflush(VDat<S, W, A, Dim, Ind>& a, idx_t n, bool hw_scatter) {
   using V = simd::Vec<S, W>;
+  using IV = simd::Vec<std::int32_t, W>;
   if constexpr (Ind) {
     if constexpr (A == AccessMode::INC) {
       for_each_dim<Dim>(a.dim, [&](int c) {
-        if (hw_scatter) simd::scatter_add_hw(a.data + c, a.sidx, a.buf[c]);
-        else simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
+        if (hw_scatter) simd::scatter_add_hw(a.comp(c), a.sidx, a.buf[c]);
+        else simd::scatter_add_serial(a.comp(c), a.sidx, a.buf[c]);
       });
     } else if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
       for_each_dim<Dim>(a.dim,
-                        [&](int c) { simd::scatter_serial(a.data + c, a.sidx, a.buf[c]); });
+                        [&](int c) { simd::scatter_serial(a.comp(c), a.sidx, a.buf[c]); });
     }
   } else {
     // d is a literal for static Dim, so the dim==1 tests fold away
@@ -396,6 +489,19 @@ inline void vflush(VDat<S, W, A, Dim, Ind>& a, idx_t n, bool hw_scatter) {
     if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
       if (d == 1) {
         simd::storeu(a.data + n, a.buf[0]);
+      } else if (a.layout == Layout::SoA) {
+        for_each_dim<Dim>(d, [&](int c) {
+          simd::storeu(a.data + static_cast<std::size_t>(a.plane) * c + n, a.buf[c]);
+        });
+      } else if (a.layout == Layout::AoSoA) {
+        if ((n & (kAoSoALanes - 1)) + W <= kAoSoALanes) {
+          for_each_dim<Dim>(d, [&](int c) {
+            simd::storeu(a.data + layout_offset(Layout::AoSoA, n, c, d, a.plane), a.buf[c]);
+          });
+        } else {
+          const IV li = a.lidx(IV::iota(static_cast<std::int32_t>(n)));
+          for_each_dim<Dim>(d, [&](int c) { simd::scatter_serial(a.comp(c), li, a.buf[c]); });
+        }
       } else {
         for_each_dim<Dim>(d, [&](int c) {
           simd::store_strided(a.data + static_cast<std::size_t>(n) * d + c, d, a.buf[c]);
@@ -405,6 +511,22 @@ inline void vflush(VDat<S, W, A, Dim, Ind>& a, idx_t n, bool hw_scatter) {
       if (d == 1) {
         const V cur = V::loadu(a.data + n);
         simd::storeu(a.data + n, cur + a.buf[0]);
+      } else if (a.layout == Layout::SoA) {
+        for_each_dim<Dim>(d, [&](int c) {
+          S* p = a.data + static_cast<std::size_t>(a.plane) * c + n;
+          simd::storeu(p, V::loadu(p) + a.buf[c]);
+        });
+      } else if (a.layout == Layout::AoSoA) {
+        if ((n & (kAoSoALanes - 1)) + W <= kAoSoALanes) {
+          for_each_dim<Dim>(d, [&](int c) {
+            S* p = a.data + layout_offset(Layout::AoSoA, n, c, d, a.plane);
+            simd::storeu(p, V::loadu(p) + a.buf[c]);
+          });
+        } else {
+          const IV li = a.lidx(IV::iota(static_cast<std::int32_t>(n)));
+          for_each_dim<Dim>(d,
+                            [&](int c) { simd::scatter_add_serial(a.comp(c), li, a.buf[c]); });
+        }
       } else {
         for_each_dim<Dim>(d, [&](int c) {
           S* p = a.data + static_cast<std::size_t>(n) * d + c;
@@ -425,20 +547,20 @@ inline void vflush_perm(VDat<S, W, A, Dim, Ind>& a, bool hw_scatter) {
   if constexpr (Ind) {
     if constexpr (A == AccessMode::INC) {
       for_each_dim<Dim>(a.dim, [&](int c) {
-        if (hw_scatter) simd::scatter_add_hw(a.data + c, a.sidx, a.buf[c]);
-        else simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]);
+        if (hw_scatter) simd::scatter_add_hw(a.comp(c), a.sidx, a.buf[c]);
+        else simd::scatter_add_serial(a.comp(c), a.sidx, a.buf[c]);
       });
     } else if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
       for_each_dim<Dim>(a.dim,
-                        [&](int c) { simd::scatter_serial(a.data + c, a.sidx, a.buf[c]); });
+                        [&](int c) { simd::scatter_serial(a.comp(c), a.sidx, a.buf[c]); });
     }
   } else {
     if constexpr (A == AccessMode::WRITE || A == AccessMode::RW) {
       for_each_dim<Dim>(a.dim,
-                        [&](int c) { simd::scatter_serial(a.data + c, a.sidx, a.buf[c]); });
+                        [&](int c) { simd::scatter_serial(a.comp(c), a.sidx, a.buf[c]); });
     } else if constexpr (A == AccessMode::INC) {
       for_each_dim<Dim>(a.dim,
-                        [&](int c) { simd::scatter_add_serial(a.data + c, a.sidx, a.buf[c]); });
+                        [&](int c) { simd::scatter_add_serial(a.comp(c), a.sidx, a.buf[c]); });
     }
   }
 }
@@ -460,7 +582,7 @@ inline void vflush_simt(VDat<S, W, A, Dim, Ind>& a, idx_t n, const std::int32_t*
       const auto vmask = simd::MaskConvert<V>::from(imask);
       if (!simd::any(imask)) continue;
       for_each_dim<Dim>(a.dim, [&](int c) {
-        simd::scatter_add_serial_masked(a.data + c, a.sidx, a.buf[c], vmask);
+        simd::scatter_add_serial_masked(a.comp(c), a.sidx, a.buf[c], vmask);
       });
     }
   } else {
@@ -925,6 +1047,161 @@ void exec_simt(Kernel& k, const STuple& sproto, const VTuple& vproto, const Plan
   }
 }
 
+// ---- Simt shared-scratch staging (ExecConfig::simt_staging) ----------------
+
+/// Collect the runtime stage-slot residue of one typed argument (input to
+/// build_simt_stage_plan).
+template <class S, AccessMode A, int Dim, bool Ind>
+inline StageSlotInfo stage_slot_of(const Arg<S, A, Dim, Ind>& a) {
+  StageSlotInfo si;
+  si.base = reinterpret_cast<std::byte*>(a.dat->data());
+  si.value_bytes = sizeof(S);
+  si.dim = a.dat->dim();
+  si.layout = a.dat->layout();
+  si.plane = a.dat->plane();
+  si.indirect = Ind;
+  si.writes = A != AccessMode::READ;
+  if constexpr (Ind) {
+    si.map = a.map->data();
+    si.map_dim = a.map->dim();
+    si.map_idx = a.map_idx;
+  }
+  return si;
+}
+template <class S, AccessMode A>
+inline StageSlotInfo stage_slot_of(const ArgGbl<S, A>&) {
+  return {};
+}
+
+/// Redirect a staged slot's bound state at the block-shared scratch: AoS
+/// rows indexed by the slot's flat local map (map_dim 1). The unmodified
+/// gather/scatter machinery then runs against scratch.
+template <class S, AccessMode A, int Dim, bool Ind>
+inline void stage_patch(BoundDat<S, A, Dim, Ind>& b, const SimtStagePlan& sp, int slot,
+                        std::byte* const* scratch) {
+  if constexpr (Ind) {
+    const int r = sp.slot_region[static_cast<std::size_t>(slot)];
+    if (r < 0) return;
+    b.data = reinterpret_cast<S*>(scratch[r]);
+    b.map = sp.slot_lmap[static_cast<std::size_t>(slot)].data();
+    b.map_dim = 1;
+    b.map_idx = 0;
+    b.layout = Layout::AoS;
+    b.plane = 0;
+  }
+}
+template <class S, int W, AccessMode A, int Dim, bool Ind>
+inline void stage_patch(VDat<S, W, A, Dim, Ind>& a, const SimtStagePlan& sp, int slot,
+                        std::byte* const* scratch) {
+  if constexpr (Ind) {
+    const int r = sp.slot_region[static_cast<std::size_t>(slot)];
+    if (r < 0) return;
+    a.data = reinterpret_cast<S*>(scratch[r]);
+    a.map = sp.slot_lmap[static_cast<std::size_t>(slot)].data();
+    a.map_dim = 1;
+    a.map_idx = 0;
+    a.layout = Layout::AoS;
+    a.plane = 0;
+  }
+}
+template <class S, AccessMode A>
+inline void stage_patch(BoundGbl<S, A>&, const SimtStagePlan&, int, std::byte* const*) {}
+template <class S, int W, AccessMode A>
+inline void stage_patch(VGbl<S, W, A>&, const SimtStagePlan&, int, std::byte* const*) {}
+
+template <class Tuple, std::size_t... Is>
+inline void stage_patch_all(Tuple& t, const SimtStagePlan& sp, std::byte* const* scratch,
+                            std::index_sequence<Is...>) {
+  (stage_patch(std::get<Is>(t), sp, static_cast<int>(Is), scratch), ...);
+}
+
+/// Fill scratch with block b's rows of the region's dat (layout-aware).
+inline void stage_preload(const SimtStagePlan::Region& rg, idx_t b, std::byte* scratch) {
+  const std::size_t vb = rg.value_bytes;
+  for (idx_t i = rg.row_off[static_cast<std::size_t>(b)];
+       i < rg.row_off[static_cast<std::size_t>(b) + 1]; ++i) {
+    const idx_t g = rg.rows[static_cast<std::size_t>(i)];
+    const idx_t l = i - rg.row_off[static_cast<std::size_t>(b)];
+    for (int c = 0; c < rg.dim; ++c)
+      std::memcpy(scratch + (static_cast<std::size_t>(l) * rg.dim + c) * vb,
+                  rg.base + layout_offset(rg.layout, g, c, rg.dim, rg.plane) * vb, vb);
+  }
+}
+
+/// Copy scratch back to the region's dat after the block finished. Legal
+/// because block colors separate blocks sharing written targets, so no other
+/// concurrently-running block touches these rows.
+inline void stage_writeback(const SimtStagePlan::Region& rg, idx_t b, const std::byte* scratch) {
+  const std::size_t vb = rg.value_bytes;
+  for (idx_t i = rg.row_off[static_cast<std::size_t>(b)];
+       i < rg.row_off[static_cast<std::size_t>(b) + 1]; ++i) {
+    const idx_t g = rg.rows[static_cast<std::size_t>(i)];
+    const idx_t l = i - rg.row_off[static_cast<std::size_t>(b)];
+    for (int c = 0; c < rg.dim; ++c)
+      std::memcpy(rg.base + layout_offset(rg.layout, g, c, rg.dim, rg.plane) * vb,
+                  scratch + (static_cast<std::size_t>(l) * rg.dim + c) * vb, vb);
+  }
+}
+
+/// exec_simt with per-block shared-scratch staging (Fig. 3a's shared-memory
+/// arrays): gathered indirect dats are preloaded into a block-local copy,
+/// the unmodified bundle machinery runs against it through patched slots,
+/// and writing regions are flushed back when the block completes.
+template <int W, class Kernel, class STuple, class VTuple>
+void exec_simt_staged(Kernel& k, const STuple& sproto, const VTuple& vproto, const Plan& plan,
+                      const SimtStagePlan& stage, int nthreads) {
+  constexpr auto seq = std::make_index_sequence<std::tuple_size_v<STuple>>{};
+  std::vector<std::atomic<idx_t>> counters(std::max(plan.nblock_colors, 1));
+  for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+#pragma omp parallel num_threads(nthreads)
+  {
+    STuple st = sproto;
+    VTuple vt = vproto;
+    // One scratch buffer per region, sized for the widest block and reused
+    // across blocks; the slot patch therefore happens once per thread.
+    std::vector<aligned_vector<std::byte>> scratch(stage.regions.size());
+    std::vector<std::byte*> sptr(stage.regions.size());
+    for (std::size_t r = 0; r < stage.regions.size(); ++r) {
+      const auto& rg = stage.regions[r];
+      scratch[r].resize(static_cast<std::size_t>(rg.max_rows) * rg.dim * rg.value_bytes);
+      sptr[r] = scratch[r].data();
+    }
+    stage_patch_all(st, stage, sptr.data(), seq);
+    stage_patch_all(vt, stage, sptr.data(), seq);
+    thread_init_all(st, seq);
+    vthread_init_all(vt, seq);
+    for (int col = 0; col < plan.nblock_colors; ++col) {
+      const auto& blocks = plan.color_blocks[col];
+      const idx_t nb = static_cast<idx_t>(blocks.size());
+      std::atomic<idx_t>& ctr = counters[col];
+      for (;;) {
+        const idx_t bi = ctr.fetch_add(1, std::memory_order_relaxed);
+        if (bi >= nb) break;
+        const idx_t b = blocks[bi];
+        for (std::size_t r = 0; r < stage.regions.size(); ++r)
+          stage_preload(stage.regions[r], b, sptr[r]);
+        const idx_t bb = plan.block_begin(b), be = plan.block_end(b);
+        const int ncolors = plan.block_nelem_colors.empty() ? 1 : plan.block_nelem_colors[b];
+        idx_t i = bb;
+        for (; i + W <= be; i += W) {
+          vload_all(vt, i, seq);
+          vcall(k, vt, seq);
+          vflush_simt_all(vt, i, plan.elem_color.data(), ncolors, seq);
+        }
+        run_range(k, st, i, be, seq);
+        for (std::size_t r = 0; r < stage.regions.size(); ++r)
+          if (stage.regions[r].writeback) stage_writeback(stage.regions[r], b, sptr[r]);
+      }
+#pragma omp barrier
+    }
+#pragma omp critical(opv_reduction)
+    {
+      vthread_merge_all(vt, seq);
+      thread_merge_all(st, seq);
+    }
+  }
+}
+
 }  // namespace detail
 
 // ===== the reusable Loop handle ==============================================
@@ -1019,8 +1296,12 @@ class Loop {
     if (cfg.collect_stats) {
       // Slot bound on first recording run: loops that never collect stats
       // (one-shot wrappers with collect_stats=false, per-rank loops inside
-      // DistCtx) never touch the registry at all.
-      if (!stats_) stats_ = &StatsRegistry::instance().slot(name_);
+      // DistCtx) never touch the registry at all. Layouts are frozen before
+      // any loop executes, so the layout tag is stamped once at bind.
+      if (!stats_) {
+        stats_ = &StatsRegistry::instance().slot(name_);
+        stats_->layout = layout_tag();
+      }
       StatsRegistry::instance().record(*stats_, secs, n);
       const double plan_fresh = fresh_plan_seconds();
       if (plan_fresh > 0.0) StatsRegistry::instance().record_plan(*stats_, plan_fresh);
@@ -1182,6 +1463,22 @@ class Loop {
   [[nodiscard]] const Set& set() const { return *set_; }
   [[nodiscard]] const std::vector<IncRef>& conflicts() const { return conflicts_; }
 
+  /// The physical layouts of the dats this loop's arguments bind, in first-
+  /// appearance order ("AoS", "SoA+AoS", ...) — the stats-table layout tag.
+  [[nodiscard]] std::string layout_tag() const {
+    std::string tag;
+    bool seen[3] = {false, false, false};
+    for (const auto& a : footprint_.args) {
+      if (a.is_gbl || a.dat == nullptr) continue;
+      const Layout l = a.dat->layout();
+      if (seen[static_cast<int>(l)]) continue;
+      seen[static_cast<int>(l)] = true;
+      if (!tag.empty()) tag += "+";
+      tag += layout_name(l);
+    }
+    return tag;
+  }
+
   /// The pinned per-argument access summary (sets touched, map + access
   /// mode per argument) derived from the argument types at construction —
   /// the loop's public dependence interface (LoopChain's inspector input).
@@ -1261,6 +1558,22 @@ class Loop {
       s.block_size = block_size;
     }
     return *s.plan;
+  }
+
+  /// Memoized Simt staging schedule, pinned per coloring plan (a block-size
+  /// change yields a new plan and hence a rebuild). Counted as plan time.
+  const SimtStagePlan& stage_plan_for(const Plan& plan) {
+    if (stage_plan_built_for_ != &plan) {
+      WallTimer t;
+      std::vector<StageSlotInfo> slots;
+      slots.reserve(sizeof...(Args));
+      std::apply([&](const auto&... a) { (slots.push_back(detail::stage_slot_of(a)), ...); },
+                 args_);
+      stage_ = build_simt_stage_plan(slots, plan);
+      plan_build_secs_ += t.seconds();
+      stage_plan_built_for_ = &plan;
+    }
+    return stage_;
   }
 
   /// Subset plan for a Slice, built once and pinned (slices are per-handle
@@ -1352,7 +1665,15 @@ class Loop {
           [](const auto&... a) { return std::make_tuple(detail::vbind<W>(a)...); }, args_);
       const auto strat = strategy_for(cfg);
       if (cfg.backend == Backend::Simt) {
-        detail::exec_simt<W>(kernel_, sproto, vproto, plan_for(*strat, block_size, nth), nth);
+        const Plan& plan = plan_for(*strat, block_size, nth);
+        if (cfg.simt_staging) {
+          const SimtStagePlan& sp = stage_plan_for(plan);
+          if (sp.viable) {
+            detail::exec_simt_staged<W>(kernel_, sproto, vproto, plan, sp, nth);
+            return;
+          }
+        }
+        detail::exec_simt<W>(kernel_, sproto, vproto, plan, nth);
         return;
       }
       if (!strat) {
@@ -1395,6 +1716,8 @@ class Loop {
   std::vector<IncRef> conflicts_;
   LoopRecord* stats_ = nullptr;
   PlanSlot plans_[3];
+  SimtStagePlan stage_;                          ///< Simt staging schedule
+  const Plan* stage_plan_built_for_ = nullptr;   ///< plan stage_ was built for
   double plan_build_secs_ = 0.0;     ///< cumulative plan acquisition time
   double plan_secs_reported_ = 0.0;  ///< share already flushed to stats_
   /// Allocated on the first kAuto run. The tuned block size is pinned per

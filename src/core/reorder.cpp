@@ -256,4 +256,14 @@ void permute_rows_bytes(const aligned_vector<idx_t>& perm, void* data, std::size
   std::memcpy(bytes, tmp.data(), n * elem_bytes);
 }
 
+void convert_layout_bytes(const void* src, Layout src_layout, void* dst, Layout dst_layout,
+                          idx_t n, idx_t plane, int dim, std::size_t value_bytes) {
+  const auto* sb = static_cast<const unsigned char*>(src);
+  auto* db = static_cast<unsigned char*>(dst);
+  for (idx_t e = 0; e < n; ++e)
+    for (int c = 0; c < dim; ++c)
+      std::memcpy(db + layout_offset(dst_layout, e, c, dim, plane) * value_bytes,
+                  sb + layout_offset(src_layout, e, c, dim, plane) * value_bytes, value_bytes);
+}
+
 }  // namespace opv::reorder

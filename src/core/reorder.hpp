@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "core/layout.hpp"
 #include "core/set.hpp"
 
 namespace opv::reorder {
@@ -104,5 +105,13 @@ template <class T>
 void permute_rows(const aligned_vector<idx_t>& perm, T* data, int arity) {
   permute_rows_bytes(perm, data, sizeof(T) * static_cast<std::size_t>(arity));
 }
+
+/// Type-erased layout conversion (the relayout counterpart of
+/// permute_rows_bytes): copy n element rows of dim components, value_bytes
+/// each, from `src` under src_layout into `dst` under dst_layout. `plane` is
+/// the padded row count of the non-AoS side (core/layout.hpp); src and dst
+/// must not alias. Contexts call this at finalize, after renumbering.
+void convert_layout_bytes(const void* src, Layout src_layout, void* dst, Layout dst_layout,
+                          idx_t n, idx_t plane, int dim, std::size_t value_bytes);
 
 }  // namespace opv::reorder

@@ -87,6 +87,15 @@ class DistCtx {
   };
   template <class T>
   using DatHandle = DatHandleT<T>;
+  /// Statically-dimensioned handle (the dist counterpart of LocalCtx's
+  /// FixedDat handles): carries the compile-time arity N so arg builders
+  /// produce Dim == N descriptors without a per-argument Dim spelling.
+  template <class T, int N>
+  struct FixedDatHandleT {
+    int id = -1;
+  };
+  template <class T, int N>
+  using FixedDatHandle = FixedDatHandleT<T, N>;
 
   DistCtx(int nranks, ExecConfig cfg) : nranks_(nranks), cfg_(cfg), pool_(nranks) {
     OPV_REQUIRE(nranks >= 1, "DistCtx: need at least one rank");
@@ -103,12 +112,18 @@ class DistCtx {
     return spec_.add_set(name, size);
   }
 
-  /// Mark `s` as the primary (partitioned) set with interleaved 2D element
-  /// coordinates. Required before finalize().
-  void set_partition_coords(SetHandle s, const double* xy) {
+  /// Mark `s` as the primary (partitioned) set with interleaved ndims-D
+  /// element coordinates (ndims is 2 or 3). Required before finalize().
+  /// 3D meshes should pass their full xyz centroids with ndims == 3 so RCB
+  /// bisects the true 3D bounding box instead of an xy projection.
+  void set_partition_coords(SetHandle s, const double* coords, int ndims = 2) {
     require_open("set_partition_coords");
+    OPV_REQUIRE(ndims == 2 || ndims == 3,
+                "DistCtx::set_partition_coords: ndims must be 2 or 3, got " << ndims);
     primary_ = s;
-    coords_.assign(xy, xy + static_cast<std::size_t>(spec_.sets[s].size) * 2);
+    ndims_ = ndims;
+    coords_.assign(coords,
+                   coords + static_cast<std::size_t>(spec_.sets[s].size) * ndims);
   }
 
   MapHandle decl_map(const std::string& name, SetHandle from, SetHandle to, int dim,
@@ -142,6 +157,40 @@ class DistCtx {
     return {static_cast<int>(dats_.size()) - 1};
   }
 
+  /// Statically-dimensioned declaration, mirroring LocalCtx::decl_dat<T, N>:
+  /// the handle carries the arity in its type, so arg<A>(d, ...) builds
+  /// compile-time-Dim descriptors on every rank with no Dim at the loop
+  /// sites.
+  template <class T, int N>
+  FixedDatHandle<T, N> decl_dat(const std::string& name, SetHandle set,
+                                const aligned_vector<T>& init) {
+    return {decl_dat<T>(name, set, N, init).id};
+  }
+  template <class T, int N>
+  FixedDatHandle<T, N> decl_dat(const std::string& name, SetHandle set) {
+    return {decl_dat<T>(name, set, N).id};
+  }
+
+  /// Request a memory layout for one dataset (core/layout.hpp): every rank
+  /// replica is materialized in that physical layout at finalize(). Legal
+  /// until finalize, like every other declaration.
+  template <class H>
+  void set_layout(H d, Layout l) {
+    require_open("set_layout");
+    dats_[d.id]->requested_layout = l;
+    dats_[d.id]->layout_explicit = true;
+  }
+
+  /// Context-level layout default, applied at finalize() to every
+  /// multi-component dat without an explicit set_layout — the same policy
+  /// LocalCtx::set_default_layout implements locally. Pair with
+  /// default_layout(backend) for the per-backend heuristic.
+  void set_default_layout(Layout l) {
+    require_open("set_default_layout");
+    default_layout_ = l;
+    have_default_layout_ = true;
+  }
+
   /// Opt into the global renumbering pass (core/reorder.hpp): finalize()
   /// then renumbers the declared universe around the primary set BEFORE
   /// RCB partitioning, so each rank's owned elements also form contiguous
@@ -161,9 +210,15 @@ class DistCtx {
                 "(call set_partition_coords on the primary set)");
     if (renumber_on_finalize_) apply_renumber();
     const auto primary_owner =
-        partition_rcb(coords_.data(), spec_.sets[primary_].size, nranks_);
+        partition_rcb(coords_.data(), spec_.sets[primary_].size, nranks_, ndims_);
     auto owner = derive_ownership(spec_, primary_, primary_owner, nranks_);
     part_ = std::make_unique<Partitioned>(spec_, owner, nranks_);
+    // Resolve the context-level layout default, then materialize every rank
+    // replica in its dat's layout (the view the exchangers use is stamped
+    // with the layout and the per-rank plane strides there).
+    for (auto& d : dats_)
+      if (have_default_layout_ && !d->layout_explicit && d->dim > 1)
+        d->requested_layout = default_layout_;
     for (int i = 0; i < static_cast<int>(dats_.size()); ++i) dats_[i]->materialize(i, *part_);
     finalized_ = true;
   }
@@ -253,6 +308,29 @@ class DistCtx {
     return arg_gbl<A>(p, dim);
   }
 
+  // FixedDat handles: the handle's compile-time arity N resolves the
+  // descriptor Dim (an explicit Dim must agree — the static counterpart of
+  // check_dim), so loop sites spell no Dim at all.
+  template <AccessMode A, int Dim = kDynDim, class T, int N>
+    requires(dat_access_ok(A) && arg_dim_ok(Dim) && (Dim == kDynDim || Dim == N))
+  DistArgDat<T, A, (Dim == kDynDim ? N : Dim), true> arg(FixedDatHandleT<T, N> d, int idx,
+                                                         MapHandle m) {
+    return arg<A, (Dim == kDynDim ? N : Dim)>(DatHandle<T>{d.id}, idx, m);
+  }
+  template <AccessMode A, int Dim = kDynDim, class T, int N>
+    requires(dat_access_ok(A) && arg_dim_ok(Dim) && (Dim == kDynDim || Dim == N))
+  DistArgDat<T, A, (Dim == kDynDim ? N : Dim), false> arg(FixedDatHandleT<T, N> d) {
+    return arg<A, (Dim == kDynDim ? N : Dim)>(DatHandle<T>{d.id});
+  }
+  template <class T, int N, AccessMode A>
+  auto arg(FixedDatHandleT<T, N> d, int idx, MapHandle m, AccessTag<A>) {
+    return arg<A, N>(d, idx, m);
+  }
+  template <class T, int N, AccessMode A>
+  auto arg(FixedDatHandleT<T, N> d, AccessTag<A>) {
+    return arg<A, N>(d);
+  }
+
   // ---- execution -----------------------------------------------------------
 
   /// One-shot execution: construct a dist::Loop, run it once, discard it.
@@ -292,6 +370,10 @@ class DistCtx {
       }
     }
   }
+  template <class T, int N>
+  void fetch(FixedDatHandleT<T, N> d, aligned_vector<T>& out) {
+    fetch(DatHandle<T>{d.id}, out);
+  }
 
  private:
   template <class Kernel, class... DArgs>
@@ -313,6 +395,8 @@ class DistCtx {
     std::string name;
     int set = -1;
     int dim = 0;
+    Layout requested_layout = Layout::AoS;  ///< layout every rank replica gets
+    bool layout_explicit = false;  ///< set_layout was called (default skips it)
     bool dirty = false;  ///< halo copies stale relative to owner data
     DatHaloView view;    ///< type-erased transport view, pinned at materialize
     virtual ~DatEntryBase() = default;
@@ -334,8 +418,13 @@ class DistCtx {
     void materialize(int id, const Partitioned& part) override {
       for (int r = 0; r < part.nranks(); ++r) {
         rank.emplace_back(name, part.set(r, set), dim);
-        if (init.empty()) continue;
         Dat<T>& d = rank.back();
+        // Rank replicas inherit the dat's layout policy: convert (and
+        // freeze) BEFORE filling, so the layout-aware at() addresses the
+        // final physical form directly.
+        d.set_layout(requested_layout);
+        d.apply_layout();
+        if (init.empty()) continue;
         const LocalLayout& L = part.layout(r, set);
         for (idx_t l = 0; l < L.ntotal; ++l)
           for (int c = 0; c < dim; ++c)
@@ -345,9 +434,13 @@ class DistCtx {
       view.set = set;
       view.dim = dim;
       view.value_bytes = sizeof(T);
+      view.layout = requested_layout;
       view.rank_base.clear();
-      for (int r = 0; r < part.nranks(); ++r)
+      view.rank_plane.clear();
+      for (int r = 0; r < part.nranks(); ++r) {
         view.rank_base.push_back(reinterpret_cast<unsigned char*>(rank[r].data()));
+        view.rank_plane.push_back(rank[r].plane());
+      }
     }
   };
 
@@ -418,7 +511,7 @@ class DistCtx {
     perms_ = reorder::compute(sizes, views, primary_);
     reorder::apply_to_maps(perms_, views, sizes);
     if (!perms_.identity(primary_))
-      reorder::permute_rows(perms_.of(primary_), coords_.data(), 2);
+      reorder::permute_rows(perms_.of(primary_), coords_.data(), ndims_);
     for (auto& d : dats_)
       if (!perms_.identity(d->set)) d->permute_init(perms_.of(d->set));
     inv_.resize(spec_.sets.size());
@@ -431,7 +524,10 @@ class DistCtx {
   WorkerPool pool_;
   GlobalSpec spec_;
   int primary_ = -1;
+  int ndims_ = 2;  ///< partition-coordinate dimensionality (2 or 3)
   aligned_vector<double> coords_;
+  Layout default_layout_ = Layout::AoS;
+  bool have_default_layout_ = false;
   std::vector<std::unique_ptr<DatEntryBase>> dats_;
   std::unique_ptr<Partitioned> part_;
   std::unique_ptr<Exchanger> exchanger_ = std::make_unique<MemcpyExchanger>();

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/layout.hpp"
 #include "dist/halo.hpp"
 
 namespace opv::dist {
@@ -35,13 +36,67 @@ namespace opv::dist {
 /// needs to move halo values without knowing the value type. The rank base
 /// pointers are pinned when the dataset is materialized (rank replicas are
 /// never reallocated after finalize()).
+///
+/// Rank replicas inherit the dat's layout policy (core/layout.hpp), so an
+/// element's dim values are contiguous only under AoS; the layout plus the
+/// per-rank plane stride let transports address individual components of
+/// any physical layout.
 struct DatHaloView {
   int dat = -1;                ///< dat id (diagnostics)
   int set = -1;                ///< set the dat lives on (selects layouts)
   int dim = 0;                 ///< values per element
   std::size_t value_bytes = 0; ///< sizeof one scalar value
+  Layout layout = Layout::AoS; ///< physical layout of every rank replica
   std::vector<unsigned char*> rank_base;  ///< per-rank replica base pointer
+  std::vector<idx_t> rank_plane;          ///< per-rank SoA/AoSoA plane stride
 };
+
+/// Address of value c of local element e in rank r's replica.
+inline unsigned char* halo_value_ptr(const DatHaloView& v, int r, idx_t e, int c) {
+  return v.rank_base[static_cast<std::size_t>(r)] +
+         layout_offset(v.layout, e, c, v.dim,
+                       v.rank_plane.empty() ? 0 : v.rank_plane[static_cast<std::size_t>(r)]) *
+             v.value_bytes;
+}
+
+/// Copy one element's dim values between rank replicas: a single contiguous
+/// memcpy under AoS, per-component copies otherwise (the components of one
+/// element are plane-strided apart).
+inline void halo_copy_row(const DatHaloView& v, int dst_rank, idx_t dst_e, int src_rank,
+                          idx_t src_e) {
+  if (v.layout == Layout::AoS) {
+    std::memcpy(halo_value_ptr(v, dst_rank, dst_e, 0), halo_value_ptr(v, src_rank, src_e, 0),
+                v.value_bytes * static_cast<std::size_t>(v.dim));
+    return;
+  }
+  for (int c = 0; c < v.dim; ++c)
+    std::memcpy(halo_value_ptr(v, dst_rank, dst_e, c), halo_value_ptr(v, src_rank, src_e, c),
+                v.value_bytes);
+}
+
+/// Pack one element's dim values into a contiguous (AoS-order) message slot —
+/// the wire format stays layout-independent, so a receiving transport never
+/// needs to know the sender's physical layout.
+inline void halo_pack_row(const DatHaloView& v, int r, idx_t e, unsigned char* buf) {
+  if (v.layout == Layout::AoS) {
+    std::memcpy(buf, halo_value_ptr(v, r, e, 0), v.value_bytes * static_cast<std::size_t>(v.dim));
+    return;
+  }
+  for (int c = 0; c < v.dim; ++c)
+    std::memcpy(buf + static_cast<std::size_t>(c) * v.value_bytes, halo_value_ptr(v, r, e, c),
+                v.value_bytes);
+}
+
+/// Unpack a contiguous message slot into one element of rank r's replica.
+inline void halo_unpack_row(const DatHaloView& v, int r, idx_t e, const unsigned char* buf) {
+  if (v.layout == Layout::AoS) {
+    std::memcpy(halo_value_ptr(v, r, e, 0), buf, v.value_bytes * static_cast<std::size_t>(v.dim));
+    return;
+  }
+  for (int c = 0; c < v.dim; ++c)
+    std::memcpy(halo_value_ptr(v, r, e, c), buf + static_cast<std::size_t>(c) * v.value_bytes,
+                v.value_bytes);
+}
 
 /// One rank's pinned interior/boundary classification (paper section 6.5):
 /// interior elements touch no halo slot through any indirect argument of
@@ -128,17 +183,12 @@ class Exchanger {
 class MemcpyExchanger final : public Exchanger {
  public:
   std::int64_t exchange(const Partitioned& part, const DatHaloView& view) override {
-    const std::size_t stride = view.value_bytes * static_cast<std::size_t>(view.dim);
     std::int64_t copied = 0;
     for (int r = 0; r < part.nranks(); ++r) {
       const LocalLayout& L = part.layout(r, view.set);
-      unsigned char* dst = view.rank_base[static_cast<std::size_t>(r)];
       const idx_t nhalo = L.ntotal - L.nowned;
       for (idx_t i = 0; i < nhalo; ++i) {
-        const unsigned char* src =
-            view.rank_base[static_cast<std::size_t>(L.src_rank[i])] +
-            static_cast<std::size_t>(L.src_local[i]) * stride;
-        std::memcpy(dst + static_cast<std::size_t>(L.nowned + i) * stride, src, stride);
+        halo_copy_row(view, r, L.nowned + i, L.src_rank[i], L.src_local[i]);
         copied += view.dim;
       }
     }
@@ -257,10 +307,7 @@ class StagedExchanger final : public Exchanger {
       const Staging::Dest& d = st.dest[static_cast<std::size_t>(r)];
       for (idx_t j = 0; j < static_cast<idx_t>(d.order.size()); ++j) {
         const idx_t i = d.order[j];
-        const unsigned char* src =
-            view.rank_base[static_cast<std::size_t>(L.src_rank[i])] +
-            static_cast<std::size_t>(L.src_local[i]) * stride;
-        std::memcpy(p.buf.data() + off, src, stride);
+        halo_pack_row(view, L.src_rank[i], L.src_local[i], p.buf.data() + off);
         off += stride;
       }
     }
@@ -269,11 +316,9 @@ class StagedExchanger final : public Exchanger {
     off = 0;
     for (int r = 0; r < part.nranks(); ++r) {  // unpack (the receive side)
       const LocalLayout& L = part.layout(r, view.set);
-      unsigned char* dst = view.rank_base[static_cast<std::size_t>(r)];
       const Staging::Dest& d = st.dest[static_cast<std::size_t>(r)];
       for (idx_t j = 0; j < static_cast<idx_t>(d.order.size()); ++j) {
-        std::memcpy(dst + static_cast<std::size_t>(L.nowned + d.order[j]) * stride,
-                    p.buf.data() + off, stride);
+        halo_unpack_row(view, r, L.nowned + d.order[j], p.buf.data() + off);
         off += stride;
         copied += view.dim;
       }

@@ -11,11 +11,14 @@
 
 namespace opv::dist {
 
-/// Recursive coordinate bisection over interleaved 2D coordinates
-/// (xy[2*i], xy[2*i+1]). Returns the owning part (0..nparts-1) of each of
-/// the n elements. Parts are balanced to within a few elements and
-/// geometrically compact; the result is deterministic.
-aligned_vector<int> partition_rcb(const double* xy, idx_t n, int nparts);
+/// Recursive coordinate bisection over interleaved coordinates
+/// (coords[ndims*i + a] is axis a of element i; ndims is 2 or 3). Every
+/// split cuts the longest axis of the TRUE ndims-dimensional bounding box —
+/// a 3D mesh partitioned with ndims == 3 is never sliced on its xy
+/// projection. Returns the owning part (0..nparts-1) of each of the n
+/// elements. Parts are balanced to within a few elements and geometrically
+/// compact; the result is deterministic.
+aligned_vector<int> partition_rcb(const double* coords, idx_t n, int nparts, int ndims = 2);
 
 /// Trivial contiguous-chunk partition: element i belongs to part
 /// i / ceil(n/nparts). Used as a coordinate-free fallback and in tests.

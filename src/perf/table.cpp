@@ -69,17 +69,21 @@ double rank_imbalance(const LoopRecord& rec) {
 Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& records,
                        const std::vector<std::pair<std::string, ChainRecord>>& chains,
                        const std::vector<std::pair<std::string, EnsembleRecord>>& ensembles) {
-  bool any_ranks = false, any_exchange = false, any_plan = false;
+  bool any_ranks = false, any_exchange = false, any_plan = false, any_layout = false;
   for (const auto& [name, rec] : records) {
     any_ranks |= rec.nranks > 0;
     any_exchange |= rec.exchange_seconds > 0.0 || rec.exchanged_values > 0;
     any_plan |= rec.plan_seconds > 0.0;
+    // The layout column only appears once some loop ran against a non-AoS
+    // dat — all-AoS runs keep the historical table shape.
+    any_layout |= !rec.layout.empty() && rec.layout != "AoS";
   }
   const bool any_chain = !chains.empty();
   for (const auto& [name, rec] : chains) any_plan |= rec.plan_seconds > 0.0;
   const bool any_ensemble = !ensembles.empty();
 
   std::vector<std::string> headers = {"loop", "calls", "seconds"};
+  if (any_layout) headers.push_back("layout");
   if (any_ranks) {
     headers.push_back("ranks");
     headers.push_back("max/mean imb");
@@ -103,6 +107,7 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
   auto loop_row = [&](const std::string& name, const LoopRecord& rec) {
     std::vector<std::string> row = {name, std::to_string(rec.calls),
                                     Table::num(rec.seconds, 4)};
+    if (any_layout) row.push_back(rec.layout.empty() ? "-" : rec.layout);
     if (any_ranks) {
       row.push_back(rec.nranks > 0 ? std::to_string(rec.nranks) : "-");
       row.push_back(rec.nranks > 0 ? Table::num(rank_imbalance(rec), 3) : "-");
@@ -130,6 +135,7 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
   for (const auto& [ename, erec] : ensembles) {
     std::vector<std::string> row = {ename, std::to_string(erec.runs),
                                     Table::num(erec.seconds, 4)};
+    if (any_layout) row.push_back("-");
     if (any_ranks) {
       row.push_back("-");
       row.push_back("-");
@@ -166,6 +172,7 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
   for (const auto& [cname, crec] : chains) {
     std::vector<std::string> row = {cname, std::to_string(crec.calls),
                                     Table::num(crec.seconds, 4)};
+    if (any_layout) row.push_back("-");
     if (any_ranks) {
       row.push_back("-");
       row.push_back("-");

@@ -51,6 +51,12 @@ class ManualRelayoutCtx {
     const aligned_vector<idx_t>* perm = nullptr;  ///< old->new of the dat's set
     idx_t set_size = 0;
   };
+  template <class T, int N>
+  struct FixedDatHandle {
+    typename Inner::template FixedDatHandle<T, N> inner{};
+    const aligned_vector<idx_t>* perm = nullptr;
+    idx_t set_size = 0;
+  };
 
   ManualRelayoutCtx(Inner& inner, std::map<std::string, aligned_vector<idx_t>> perms)
       : inner_(&inner), perms_(std::move(perms)) {}
@@ -63,13 +69,13 @@ class ManualRelayoutCtx {
     return h;
   }
 
-  void set_partition_coords(SetHandle s, const double* xy) {
+  void set_partition_coords(SetHandle s, const double* xy, int ndims = 2) {
     if (const auto* p = set_perm_.at(s)) {
-      coords_.assign(xy, xy + static_cast<std::size_t>(set_size_.at(s)) * 2);
-      reorder::permute_rows(*p, coords_.data(), 2);
-      inner_->set_partition_coords(s, coords_.data());
+      coords_.assign(xy, xy + static_cast<std::size_t>(set_size_.at(s)) * ndims);
+      reorder::permute_rows(*p, coords_.data(), ndims);
+      inner_->set_partition_coords(s, coords_.data(), ndims);
     } else {
-      inner_->set_partition_coords(s, xy);
+      inner_->set_partition_coords(s, xy, ndims);
     }
   }
 
@@ -93,6 +99,17 @@ class ManualRelayoutCtx {
     return {inner_->template decl_dat<T>(name, set, dim), set_perm_.at(set), set_size_.at(set)};
   }
 
+  template <class T, int N>
+  FixedDatHandle<T, N> decl_dat(const std::string& name, SetHandle set, aligned_vector<T> init) {
+    if (const auto* p = set_perm_.at(set)) reorder::permute_rows(*p, init.data(), N);
+    return {inner_->template decl_dat<T, N>(name, set, init), set_perm_.at(set),
+            set_size_.at(set)};
+  }
+  template <class T, int N>
+  FixedDatHandle<T, N> decl_dat(const std::string& name, SetHandle set) {
+    return {inner_->template decl_dat<T, N>(name, set), set_perm_.at(set), set_size_.at(set)};
+  }
+
   void finalize() { inner_->finalize(); }
 
   template <AccessMode A, int Dim = kDynDim, class T>
@@ -101,6 +118,14 @@ class ManualRelayoutCtx {
   }
   template <AccessMode A, int Dim = kDynDim, class T>
   auto arg(DatHandle<T> d) {
+    return inner_->template arg<A, Dim>(d.inner);
+  }
+  template <AccessMode A, int Dim = kDynDim, class T, int N>
+  auto arg(FixedDatHandle<T, N> d, int idx, MapHandle m) {
+    return inner_->template arg<A, Dim>(d.inner, idx, m);
+  }
+  template <AccessMode A, int Dim = kDynDim, class T, int N>
+  auto arg(FixedDatHandle<T, N> d) {
     return inner_->template arg<A, Dim>(d.inner);
   }
   template <AccessMode A, class T>
@@ -117,19 +142,31 @@ class ManualRelayoutCtx {
   void fetch(DatHandle<T> d, aligned_vector<T>& out) {
     aligned_vector<T> raw;
     inner_->fetch(d.inner, raw);
-    if (!d.perm) {
-      out = std::move(raw);
-      return;
-    }
-    const int dim = static_cast<int>(raw.size() / static_cast<std::size_t>(d.set_size));
-    out.resize(raw.size());
-    for (idx_t e = 0; e < d.set_size; ++e)
-      for (int c = 0; c < dim; ++c)
-        out[static_cast<std::size_t>(e) * dim + c] =
-            raw[static_cast<std::size_t>((*d.perm)[static_cast<std::size_t>(e)]) * dim + c];
+    unpermute(std::move(raw), d.perm, d.set_size, out);
+  }
+  template <class T, int N>
+  void fetch(FixedDatHandle<T, N> d, aligned_vector<T>& out) {
+    aligned_vector<T> raw;
+    inner_->fetch(d.inner, raw);
+    unpermute(std::move(raw), d.perm, d.set_size, out);
   }
 
  private:
+  template <class T>
+  static void unpermute(aligned_vector<T> raw, const aligned_vector<idx_t>* perm,
+                        idx_t set_size, aligned_vector<T>& out) {
+    if (!perm) {
+      out = std::move(raw);
+      return;
+    }
+    const int dim = static_cast<int>(raw.size() / static_cast<std::size_t>(set_size));
+    out.resize(raw.size());
+    for (idx_t e = 0; e < set_size; ++e)
+      for (int c = 0; c < dim; ++c)
+        out[static_cast<std::size_t>(e) * dim + c] =
+            raw[static_cast<std::size_t>((*perm)[static_cast<std::size_t>(e)]) * dim + c];
+  }
+
   Inner* inner_;
   std::map<std::string, aligned_vector<idx_t>> perms_;
   std::map<SetHandle, const aligned_vector<idx_t>*> set_perm_;
