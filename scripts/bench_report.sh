@@ -16,6 +16,10 @@
 #                        for Airfoil res_calc and Tet3D t3d_flux_calc per
 #                        backend, gated by the layout equivalence checks
 #                        (ablation_layout)
+#   BENCH_resilience.json  fault-tolerance record: checkpoint overhead %,
+#                        OPVK write/read seconds, restore counts — gated by
+#                        the bitwise recovery/resume checks
+#                        (ablation_resilience)
 # Run after scripts/check.sh (needs a built tree).
 #
 # Usage: scripts/bench_report.sh [build-dir]
@@ -36,6 +40,10 @@
 #   LAYOUT_ARGS=...    flags for ablation_layout (default: the full default
 #                      mesh — the non-AoS win only appears once the working
 #                      set is memory-bound; --small turns it into a smoke)
+#   RESILIENCE_OUT=path   resilience output (default: BENCH_resilience.json)
+#   RESILIENCE_ARGS=...   flags for ablation_resilience (default: the full
+#                         default mesh at cadence 50, where the <5% overhead
+#                         target is meaningful; --small turns it into a smoke)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -50,6 +58,8 @@ INGEST_OUT="${INGEST_OUT:-$ROOT/BENCH_ingest.json}"
 INGEST_ARGS=${INGEST_ARGS:---small --n=12 --steps=3}
 LAYOUT_OUT="${LAYOUT_OUT:-$ROOT/BENCH_layout.json}"
 LAYOUT_ARGS=${LAYOUT_ARGS:---iters=8}
+RESILIENCE_OUT="${RESILIENCE_OUT:-$ROOT/BENCH_resilience.json}"
+RESILIENCE_ARGS=${RESILIENCE_ARGS:---max-overhead=5}
 
 if [ ! -x "$BUILD/ablation_renumber" ]; then
   echo "ablation_renumber not built in $BUILD (run scripts/check.sh first)" >&2
@@ -96,3 +106,12 @@ fi
 # shellcheck disable=SC2086
 "$BUILD/ablation_layout" $LAYOUT_ARGS --json="$LAYOUT_OUT"
 echo "wrote $LAYOUT_OUT"
+
+if [ ! -x "$BUILD/ablation_resilience" ]; then
+  echo "ablation_resilience not built in $BUILD (run scripts/check.sh first)" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+"$BUILD/ablation_resilience" $RESILIENCE_ARGS --json="$RESILIENCE_OUT"
+echo "wrote $RESILIENCE_OUT"

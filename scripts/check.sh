@@ -3,7 +3,13 @@
 # smoke run of the dispatch-path microbench, so regressions in the par_loop
 # dispatch path are caught before review.
 #
-# Usage: scripts/check.sh [--dist] [--ingest] [--docs] [--docs-only] [build-dir]
+# Usage: scripts/check.sh [--dist] [--ingest] [--resilience] [--docs]
+#                          [--docs-only] [build-dir]
+#   --resilience also smoke-run the fault-tolerance path: ablation_resilience
+#                on a small mesh (fails if checkpointing perturbs results,
+#                if an injected fault is not recovered bitwise, or if
+#                kill-and-resume through an OPVK file diverges) and the
+#                volna_hazard --fault demo with recovery enabled
 #   --ingest     also smoke-run the mesh ingest path: tet3d_sim on a small
 #                generated box and ablation_ingest with the committed MSH
 #                fixture corpus (fails on round-trip inexactness, on any
@@ -26,12 +32,14 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 DIST=0
 INGEST=0
+RESIL=0
 DOCS=0
 DOCS_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --dist) DIST=1 ;;
     --ingest) INGEST=1 ;;
+    --resilience) RESIL=1 ;;
     --docs) DOCS=1 ;;
     --docs-only) DOCS=1; DOCS_ONLY=1 ;;
     -*) echo "unknown flag: $arg" >&2; exit 1 ;;
@@ -159,6 +167,31 @@ if [ "$INGEST" = 1 ]; then
       --fixtures="$ROOT/tests/fixtures/msh"
   else
     echo "ablation_ingest not built (OPV_BUILD_BENCH=OFF?) - skipped"
+  fi
+fi
+
+if [ "$RESIL" = 1 ]; then
+  echo "== resilience smoke =="
+  # Small mesh, few steps: exercises the whole fault-tolerance layer —
+  # checkpoint cadence, finiteness guard, restore + replay, retirement,
+  # OPVK kill-and-resume — and exits non-zero if the guarded, recovered or
+  # resumed runs are not bitwise-identical to the uninterrupted baseline.
+  # Overhead at this size is noise; scripts/bench_report.sh measures it.
+  if [ -x "$BUILD/ablation_resilience" ]; then
+    "$BUILD/ablation_resilience" --small
+  else
+    echo "ablation_resilience not built (OPV_BUILD_BENCH=OFF?) - skipped"
+  fi
+
+  echo "== hazard fault-recovery smoke =="
+  # The user-facing workflow: a NaN planted mid-sweep in instance 0 is
+  # detected by the health scan and recovered through the last checkpoint;
+  # the example exits non-zero if any instance retires.
+  if [ -x "$BUILD/volna_hazard" ]; then
+    "$BUILD/volna_hazard" --n=24 --instances=4 --steps=12 \
+      --cadence=4 --retries=2 --fault=6
+  else
+    echo "volna_hazard not built (OPV_BUILD_EXAMPLES=OFF?) - skipped"
   fi
 fi
 

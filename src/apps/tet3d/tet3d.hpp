@@ -125,6 +125,23 @@ class Tet3D {
   [[nodiscard]] const Consts<Real>& consts() const { return consts_; }
   [[nodiscard]] Real dt() const { return dt_; }
 
+  /// The evolving non-dat state of the time loop — what a checkpoint must
+  /// carry beyond the context dats (rms_ is update_u's reduction target;
+  /// last_rms_ derives from it). rms_history_ is advisory diagnostics and
+  /// not part of the checkpoint contract.
+  struct StepGlobals {
+    double last_rms = 0.0;
+    Real rms = Real(0);
+  };
+  [[nodiscard]] StepGlobals step_globals() const { return {last_rms_, rms_}; }
+  void set_step_globals(const StepGlobals& g) {
+    last_rms_ = g.last_rms;
+    rms_ = g.rms;
+  }
+
+  /// The state dat handle (health scans, e.g. guard::check_finite).
+  [[nodiscard]] auto state_dat() { return u_; }
+
  private:
   Ctx& ctx_;
   idx_t ncells_;

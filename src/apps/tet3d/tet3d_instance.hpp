@@ -1,0 +1,74 @@
+// Tet3D wrapped as an ensemble instance — the 3D sibling of
+// apps/volna/hazard.hpp's HazardInstance, used by the resilience tests and
+// benches to prove checkpoint/restore works for a second app with a
+// different dat roster (int32 bound dat, 3-/4-/6-wide FixedDats, a global
+// reduction) rather than being tuned to Volna's layout.
+//
+// Checkpointable contract: checkpoint() = LocalCtx::snapshot (every dat in
+// declaration-order AoS bytes) + the step globals (the rms reduction target
+// and its derived last value); restore + replay is bitwise-identical on Seq.
+// step() runs with rms_every=0 so replayed steps cannot duplicate
+// rms_history entries.
+#pragma once
+
+#include <memory>
+
+#include "apps/tet3d/tet3d.hpp"
+#include "core/context.hpp"
+#include "core/guard.hpp"
+#include "serve/ensemble.hpp"
+
+namespace opv::tet3d {
+
+class Tet3DInstance final : public serve::Checkpointable {
+ public:
+  Tet3DInstance(const mesh::TetMesh& m, const ExecConfig& cfg, bool chain = false) : ctx_(cfg) {
+    app_ = std::make_unique<Tet3D<double, LocalCtx>>(ctx_, m, chain);
+  }
+
+  void step() override { app_->run(1, /*rms_every=*/0); }
+
+  [[nodiscard]] bool healthy() override { return guard::check_finite(*app_->state_dat()); }
+
+  [[nodiscard]] Checkpoint checkpoint() override {
+    Checkpoint c;
+    ctx_.snapshot(c);
+    const auto g = app_->step_globals();
+    ByteWriter w;
+    w.put<double>(g.last_rms);
+    w.put<double>(g.rms);
+    c.add("globals/tet3d", w.take());
+    return c;
+  }
+
+  void restore(const Checkpoint& c) override {
+    ctx_.restore(c);
+    const Checkpoint::Section* s = c.find("globals/tet3d");
+    OPV_REQUIRE(s != nullptr, "Tet3DInstance::restore: checkpoint lacks globals/tet3d section");
+    ByteReader r(s->bytes, "globals/tet3d");
+    Tet3D<double, LocalCtx>::StepGlobals g;
+    g.last_rms = r.get<double>();
+    g.rms = r.get<double>();
+    app_->set_step_globals(g);
+  }
+
+  [[nodiscard]] double last_rms() const { return app_->last_rms(); }
+  [[nodiscard]] aligned_vector<double> state() { return app_->fetch_u(); }
+  [[nodiscard]] Tet3D<double, LocalCtx>& app() { return *app_; }
+
+ private:
+  LocalCtx ctx_;  ///< declared before app_: the driver pins handles into it
+  std::unique_ptr<Tet3D<double, LocalCtx>> app_;
+};
+
+/// Instance factory over one shared tet mesh (every instance runs the same
+/// scenario — Tet3D's initial condition is deterministic in the mesh).
+inline serve::InstanceFactory tet3d_instance_factory(const mesh::TetMesh& m, ExecConfig cfg,
+                                                     bool chain = false) {
+  auto mesh = std::make_shared<mesh::TetMesh>(m);
+  return [mesh, cfg, chain](int) -> std::unique_ptr<serve::Instance> {
+    return std::make_unique<Tet3DInstance>(*mesh, cfg, chain);
+  };
+}
+
+}  // namespace opv::tet3d

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/guard.hpp"
+
 namespace opv::volna {
 
 std::vector<Scenario> hazard_sweep(int n, const Scenario& base) {
@@ -37,6 +39,34 @@ HazardInstance::HazardInstance(const mesh::UnstructuredMesh& m, const Scenario& 
 }
 
 double HazardInstance::volume() { return total_volume(app_->fetch_state(), cgeom_); }
+
+bool HazardInstance::healthy() { return guard::check_finite(*app_->state_dat()); }
+
+Checkpoint HazardInstance::checkpoint() {
+  Checkpoint c;
+  ctx_.snapshot(c);
+  // The only evolving state outside the dats: Volna's step globals (the
+  // broadcast dt and the reduction scratch it is read back from).
+  const auto g = app_->step_globals();
+  ByteWriter w;
+  w.put<double>(g.dt);
+  w.put<double>(static_cast<double>(g.dtmin));
+  w.put<double>(static_cast<double>(g.dt_arg));
+  c.add("globals/volna", w.take());
+  return c;
+}
+
+void HazardInstance::restore(const Checkpoint& c) {
+  ctx_.restore(c);
+  const Checkpoint::Section* s = c.find("globals/volna");
+  OPV_REQUIRE(s != nullptr, "HazardInstance::restore: checkpoint lacks globals/volna section");
+  ByteReader r(s->bytes, "globals/volna");
+  Volna<float, LocalCtx>::StepGlobals g;
+  g.dt = r.get<double>();
+  g.dtmin = static_cast<float>(r.get<double>());
+  g.dt_arg = static_cast<float>(r.get<double>());
+  app_->set_step_globals(g);
+}
 
 serve::InstanceFactory hazard_factory(const mesh::UnstructuredMesh& m,
                                       std::vector<Scenario> sweep, ExecConfig cfg, bool chain) {

@@ -42,13 +42,22 @@ Backend parse_backend(const std::string& name);
 /// One Volna scenario wrapped as an ensemble instance: owns its LocalCtx
 /// (per-instance ExecConfig lives there) and the Volna driver with its
 /// pinned loop handles. The referenced mesh is only read at construction.
-class HazardInstance final : public serve::Instance {
+///
+/// Checkpointable: a checkpoint is the context snapshot (every dat in
+/// declaration-order AoS bytes) plus Volna's step globals (dt / dtmin /
+/// dt_arg), which is the complete evolving state — restore + replay is
+/// bitwise-identical on Seq. healthy() scans the state vector for NaN/Inf.
+class HazardInstance final : public serve::Checkpointable {
  public:
   HazardInstance(const mesh::UnstructuredMesh& m, const Scenario& sc, const ExecConfig& cfg,
                  bool chain = false);
 
   /// One timestep through Volna's own step closure.
   void step() override { app_->run(1); }
+
+  [[nodiscard]] bool healthy() override;
+  [[nodiscard]] Checkpoint checkpoint() override;
+  void restore(const Checkpoint& c) override;
 
   /// Current state vector (global cell order).
   [[nodiscard]] aligned_vector<float> state() { return app_->fetch_state(); }

@@ -99,6 +99,25 @@ class Volna {
   [[nodiscard]] idx_t ncells() const { return ncells_; }
   [[nodiscard]] const Params<Real>& params() const { return params_; }
 
+  /// The evolving non-dat state of the time loop — what a checkpoint must
+  /// carry beyond the context dats for a restored run to replay bitwise
+  /// (dt_arg_ feeds RK_1/RK_2 as a READ global; dtmin_ is the MIN reduction
+  /// target mid-step).
+  struct StepGlobals {
+    double dt = 0.0;
+    Real dtmin = Real(0);
+    Real dt_arg = Real(0);
+  };
+  [[nodiscard]] StepGlobals step_globals() const { return {dt_, dtmin_, dt_arg_}; }
+  void set_step_globals(const StepGlobals& g) {
+    dt_ = g.dt;
+    dtmin_ = g.dtmin;
+    dt_arg_ = g.dt_arg;
+  }
+
+  /// The state dat handle (health scans, e.g. guard::check_finite).
+  [[nodiscard]] auto state_dat() { return u_; }
+
  private:
   static aligned_vector<double> volna_centroids(const mesh::UnstructuredMesh& m);
 

@@ -128,8 +128,21 @@ class WorkerPool {
 /// is empty with nothing in flight, or after close(). Workers therefore
 /// loop `while (auto id = q.acquire()) { ...; q.release(*id, more); }` and
 /// all exit exactly when no item can ever appear again.
+///
+/// Two priority levels: requeue_front()/release(..., front=true) place an id
+/// in the urgent lane, drained ahead of the normal FIFO — the resilience
+/// scheduler uses it so a retried instance re-enters ahead of fresh work and
+/// its recovery latency stays bounded. An aging rule prevents starvation:
+/// after `priority_burst` consecutive urgent grabs, one normal-lane id is
+/// served even if urgent work is still pending.
 class WorkQueue {
  public:
+  /// priority_burst: consecutive urgent-lane grabs allowed before one
+  /// normal-lane id is served (anti-starvation aging; must be >= 1).
+  explicit WorkQueue(int priority_burst = 4) : burst_(priority_burst) {
+    OPV_REQUIRE(burst_ >= 1, "WorkQueue: priority_burst must be >= 1");
+  }
+
   /// Enqueue an id (FIFO). Safe from any thread, including an owner
   /// re-submitting a different id.
   void push(int id) {
@@ -140,26 +153,40 @@ class WorkQueue {
     cv_.notify_one();
   }
 
+  /// Enqueue an id into the urgent lane, served ahead of normal pushes
+  /// (subject to the anti-starvation burst limit).
+  void requeue_front(int id) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pri_.push_back(id);
+    }
+    cv_.notify_one();
+  }
+
   /// Block until an id is available (acquiring exclusive ownership), or
   /// until the queue can never yield one again (drained with nothing in
   /// flight, or closed) — then nullopt.
   [[nodiscard]] std::optional<int> acquire() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !q_.empty() || inflight_ == 0; });
-    if (q_.empty()) return std::nullopt;  // closed or fully drained
-    const int id = q_.front();
-    q_.pop_front();
+    cv_.wait(lock, [&] { return closed_ || !pri_.empty() || !q_.empty() || inflight_ == 0; });
+    if (pri_.empty() && q_.empty()) return std::nullopt;  // closed or fully drained
+    const bool take_pri = !pri_.empty() && (q_.empty() || pri_streak_ < burst_);
+    std::deque<int>& lane = take_pri ? pri_ : q_;
+    pri_streak_ = take_pri ? pri_streak_ + 1 : 0;
+    const int id = lane.front();
+    lane.pop_front();
     ++inflight_;
     return id;
   }
 
   /// Give up ownership of an acquired id; requeue=true re-enqueues it for
-  /// another acquire() (possibly by a different worker).
-  void release(int id, bool requeue) {
+  /// another acquire() (possibly by a different worker), in the urgent lane
+  /// when front=true.
+  void release(int id, bool requeue, bool front = false) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --inflight_;
-      if (requeue && !closed_) q_.push_back(id);
+      if (requeue && !closed_) (front ? pri_ : q_).push_back(id);
     }
     // Wake everyone: a requeue frees one item, but a drain (inflight
     // reaching 0 with an empty queue) must release ALL parked workers.
@@ -173,20 +200,24 @@ class WorkQueue {
       std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
       q_.clear();
+      pri_.clear();
     }
     cv_.notify_all();
   }
 
   [[nodiscard]] std::size_t pending() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return q_.size();
+    return q_.size() + pri_.size();
   }
 
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<int> q_;
+  std::deque<int> q_;    ///< normal lane (fresh work)
+  std::deque<int> pri_;  ///< urgent lane (retries / deadline-ish work)
   int inflight_ = 0;
+  int burst_ = 4;
+  int pri_streak_ = 0;  ///< consecutive urgent grabs since a normal one
   bool closed_ = false;
 };
 

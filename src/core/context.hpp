@@ -7,6 +7,7 @@
 // every backend.
 #pragma once
 
+#include <cstdio>
 #include <deque>
 #include <map>
 #include <memory>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "core/op2.hpp"
+#include "core/snapshot.hpp"
 
 namespace opv {
 
@@ -282,9 +284,94 @@ class LocalCtx {
     }
   }
 
+  /// Append one "dat/NNN/<name>" section per declared dat to `out`, each
+  /// holding the dat's values in the ORIGINAL declaration order and AoS
+  /// component order (the canonical form fetch() returns: renumbering and
+  /// physical layout are inverted through the same permutation/offset
+  /// machinery). Snapshots are therefore portable across contexts that made
+  /// different renumber/layout choices for the same declarations, and
+  /// restore() is exact — byte-identical values round-trip bitwise.
+  void snapshot(Checkpoint& out) const {
+    int i = 0;
+    for (const auto& d : dats_) {
+      const idx_t rows = d->set().size();
+      const int dim = d->dim();
+      const std::size_t vb = d->elem_bytes() / static_cast<std::size_t>(dim);
+      ByteWriter w;
+      w.put<std::int64_t>(rows);
+      w.put<std::int32_t>(dim);
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(vb));
+      const auto* perm = permutation_of(d->set());
+      const auto* base = static_cast<const unsigned char*>(d->raw());
+      if (perm == nullptr && d->layout() == Layout::AoS) {
+        w.put_bytes(base, static_cast<std::size_t>(rows) * d->elem_bytes());
+      } else {
+        for (idx_t e = 0; e < rows; ++e) {
+          const idx_t src = perm ? (*perm)[static_cast<std::size_t>(e)] : e;
+          for (int c = 0; c < dim; ++c)
+            w.put_bytes(base + layout_offset(d->layout(), src, c, dim, d->plane()) * vb, vb);
+        }
+      }
+      out.add(dat_section_name(i++, d->name()), w.take());
+    }
+  }
+
+  /// Write a snapshot's values back into the declared dats, through the
+  /// context's CURRENT permutation and physical layout. The snapshot must
+  /// come from an identically-declared context (same dats in order, same
+  /// shapes) — any mismatch throws opv::Error instead of silently writing
+  /// misaligned bytes. Maps, plans, and loop handles are untouched: derived
+  /// schedule state keys on mesh topology, which a checkpoint never changes.
+  void restore(const Checkpoint& in) {
+    OPV_REQUIRE(in.sections.size() >= dats_.size(),
+                "LocalCtx::restore: checkpoint has " << in.sections.size() << " sections but "
+                                                     << dats_.size() << " dats are declared");
+    int i = 0;
+    for (const auto& d : dats_) {
+      const std::string name = dat_section_name(i, d->name());
+      const Checkpoint::Section* s = in.find(name);
+      OPV_REQUIRE(s != nullptr, "LocalCtx::restore: checkpoint is missing section '" << name << "'");
+      const idx_t rows = d->set().size();
+      const int dim = d->dim();
+      const std::size_t vb = d->elem_bytes() / static_cast<std::size_t>(dim);
+      ByteReader r(s->bytes, name);
+      const auto srows = r.get<std::int64_t>();
+      const auto sdim = r.get<std::int32_t>();
+      const auto svb = r.get<std::uint32_t>();
+      OPV_REQUIRE(srows == rows && sdim == dim && svb == vb,
+                  "LocalCtx::restore: section '"
+                      << name << "' shape mismatch (checkpoint " << srows << "x" << sdim << "x"
+                      << svb << " vs declared " << rows << "x" << dim << "x" << vb << ")");
+      const auto* perm = permutation_of(d->set());
+      auto* base = static_cast<unsigned char*>(d->raw());
+      if (perm == nullptr && d->layout() == Layout::AoS) {
+        r.get_bytes(base, static_cast<std::size_t>(rows) * d->elem_bytes());
+      } else {
+        for (idx_t e = 0; e < rows; ++e) {
+          const idx_t dst = perm ? (*perm)[static_cast<std::size_t>(e)] : e;
+          for (int c = 0; c < dim; ++c)
+            r.get_bytes(base + layout_offset(d->layout(), dst, c, dim, d->plane()) * vb, vb);
+        }
+      }
+      ++i;
+    }
+  }
+
  private:
   template <class Kernel, class... Args>
   friend class CtxLoop;  // marks loops_ran_ on run()
+
+  /// Stable checkpoint section name: declaration index + dat name.
+  static std::string dat_section_name(int index, const std::string& name) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "dat/%03d/", index);
+    return buf + name;
+  }
+
+  [[nodiscard]] const aligned_vector<idx_t>* permutation_of(const Set& s) const {
+    const auto it = perms_.find(&s);
+    return it == perms_.end() ? nullptr : &it->second;
+  }
 
   void require_not_renumbered(const char* what) const {
     OPV_REQUIRE(!renumbered_, "LocalCtx::" << what

@@ -78,6 +78,20 @@ struct EnsembleRecord {
   double busy_seconds = 0.0;       ///< summed per-worker stepping time
   std::int64_t plan_hits = 0;      ///< PlanCache hits during run()
   std::int64_t plan_misses = 0;    ///< PlanCache builds during run()
+
+  // Resilience accounting (serve/resilience.hpp): checkpoint-restore-retry
+  // activity under a HealthPolicy. All zero for an ensemble running without
+  // a policy, so the stats table shows its resilience row only when the
+  // recovery machinery actually engaged.
+  std::int64_t retries = 0;            ///< recovery attempts (restore + re-run)
+  std::int64_t restores = 0;           ///< successful checkpoint restores
+  std::int64_t degraded = 0;           ///< degrade() hook invocations
+  std::int64_t checkpoints = 0;        ///< checkpoints taken during run()
+  double checkpoint_seconds = 0.0;     ///< wall time spent snapshotting
+  double backoff_seconds = 0.0;        ///< wall time slept backing off
+  [[nodiscard]] bool any_resilience() const {
+    return retries + restores + degraded + checkpoints != 0;
+  }
 };
 
 class StatsRegistry {

@@ -184,6 +184,12 @@ void StatsRegistry::record_ensemble(EnsembleRecord& slot, const EnsembleRecord& 
   slot.busy_seconds += delta.busy_seconds;
   slot.plan_hits += delta.plan_hits;
   slot.plan_misses += delta.plan_misses;
+  slot.retries += delta.retries;
+  slot.restores += delta.restores;
+  slot.degraded += delta.degraded;
+  slot.checkpoints += delta.checkpoints;
+  slot.checkpoint_seconds += delta.checkpoint_seconds;
+  slot.backoff_seconds += delta.backoff_seconds;
 }
 
 EnsembleRecord StatsRegistry::get_ensemble(const std::string& ensemble) const {

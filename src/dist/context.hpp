@@ -452,13 +452,20 @@ class DistCtx {
   // ---- halo management (called by dist::Loop) ------------------------------
 
   /// Refresh the listed datasets' halos through the exchanger, dirty ones
-  /// only; returns the number of scalar values moved.
+  /// only; returns the number of scalar values moved. A transport failure
+  /// surfaces as opv::Error naming the dat and the transport (so an
+  /// ensemble scheduler or driver knows WHAT failed, not just that
+  /// something threw); the dat stays dirty for a clean retry.
   std::int64_t refresh_halos(const std::vector<int>& dat_ids) {
     std::int64_t exchanged = 0;
     for (int id : dat_ids) {
       DatEntryBase& d = *dats_[id];
       if (!d.dirty) continue;
-      exchanged += exchanger_->exchange(*part_, d.view);
+      try {
+        exchanged += exchanger_->exchange(*part_, d.view);
+      } catch (const std::exception& e) {
+        rethrow_exchange_failure("exchange", d, e);
+      }
       d.dirty = false;
     }
     return exchanged;
@@ -466,12 +473,17 @@ class DistCtx {
 
   /// Start a non-blocking refresh of the listed datasets' halos (dirty ones
   /// only), appending each started dat to `pending` for the matching
-  /// wait_halos call.
+  /// wait_halos call. Dats whose begin() threw are NOT appended — their
+  /// halos stay dirty and no orphaned wait() is owed for them.
   void begin_halos(const std::vector<int>& dat_ids, std::vector<int>& pending) {
     for (int id : dat_ids) {
       DatEntryBase& d = *dats_[id];
       if (!d.dirty) continue;
-      exchanger_->begin(*part_, d.view);
+      try {
+        exchanger_->begin(*part_, d.view);
+      } catch (const std::exception& e) {
+        rethrow_exchange_failure("begin", d, e);
+      }
       pending.push_back(id);
     }
   }
@@ -482,7 +494,11 @@ class DistCtx {
     std::int64_t exchanged = 0;
     for (int id : pending) {
       DatEntryBase& d = *dats_[id];
-      exchanged += exchanger_->wait(*part_, d.view);
+      try {
+        exchanged += exchanger_->wait(*part_, d.view);
+      } catch (const std::exception& e) {
+        rethrow_exchange_failure("wait", d, e);
+      }
       d.dirty = false;
     }
     return exchanged;
@@ -490,6 +506,15 @@ class DistCtx {
 
   void mark_dirty(const std::vector<int>& dat_ids) {
     for (int id : dat_ids) dats_[id]->dirty = true;
+  }
+
+  /// Wrap a transport exception with the halo-exchange context: which
+  /// operation, which dat, which transport. The dat's dirty bit is left
+  /// set by every caller, so a recovered instance re-exchanges cleanly.
+  [[noreturn]] void rethrow_exchange_failure(const char* op, const DatEntryBase& d,
+                                             const std::exception& e) const {
+    throw Error(std::string("halo ") + op + " failed for dat '" + d.name + "' via transport '" +
+                exchanger_->name() + "': " + e.what());
   }
 
   void require_open(const char* what) const {

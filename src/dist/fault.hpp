@@ -1,0 +1,142 @@
+// FaultyExchanger: deterministic fault injection at the halo-transport seam.
+//
+// Wraps any Exchanger and misbehaves on the Nth begin()/exchange() call
+// (counted across ALL dats — the transport-level view a flaky NIC would
+// have). Four fault kinds cover the transport failure model:
+//   * Drop    — the exchange silently never happens: halo slots keep their
+//               stale values (a lost message without a timeout);
+//   * Delay   — the exchange completes after an injected sleep (congestion;
+//               results stay bitwise-identical, only timing shifts);
+//   * Corrupt — the exchange completes, then one halo value is overwritten
+//               with NaN, chosen deterministically from the seed (bit flips
+//               on the wire; detected downstream by guard::check_finite);
+//   * Throw   — begin() raises opv::Error (a transport hard failure;
+//               surfaces through DistCtx's halo call sites with dat/
+//               transport context and retires or retries the instance).
+// Everything is deterministic — same plan + seed => same faulty run — which
+// is what lets the resilience tests assert bitwise-identical recovery.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "dist/exchange.hpp"
+
+namespace opv::dist {
+
+enum class ExchangeFaultKind { Drop, Delay, Corrupt, Throw };
+
+constexpr const char* exchange_fault_name(ExchangeFaultKind k) {
+  switch (k) {
+    case ExchangeFaultKind::Drop: return "drop";
+    case ExchangeFaultKind::Delay: return "delay";
+    case ExchangeFaultKind::Corrupt: return "corrupt";
+    case ExchangeFaultKind::Throw: return "throw";
+  }
+  return "?";
+}
+
+struct ExchangeFaultPlan {
+  ExchangeFaultKind kind = ExchangeFaultKind::Drop;
+  std::int64_t at_begin = 1;    ///< fire on this begin()/exchange() call (1-based)
+  std::int64_t period = 0;      ///< re-fire every `period` calls after (0 = once)
+  double delay_seconds = 0.01;  ///< Delay: injected sleep
+  std::uint32_t seed = 0x5eed;  ///< Corrupt: picks the poisoned halo slot
+};
+
+class FaultyExchanger final : public Exchanger {
+ public:
+  FaultyExchanger(std::unique_ptr<Exchanger> inner, ExchangeFaultPlan plan)
+      : inner_(std::move(inner)), plan_(plan) {
+    OPV_REQUIRE(inner_ != nullptr, "FaultyExchanger: null inner transport");
+    OPV_REQUIRE(plan_.at_begin >= 1, "FaultyExchanger: at_begin is 1-based");
+  }
+
+  void begin(const Partitioned& part, const DatHaloView& view) override {
+    const bool fire = fires(++begins_);
+    if (fire) ++fired_;
+    if (fire && plan_.kind == ExchangeFaultKind::Throw)
+      throw opv::Error("FaultyExchanger: injected transport failure on begin " +
+                       std::to_string(begins_));
+    if (fire && plan_.kind == ExchangeFaultKind::Drop) {
+      dropped_[view.dat] = true;  // swallow: no begin, and wait() will no-op
+      return;
+    }
+    if (fire && plan_.kind == ExchangeFaultKind::Delay)
+      std::this_thread::sleep_for(std::chrono::duration<double>(plan_.delay_seconds));
+    if (fire && plan_.kind == ExchangeFaultKind::Corrupt) corrupt_[view.dat] = true;
+    inner_->begin(part, view);
+  }
+
+  std::int64_t wait(const Partitioned& part, const DatHaloView& view) override {
+    const auto dropped = dropped_.find(view.dat);
+    if (dropped != dropped_.end() && dropped->second) {
+      dropped->second = false;
+      return 0;  // the lost message: halo slots keep their stale values
+    }
+    const std::int64_t copied = inner_->wait(part, view);
+    const auto corrupt = corrupt_.find(view.dat);
+    if (corrupt != corrupt_.end() && corrupt->second) {
+      corrupt->second = false;
+      poison(part, view);
+    }
+    return copied;
+  }
+
+  std::int64_t exchange(const Partitioned& part, const DatHaloView& view) override {
+    begin(part, view);
+    return wait(part, view);
+  }
+
+  [[nodiscard]] const char* name() const override { return "faulty"; }
+
+  [[nodiscard]] std::int64_t begins() const { return begins_; }
+  [[nodiscard]] std::int64_t faults_fired() const { return fired_; }
+
+ private:
+  [[nodiscard]] bool fires(std::int64_t call) const {
+    if (call == plan_.at_begin) return true;
+    return plan_.period > 0 && call > plan_.at_begin && (call - plan_.at_begin) % plan_.period == 0;
+  }
+
+  /// Overwrite one halo value with NaN, deterministically seed-chosen: the
+  /// first rank with a non-empty halo, slot seed % nhalo, component
+  /// seed % dim. Non-floating dats are left alone (a bit flip there is a
+  /// different failure class than numerical blow-up).
+  void poison(const Partitioned& part, const DatHaloView& view) {
+    if (view.value_bytes != sizeof(float) && view.value_bytes != sizeof(double)) return;
+    for (int r = 0; r < part.nranks(); ++r) {
+      const LocalLayout& L = part.layout(r, view.set);
+      const idx_t nhalo = L.ntotal - L.nowned;
+      if (nhalo == 0) continue;
+      const idx_t slot = L.nowned + static_cast<idx_t>(plan_.seed % static_cast<std::uint32_t>(nhalo));
+      const int c = static_cast<int>(plan_.seed % static_cast<std::uint32_t>(view.dim));
+      unsigned char* at = halo_value_ptr(view, r, slot, c);
+      if (view.value_bytes == sizeof(float)) {
+        const float nan = std::numeric_limits<float>::quiet_NaN();
+        std::memcpy(at, &nan, sizeof(nan));
+      } else {
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        std::memcpy(at, &nan, sizeof(nan));
+      }
+      return;
+    }
+  }
+
+  std::unique_ptr<Exchanger> inner_;
+  ExchangeFaultPlan plan_;
+  std::int64_t begins_ = 0;
+  std::int64_t fired_ = 0;
+  std::unordered_map<int, bool> dropped_;  ///< per dat: begin swallowed
+  std::unordered_map<int, bool> corrupt_;  ///< per dat: poison after wait
+};
+
+}  // namespace opv::dist

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "mesh/generators.hpp"
 
@@ -67,9 +68,16 @@ class BinReader {
   void read(void* dst, std::size_t bytes, const char* what) {
     is_.read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
     OPV_REQUIRE(static_cast<std::size_t>(is_.gcount()) == bytes,
-                "truncated file '" << path_ << "': short read in " << what << " (got "
-                                   << is_.gcount() << " of " << bytes << " bytes)");
+                "truncated file '" << path_ << "': short read in " << what << " at byte offset "
+                                   << offset_ << " (got " << is_.gcount() << " of " << bytes
+                                   << " bytes)");
+    offset_ += bytes;
   }
+
+  /// Bytes consumed so far — validation errors name it so a corrupt file
+  /// can be inspected at the exact failing record.
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
 
   /// Read a length-prefixed array whose length must equal `expected`
   /// (derived from the already-validated header — a corrupt prefix cannot
@@ -86,12 +94,14 @@ class BinReader {
 
   void expect_eof() {
     is_.peek();
-    OPV_REQUIRE(is_.eof(), "'" << path_ << "': trailing bytes after the last section");
+    OPV_REQUIRE(is_.eof(), "'" << path_ << "': trailing bytes after the last section (at byte offset "
+                               << offset_ << ")");
   }
 
  private:
   std::ifstream is_;
   std::string path_;
+  std::size_t offset_ = 0;
 };
 
 void check_count(std::int64_t n, const char* what, const std::string& path) {
@@ -217,6 +227,142 @@ TetMesh read_tet_mesh(const std::string& path) {
   r.expect_eof();
   m.validate();
   return m;
+}
+
+// ===========================================================================
+// Ensemble checkpoints (OPVK)
+// ===========================================================================
+
+namespace {
+
+constexpr std::uint64_t kMagicChk = 0x4b56504f31303030ULL;  // "OPVK1000" (LE)
+
+/// Caps on OPVK counts: one checkpoint section holds at most one dat's
+/// bytes (kMaxCount rows x kMaxDim x 8B stays under 2^36; a single section
+/// cap of 2^33 still admits a billion-value dat while making a corrupt
+/// length fail fast), and instance/section counts are bounded far above
+/// any real sweep.
+constexpr std::uint64_t kMaxChkInstances = 1ULL << 20;
+constexpr std::uint64_t kMaxChkSections = 1ULL << 16;
+constexpr std::uint64_t kMaxChkSectionBytes = 1ULL << 33;
+
+struct ChkHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t ninstances;
+  std::int64_t target_steps;
+};
+
+template <class T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void write_str(std::ofstream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_str(BinReader& r, std::uint64_t max_len, const char* what) {
+  std::uint32_t n = 0;
+  r.read(&n, sizeof n, what);
+  OPV_REQUIRE(n <= max_len, "'" << r.path() << "': implausible " << what << " length " << n
+                                << " at byte offset " << r.offset());
+  std::string s(n, '\0');
+  if (n > 0) r.read(s.data(), n, what);
+  return s;
+}
+
+}  // namespace
+
+void write_checkpoint(const EnsembleCheckpoint& c, const std::string& path) {
+  OPV_REQUIRE(c.instances.size() <= kMaxChkInstances,
+              "write_checkpoint: implausible instance count " << c.instances.size());
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  OPV_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  ChkHeader h{};
+  h.magic = kMagicChk;
+  h.version = EnsembleCheckpoint::kVersion;
+  h.ninstances = static_cast<std::uint32_t>(c.instances.size());
+  h.target_steps = c.target_steps;
+  write_pod(os, h);
+  for (const auto& inst : c.instances) {
+    write_pod(os, static_cast<std::int32_t>(inst.id));
+    write_pod(os, inst.steps_done);
+    write_str(os, inst.error);
+    OPV_REQUIRE(inst.state.sections.size() <= kMaxChkSections,
+                "write_checkpoint: instance " << inst.id << " has implausible section count "
+                                              << inst.state.sections.size());
+    write_pod(os, static_cast<std::uint32_t>(inst.state.sections.size()));
+    for (const auto& sec : inst.state.sections) {
+      OPV_REQUIRE(sec.bytes.size() <= kMaxChkSectionBytes,
+                  "write_checkpoint: section '" << sec.name << "' is implausibly large ("
+                                                << sec.bytes.size() << " bytes)");
+      write_str(os, sec.name);
+      write_pod(os, static_cast<std::uint64_t>(sec.bytes.size()));
+      os.write(reinterpret_cast<const char*>(sec.bytes.data()),
+               static_cast<std::streamsize>(sec.bytes.size()));
+      write_pod(os, crc32(sec.bytes.data(), sec.bytes.size()));
+    }
+  }
+  os.flush();
+  OPV_REQUIRE(os.good(), "write failed for '" << path << "'");
+}
+
+EnsembleCheckpoint read_checkpoint(const std::string& path) {
+  BinReader r(path);
+  ChkHeader h{};
+  r.read(&h, sizeof h, "header");
+  OPV_REQUIRE(h.magic == kMagicChk,
+              "'" << path << "' is not an OPVK checkpoint file (bad magic at byte offset 0)");
+  OPV_REQUIRE(h.version == EnsembleCheckpoint::kVersion,
+              "'" << path << "': unsupported OPVK version " << h.version << " (have "
+                  << EnsembleCheckpoint::kVersion << ")");
+  OPV_REQUIRE(h.ninstances <= kMaxChkInstances,
+              "'" << path << "': implausible instance count " << h.ninstances
+                  << " at byte offset " << r.offset());
+
+  EnsembleCheckpoint c;
+  c.version = h.version;
+  c.target_steps = h.target_steps;
+  c.instances.reserve(h.ninstances);
+  for (std::uint32_t i = 0; i < h.ninstances; ++i) {
+    EnsembleCheckpoint::InstanceState inst;
+    std::int32_t id = 0;
+    r.read(&id, sizeof id, "instance id");
+    inst.id = id;
+    r.read(&inst.steps_done, sizeof inst.steps_done, "instance steps");
+    OPV_REQUIRE(inst.steps_done >= 0, "'" << path << "': negative step count for instance " << id
+                                          << " at byte offset " << r.offset());
+    inst.error = read_str(r, kMaxNameLen, "instance error");
+    std::uint32_t nsections = 0;
+    r.read(&nsections, sizeof nsections, "section count");
+    OPV_REQUIRE(nsections <= kMaxChkSections, "'" << path << "': implausible section count "
+                                                  << nsections << " at byte offset " << r.offset());
+    inst.state.sections.reserve(nsections);
+    for (std::uint32_t s = 0; s < nsections; ++s) {
+      Checkpoint::Section sec;
+      sec.name = read_str(r, kMaxNameLen, "section name");
+      std::uint64_t len = 0;
+      r.read(&len, sizeof len, "section length");
+      OPV_REQUIRE(len <= kMaxChkSectionBytes, "'" << path << "': implausible section '" << sec.name
+                                                  << "' length " << len << " at byte offset "
+                                                  << r.offset());
+      sec.bytes.resize(static_cast<std::size_t>(len));
+      const std::size_t payload_at = r.offset();
+      if (len > 0) r.read(sec.bytes.data(), static_cast<std::size_t>(len), "section payload");
+      std::uint32_t crc = 0;
+      r.read(&crc, sizeof crc, "section crc");
+      const std::uint32_t have = crc32(sec.bytes.data(), sec.bytes.size());
+      OPV_REQUIRE(have == crc, "'" << path << "': CRC mismatch in section '" << sec.name
+                                   << "' (payload at byte offset " << payload_at << ": stored "
+                                   << crc << ", computed " << have << ") — checkpoint is corrupt");
+      inst.state.sections.push_back(std::move(sec));
+    }
+    c.instances.push_back(std::move(inst));
+  }
+  r.expect_eof();
+  return c;
 }
 
 // ===========================================================================

@@ -14,6 +14,13 @@
 //     turn a GmshMesh into the finite-volume containers (deriving the
 //     interior/boundary edge or face sets) and back, mapping physical
 //     groups to named boundary sets and boundary-condition ids.
+//
+// Plus one non-mesh container riding on the same hardened binary plumbing:
+//   * OPVK — the ensemble checkpoint file (core/snapshot.hpp types), the
+//     kill-and-resume persistence of the resilience layer. Every section
+//     payload carries a CRC32, so on-disk corruption is detected before a
+//     single corrupt byte reaches a restored instance; all validation
+//     errors name the byte offset.
 #pragma once
 
 #include <iosfwd>
@@ -21,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/snapshot.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/tetmesh.hpp"
 
@@ -39,6 +47,18 @@ UnstructuredMesh read_mesh(const std::string& path);
 /// TetMesh siblings (OPVT container, same hardening contract).
 void write_tet_mesh(const TetMesh& m, const std::string& path);
 TetMesh read_tet_mesh(const std::string& path);
+
+// ---- ensemble checkpoints (OPVK) ------------------------------------------
+
+/// Write an ensemble checkpoint (serve::Ensemble::save) as an OPVK file:
+/// magic + version header, per-instance progress, and one CRC32-protected
+/// record per checkpoint section. Throws opv::Error on I/O failure.
+void write_checkpoint(const EnsembleCheckpoint& c, const std::string& path);
+
+/// Read an OPVK file previously written by write_checkpoint. Throws
+/// opv::Error naming the byte offset on any violation: bad magic, unknown
+/// version, truncation, implausible counts, CRC mismatch, trailing bytes.
+EnsembleCheckpoint read_checkpoint(const std::string& path);
 
 // ---- Gmsh MSH -------------------------------------------------------------
 

@@ -81,6 +81,10 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
   const bool any_chain = !chains.empty();
   for (const auto& [name, rec] : chains) any_plan |= rec.plan_seconds > 0.0;
   const bool any_ensemble = !ensembles.empty();
+  // Resilience columns appear only when some ensemble actually engaged the
+  // checkpoint/retry machinery — policy-free runs keep the historical shape.
+  bool any_resil = false;
+  for (const auto& [name, rec] : ensembles) any_resil |= rec.any_resilience();
 
   std::vector<std::string> headers = {"loop", "calls", "seconds"};
   if (any_layout) headers.push_back("layout");
@@ -100,6 +104,10 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
     headers.push_back("inst/s");
     headers.push_back("occupancy");
     headers.push_back("plan hit");
+  }
+  if (any_resil) {
+    headers.push_back("retry/restore");
+    headers.push_back("chk (s)");
   }
   if (any_plan) headers.push_back("plan (s)");
   Table t(std::move(headers));
@@ -123,6 +131,10 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
     }
     if (any_ensemble) {
       row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+    }
+    if (any_resil) {
       row.push_back("-");
       row.push_back("-");
     }
@@ -161,6 +173,12 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
                                        static_cast<double>(plan_total),
                                    1)
                       : "-");
+    if (any_resil) {
+      row.push_back(erec.any_resilience()
+                        ? std::to_string(erec.retries) + "/" + std::to_string(erec.restores)
+                        : "-");
+      row.push_back(erec.checkpoints > 0 ? Table::num(erec.checkpoint_seconds, 4) : "-");
+    }
     if (any_plan) row.push_back("-");
     t.add_row(std::move(row));
   }
@@ -185,6 +203,10 @@ Table loop_stats_table(const std::vector<std::pair<std::string, LoopRecord>>& re
     row.push_back(std::to_string(crec.fused_loops) + "/" + std::to_string(crec.member_loops));
     if (any_ensemble) {
       row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+    }
+    if (any_resil) {
       row.push_back("-");
       row.push_back("-");
     }

@@ -1,0 +1,121 @@
+// FaultyInstance: deterministic fault injection at the Instance seam — the
+// tool the resilience tests and bench/ablation_resilience use to prove the
+// recovery path, and the template for chaos-testing real deployments.
+//
+// Faults fire on the Nth step() INVOCATION, counted monotonically across
+// restores: after the scheduler rolls the instance back, the replayed steps
+// keep advancing the invocation counter, so a one-shot fault does not
+// re-fire during replay and the recovered run finishes bitwise-identical
+// (Seq) to a fault-free run. A `period` turns one-shot into persistent —
+// the way to test max_attempts retirement.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/snapshot.hpp"
+#include "serve/ensemble.hpp"
+
+namespace opv::serve {
+
+enum class InstanceFaultKind {
+  Throw,    ///< step() throws opv::Error (transport/user-code failure model)
+  Corrupt,  ///< step() completes, then a NaN is planted in the state
+  Stall,    ///< step() sleeps past the watchdog deadline, then completes
+};
+
+struct InstanceFaultPlan {
+  InstanceFaultKind kind = InstanceFaultKind::Corrupt;
+  std::int64_t at_step = 1;     ///< fire on this step() invocation (1-based)
+  std::int64_t period = 0;      ///< re-fire every `period` invocations after (0 = once)
+  std::string dat = "";         ///< Corrupt: dat name to poison ("" = first dat section)
+  std::size_t value_index = 0;  ///< Corrupt: flat value index within that dat
+  double stall_seconds = 0.05;  ///< Stall: sleep length
+};
+
+/// Wraps a Checkpointable and injects the planned fault; everything else
+/// delegates. Corruption is implemented generically through the checkpoint
+/// machinery itself (snapshot -> plant NaN -> restore), so any app with a
+/// floating state dat can be poisoned without a bespoke hook.
+class FaultyInstance final : public Checkpointable {
+ public:
+  FaultyInstance(std::unique_ptr<Checkpointable> inner, InstanceFaultPlan plan)
+      : inner_(std::move(inner)), plan_(std::move(plan)) {
+    OPV_REQUIRE(inner_ != nullptr, "FaultyInstance: null inner instance");
+    OPV_REQUIRE(plan_.at_step >= 1, "FaultyInstance: at_step is 1-based");
+  }
+
+  void step() override {
+    const bool fire = fires(++calls_);
+    if (fire && plan_.kind == InstanceFaultKind::Throw) {
+      ++fired_;
+      throw opv::Error("FaultyInstance: injected failure at step invocation " +
+                       std::to_string(calls_));
+    }
+    if (fire && plan_.kind == InstanceFaultKind::Stall) {
+      ++fired_;
+      std::this_thread::sleep_for(std::chrono::duration<double>(plan_.stall_seconds));
+    }
+    inner_->step();
+    if (fire && plan_.kind == InstanceFaultKind::Corrupt) {
+      ++fired_;
+      poison();
+    }
+  }
+
+  [[nodiscard]] bool healthy() override { return inner_->healthy(); }
+  [[nodiscard]] Checkpoint checkpoint() override { return inner_->checkpoint(); }
+  void restore(const Checkpoint& c) override { inner_->restore(c); }
+  void degrade(int attempt) override { inner_->degrade(attempt); }
+
+  [[nodiscard]] std::int64_t step_calls() const { return calls_; }
+  [[nodiscard]] std::int64_t faults_fired() const { return fired_; }
+  [[nodiscard]] Checkpointable& inner() { return *inner_; }
+
+ private:
+  [[nodiscard]] bool fires(std::int64_t call) const {
+    if (call == plan_.at_step) return true;
+    return plan_.period > 0 && call > plan_.at_step && (call - plan_.at_step) % plan_.period == 0;
+  }
+
+  void poison() {
+    Checkpoint c = inner_->checkpoint();
+    bool hit;
+    if (plan_.dat.empty()) {
+      hit = !c.sections.empty() &&
+            poison_dat_section(c, c.sections.front().name.substr(c.sections.front().name.rfind('/') + 1),
+                               plan_.value_index);
+    } else {
+      hit = poison_dat_section(c, plan_.dat, plan_.value_index);
+    }
+    OPV_REQUIRE(hit, "FaultyInstance: no dat section matching '" << plan_.dat << "' to poison");
+    inner_->restore(c);
+  }
+
+  std::unique_ptr<Checkpointable> inner_;
+  InstanceFaultPlan plan_;
+  std::int64_t calls_ = 0;
+  std::int64_t fired_ = 0;
+};
+
+/// Decorate a factory of Checkpointable instances with a fault plan applied
+/// to instance `fault_id` only (-1 = every instance). The inner factory's
+/// product must be Checkpointable — corruption and recovery both need the
+/// checkpoint machinery.
+inline InstanceFactory with_fault(InstanceFactory inner, InstanceFaultPlan plan, int fault_id = -1) {
+  return [inner = std::move(inner), plan = std::move(plan), fault_id](int id) -> std::unique_ptr<Instance> {
+    std::unique_ptr<Instance> built = inner(id);
+    if (fault_id >= 0 && id != fault_id) return built;
+    auto* cp = dynamic_cast<Checkpointable*>(built.get());
+    OPV_REQUIRE(cp != nullptr, "with_fault: inner factory's instance " << id << " is not Checkpointable");
+    built.release();
+    return std::make_unique<FaultyInstance>(std::unique_ptr<Checkpointable>(cp), plan);
+  };
+}
+
+}  // namespace opv::serve

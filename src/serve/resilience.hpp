@@ -1,0 +1,58 @@
+// Resilience policies of the ensemble scheduler: how it reacts to trouble
+// between acquire() and release(). The recoverable-instance contract itself
+// (serve::Checkpointable) lives next to Instance in serve/ensemble.hpp; this
+// header is the standalone policy vocabulary both sides share.
+//
+// The failure model: a long hazard sweep loses instances to (a) numerical
+// blow-up (NaN/Inf in the state, detected by opv::guard::check_finite inside
+// the instance's healthy() probe), (b) stuck or pathologically slow steps
+// (step deadline), and (c) exceptions from anywhere in the step path (a
+// faulty halo transport, allocation failure, user code). Without a policy
+// all three retire the instance (PR 7 fault isolation). With a policy and a
+// Checkpointable instance, the scheduler instead restores the last good
+// checkpoint, optionally degrades the instance (e.g. halve dt), sleeps an
+// exponential backoff, and re-runs the lost steps — ahead of fresh work, via
+// the WorkQueue's urgent lane — retiring only after max_attempts recoveries
+// fail.
+#pragma once
+
+namespace opv::serve {
+
+/// Retry shape: how many recoveries, and how long to stand off between them
+/// (exponential: base * factor^(attempt-1), capped) so a persistently
+/// failing instance does not monopolize a worker.
+struct RetryPolicy {
+  int max_attempts = 0;               ///< recoveries before retiring (0 = resilience off)
+  double backoff_base_seconds = 0.0;  ///< first-retry sleep (0 = no sleep)
+  double backoff_factor = 2.0;        ///< growth per attempt
+  double backoff_max_seconds = 0.25;  ///< cap on one sleep
+
+  [[nodiscard]] double backoff_for(int attempt) const {
+    if (backoff_base_seconds <= 0.0 || attempt < 1) return 0.0;
+    double s = backoff_base_seconds;
+    for (int i = 1; i < attempt; ++i) {
+      s *= backoff_factor;
+      if (s >= backoff_max_seconds) break;
+    }
+    return s < backoff_max_seconds ? s : backoff_max_seconds;
+  }
+};
+
+/// Per-instance health regime. Checkpoints are taken at a step cadence
+/// (plus one baseline at the start of each run window), health is probed at
+/// its own cadence, and every step can be watched against a wall-clock
+/// deadline. Detection (check_every / step_deadline_seconds) works for any
+/// instance; recovery additionally needs the instance to be Checkpointable
+/// — a detected failure on a plain Instance retires it.
+struct HealthPolicy {
+  int checkpoint_every = 0;            ///< steps between checkpoints (0 = baseline only)
+  int check_every = 0;                 ///< steps between healthy() probes (0 = never)
+  double step_deadline_seconds = 0.0;  ///< per-step watchdog (0 = off)
+  int degrade_after = 0;               ///< call degrade() from this attempt on (0 = never)
+  RetryPolicy retry;
+
+  /// Recovery engaged at all?
+  [[nodiscard]] bool active() const { return retry.max_attempts > 0; }
+};
+
+}  // namespace opv::serve
